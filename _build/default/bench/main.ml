@@ -1,0 +1,265 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (per DESIGN.md's experiment index) and runs Bechamel
+   micro-benchmarks of the underlying kernels — one Test.make per
+   experiment id.
+
+   Environment:
+     QUICK=1   reduce simulation scales (CI-friendly)
+     ONLY=E1   run a single experiment id (E1 E2 E3 E4 E5 E6 E7 A1 A2 A3 MICRO)
+*)
+
+let quick = Sys.getenv_opt "QUICK" <> None
+let only = Sys.getenv_opt "ONLY"
+
+let want id = match only with None -> true | Some o -> String.uppercase_ascii o = id
+
+let fmt = Format.std_formatter
+
+let section title =
+  Format.fprintf fmt "@.==============================================================================@.";
+  Format.fprintf fmt "%s@." title;
+  Format.fprintf fmt "==============================================================================@."
+
+(* ---------- the tables ---------- *)
+
+let fig5_params () =
+  if quick then
+    Batcher_core.Experiments.fig5 ~n_records:10_000 ~records_per_node:100
+      ~sizes:[ 20_000; 1_000_000; 100_000_000 ] ()
+  else Batcher_core.Experiments.fig5 ()
+
+let run_tables () =
+  if want "E1" then begin
+    section "E1 — Figure 5: BATCHER vs sequential skip list";
+    Batcher_core.Report.fig5 fmt (fig5_params ())
+  end;
+  if want "E2" then begin
+    section "E2 — Flat combining comparison (Section 7 discussion)";
+    let rows =
+      if quick then Batcher_core.Experiments.flatcomb ~n_records:10_000 ()
+      else Batcher_core.Experiments.flatcomb ()
+    in
+    Batcher_core.Report.flatcomb fmt rows
+  end;
+  if want "E3" then begin
+    section "E3 — Batched counter vs lock-serialized counter (Section 3)";
+    let rows =
+      if quick then Batcher_core.Experiments.counter_example ~n:4_000 ()
+      else Batcher_core.Experiments.counter_example ()
+    in
+    Batcher_core.Report.example ~name:"E3 counter" fmt rows
+  end;
+  if want "E4" then begin
+    section "E4 — Batched 2-3 tree (Section 3 search-tree example)";
+    let rows =
+      if quick then Batcher_core.Experiments.tree_example ~n:1_000 ()
+      else Batcher_core.Experiments.tree_example ()
+    in
+    Batcher_core.Report.example ~name:"E4 search tree" fmt rows
+  end;
+  if want "E5" then begin
+    section "E5 — Amortized LIFO stack (Section 3 table-doubling example)";
+    let rows =
+      if quick then Batcher_core.Experiments.stack_example ~n:4_000 ()
+      else Batcher_core.Experiments.stack_example ()
+    in
+    Batcher_core.Report.example ~name:"E5 stack" fmt rows
+  end;
+  if want "E6" then begin
+    section "E6 — Theorem 1 validation sweep";
+    Batcher_core.Report.theory fmt (Batcher_core.Experiments.theory_table ())
+  end;
+  if want "E8" then begin
+    section "E8 — Theorem 3 validation (τ-trimmed span)";
+    Batcher_core.Report.theorem3 fmt (Batcher_core.Experiments.theorem3 ())
+  end;
+  if want "E7" then begin
+    section "E7 — Lemma 2: batches executing while an op is pending";
+    Batcher_core.Report.lemma2 fmt (Batcher_core.Experiments.lemma2 ())
+  end;
+  if want "A1" then begin
+    section "A1 — Ablation: steal policy";
+    Batcher_core.Report.ablation ~name:"A1 steal policy" fmt
+      (Batcher_core.Experiments.ablate_steal ())
+  end;
+  if want "A2" then begin
+    section "A2 — Ablation: launch threshold (immediate vs accumulate-k)";
+    Batcher_core.Report.ablation ~name:"A2 launch threshold" fmt
+      (Batcher_core.Experiments.ablate_launch ())
+  end;
+  if want "A4" then begin
+    section "A4 — Ablation: LAUNCHBATCH overhead model (paper's open question)";
+    Batcher_core.Report.ablation ~name:"A4 overhead model" fmt
+      (Batcher_core.Experiments.ablate_overhead ())
+  end;
+  if want "E9" then begin
+    section "E9 — Pthreaded programs (paper's conclusion)";
+    Batcher_core.Report.pthreaded fmt (Batcher_core.Experiments.pthreaded ())
+  end;
+  if want "E10" then begin
+    section "E10 — Multiple implicitly batched structures in one program";
+    Batcher_core.Report.multi fmt (Batcher_core.Experiments.multi_structure ())
+  end;
+  if want "A5" then begin
+    section "A5 — Ablation: batching granularity (records per BATCHIFY)";
+    Batcher_core.Report.granularity fmt (Batcher_core.Experiments.ablate_granularity ())
+  end;
+  if want "A3" then begin
+    section "A3 — Ablation: batch-size cap";
+    Batcher_core.Report.ablation ~name:"A3 batch cap" fmt
+      (Batcher_core.Experiments.ablate_cap ())
+  end
+
+(* ---------- Bechamel micro-benchmarks ---------- *)
+
+(* One Test.make per experiment id: the kernel whose wall-clock cost
+   dominates regenerating that table. *)
+
+let sim_kernel ~initial ~p () =
+  let w =
+    Sim.Workload.parallel_ops
+      ~model:(Batched.Skiplist.sim_model ~initial_size:initial ~records_per_node:10 ())
+      ~records_per_node:10 ~n_nodes:100 ()
+  in
+  ignore (Sim.Batcher.run (Sim.Batcher.default ~p) w)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let t name f = Test.make ~name (Staged.stage f) in
+  [
+    t "E1:sim-batcher-skiplist-p8" (sim_kernel ~initial:1_000_000 ~p:8);
+    t "E2:sim-flatcomb-skiplist-p8" (fun () ->
+        let w =
+          Sim.Workload.parallel_ops
+            ~model:(Batched.Skiplist.sim_model ~initial_size:1_000_000 ~records_per_node:10 ())
+            ~records_per_node:10 ~n_nodes:100 ()
+        in
+        ignore (Sim.Flatcomb.run ~p:8 w));
+    t "E3:sim-counter-p8" (fun () ->
+        let w =
+          Sim.Workload.parallel_ops
+            ~model:(Batched.Counter.sim_model ())
+            ~records_per_node:1 ~n_nodes:1000 ()
+        in
+        ignore (Sim.Batcher.run (Sim.Batcher.default ~p:8) w));
+    t "E4:two-three-batch-insert-1k" (fun () ->
+        let ops = Array.init 1000 (fun i -> Batched.Two_three.insert_op ((i * 37) mod 4096)) in
+        ignore (Batched.Two_three.run_batch Batched.Two_three.empty ops));
+    t "E5:stack-batch-64k-pushes" (fun () ->
+        let s = Batched.Stack.create () in
+        Batched.Stack.run_batch s (Array.init 65_536 (fun i -> Batched.Stack.push i)));
+    t "E6:dag-lower-balanced-4096" (fun () ->
+        let b = Dag.Build.create () in
+        let f = Dag.Build.of_par b (Par.balanced ~leaf_cost:(fun _ -> 1) 4096) in
+        ignore (Dag.Build.finish b f));
+    t "E7:skiplist-seq-insert-1k" (fun () ->
+        let s = Batched.Skiplist.create () in
+        for i = 0 to 999 do
+          ignore (Batched.Skiplist.insert_seq s i)
+        done);
+    t "A1:sim-batcher-core-only-steals" (fun () ->
+        let w =
+          Sim.Workload.parallel_ops
+            ~model:(Batched.Counter.sim_model ())
+            ~records_per_node:1 ~n_nodes:500 ()
+        in
+        ignore
+          (Sim.Batcher.run
+             { (Sim.Batcher.default ~p:8) with Sim.Batcher.steal_policy = Sim.Batcher.Core_only }
+             w));
+    t "A2:sim-batcher-threshold-p" (fun () ->
+        let w =
+          Sim.Workload.parallel_ops
+            ~model:(Batched.Counter.sim_model ())
+            ~records_per_node:1 ~n_nodes:500 ()
+        in
+        ignore
+          (Sim.Batcher.run
+             { (Sim.Batcher.default ~p:8) with Sim.Batcher.launch_threshold = 8 }
+             w));
+    t "A3:sim-batcher-cap-1" (fun () ->
+        let w =
+          Sim.Workload.parallel_ops
+            ~model:(Batched.Counter.sim_model ())
+            ~records_per_node:1 ~n_nodes:500 ()
+        in
+        ignore
+          (Sim.Batcher.run { (Sim.Batcher.default ~p:8) with Sim.Batcher.batch_cap = 1 } w));
+  ]
+
+(* Real-runtime wall-clock micro-benchmarks (R1). The pool is reused
+   across iterations; worker count stays small for few-core machines. *)
+let real_runtime_tests pool =
+  let open Bechamel in
+  let t name f = Test.make ~name (Staged.stage f) in
+  [
+    t "R1:real-batcher-counter-1k-increments" (fun () ->
+        let counter = Batched.Counter.create () in
+        let b =
+          Runtime.Batcher_rt.create ~pool ~state:counter
+            ~run_batch:(fun _pool st ops -> Batched.Counter.run_batch st ops)
+            ()
+        in
+        Runtime.Pool.run pool (fun () ->
+            Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:1000 (fun _ ->
+                Runtime.Batcher_rt.batchify b (Batched.Counter.op 1))));
+    t "R1:real-pool-parallel-for-100k" (fun () ->
+        let acc = Array.make 256 0 in
+        Runtime.Pool.run pool (fun () ->
+            Runtime.Pool.parallel_for pool ~lo:0 ~hi:100_000 (fun i ->
+                let s = i land 255 in
+                acc.(s) <- acc.(s) + 1)));
+    t "R1:real-prefix-sums-100k" (fun () ->
+        let a = Array.init 100_000 (fun i -> i land 7) in
+        Runtime.Pool.run pool (fun () ->
+            ignore (Runtime.Pool.parallel_prefix_sums pool a)));
+  ]
+
+let run_bechamel tests =
+  let open Bechamel in
+  let open Toolkit in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"bench" ~fmt:"%s %s" tests)
+  in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Format.fprintf fmt "@.%-45s %16s@." "benchmark" "ns/run";
+  Format.fprintf fmt "%s@." (String.make 62 '-');
+  (match Hashtbl.find_opt merged (Measure.label Instance.monotonic_clock) with
+  | None -> Format.fprintf fmt "(no results)@."
+  | Some tbl ->
+      let rows =
+        Hashtbl.fold
+          (fun name ols acc ->
+            let est =
+              match Analyze.OLS.estimates ols with
+              | Some (e :: _) -> e
+              | _ -> nan
+            in
+            (name, est) :: acc)
+          tbl []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (name, est) -> Format.fprintf fmt "%-45s %16.1f@." name est)
+        rows)
+
+let () =
+  run_tables ();
+  if want "MICRO" then begin
+    section "MICRO — Bechamel kernels (one per experiment id) + real runtime (R1)";
+    let workers = if quick then 2 else 4 in
+    let pool = Runtime.Pool.create ~num_workers:workers in
+    run_bechamel (bechamel_tests () @ real_runtime_tests pool);
+    Runtime.Pool.teardown pool
+  end;
+  Format.pp_print_flush fmt ()

@@ -1,0 +1,1 @@
+bin/dagviz.ml: Array Batched Dag Format Printf Sim Sys

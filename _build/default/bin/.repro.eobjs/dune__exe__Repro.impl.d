@@ -1,0 +1,1 @@
+bin/repro.ml: Arg Batcher_core Cmd Cmdliner Format List Term

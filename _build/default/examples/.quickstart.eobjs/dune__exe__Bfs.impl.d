@@ -1,0 +1,1 @@
+examples/bfs.ml: Array Atomic Batched List Printf Queue Runtime Sys Util

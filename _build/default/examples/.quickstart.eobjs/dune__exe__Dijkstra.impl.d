@@ -1,0 +1,1 @@
+examples/dijkstra.ml: Array Batched List Mutex Printf Runtime Sys Util

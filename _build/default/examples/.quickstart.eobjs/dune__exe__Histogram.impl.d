@@ -1,0 +1,1 @@
+examples/histogram.ml: Array Batched Printf Runtime Sys Util

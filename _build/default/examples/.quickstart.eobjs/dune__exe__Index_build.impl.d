@@ -1,0 +1,1 @@
+examples/index_build.ml: Array Atomic Batched Batcher_core Int Printf Runtime Set Sys Util

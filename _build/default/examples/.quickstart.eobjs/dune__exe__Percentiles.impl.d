@@ -1,0 +1,1 @@
+examples/percentiles.ml: Array Batched Printf Runtime Sys Util

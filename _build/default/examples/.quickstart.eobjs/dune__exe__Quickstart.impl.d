@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Batched Batcher_core Printf Runtime Sys

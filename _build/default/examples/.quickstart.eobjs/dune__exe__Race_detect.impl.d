@@ -1,0 +1,1 @@
+examples/race_detect.ml: Array Atomic Batched List Printf Runtime Sys

@@ -1,0 +1,1 @@
+examples/skiplist_insert.ml: Array Batched Batcher_core Format Printf Runtime Sys Unix Util

@@ -1,0 +1,1 @@
+examples/skiplist_insert.mli:

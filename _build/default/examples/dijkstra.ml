@@ -1,0 +1,111 @@
+(* Single-source shortest paths with an implicitly batched priority
+   queue — the workload family (parallel SSSP via batched priority
+   queues) that the paper's introduction cites as the classic use of
+   batched data structures.
+
+   The queue holds (tentative distance, vertex) pairs with lazy deletion.
+   Settling a vertex relaxes its out-edges in a parallel loop whose body
+   performs a blocking batched INSERT — so queue inserts from many edges
+   are implicitly batched by the runtime, while the program reads like
+   textbook Dijkstra. The result is checked against a sequential oracle.
+
+   Run with: dune exec examples/dijkstra.exe [workers] [vertices] [degree] *)
+
+let build_graph ~rng ~vertices ~degree =
+  (* Random connected-ish digraph: a Hamiltonian backbone plus random
+     extra edges, weights in 1..20. *)
+  Array.init vertices (fun u ->
+      let backbone = if u + 1 < vertices then [ (u + 1, 1 + Util.Rng.int rng 20) ] else [] in
+      let extra =
+        List.init degree (fun _ ->
+            (Util.Rng.int rng vertices, 1 + Util.Rng.int rng 20))
+      in
+      Array.of_list (backbone @ extra))
+
+let sequential_dijkstra graph src =
+  let n = Array.length graph in
+  let dist = Array.make n max_int in
+  dist.(src) <- 0;
+  let q = ref (Batched.Pqueue.insert Batched.Pqueue.empty ~prio:0 ~value:src) in
+  let rec loop () =
+    match Batched.Pqueue.delete_min !q with
+    | None -> ()
+    | Some ((d, u), q') ->
+        q := q';
+        if d = dist.(u) then
+          Array.iter
+            (fun (v, w) ->
+              if d + w < dist.(v) then begin
+                dist.(v) <- d + w;
+                q := Batched.Pqueue.insert !q ~prio:(d + w) ~value:v
+              end)
+            graph.(u);
+        loop ()
+  in
+  loop ();
+  dist
+
+let batched_dijkstra pool graph src =
+  let n = Array.length graph in
+  let dist = Array.make n max_int in
+  dist.(src) <- 0;
+  let dist_lock = Mutex.create () in
+  let q = ref (Batched.Pqueue.insert Batched.Pqueue.empty ~prio:0 ~value:src) in
+  let batcher =
+    Runtime.Batcher_rt.create ~pool ~state:q
+      ~run_batch:(fun _pool q ops -> q := Batched.Pqueue.run_batch !q ops)
+      ()
+  in
+  Runtime.Pool.run pool (fun () ->
+      let rec settle () =
+        let e = Batched.Pqueue.extract_op () in
+        Runtime.Batcher_rt.batchify batcher e;
+        match e with
+        | Batched.Pqueue.Extract_min { extracted = None } -> ()
+        | Batched.Pqueue.Extract_min { extracted = Some (d, u) } ->
+            if d = dist.(u) then
+              (* Relax out-edges in parallel; inserts are implicitly
+                 batched with whatever else is pending. *)
+              Runtime.Pool.parallel_for pool ~grain:1 ~lo:0
+                ~hi:(Array.length graph.(u))
+                (fun i ->
+                  let v, w = graph.(u).(i) in
+                  let improved =
+                    Mutex.lock dist_lock;
+                    let better = d + w < dist.(v) in
+                    if better then dist.(v) <- d + w;
+                    Mutex.unlock dist_lock;
+                    better
+                  in
+                  if improved then
+                    Runtime.Batcher_rt.batchify batcher
+                      (Batched.Pqueue.insert_op ~prio:(d + w) ~value:v));
+            settle ()
+        | Batched.Pqueue.Insert _ -> assert false
+      in
+      settle ());
+  dist
+
+let () =
+  let workers = try int_of_string Sys.argv.(1) with _ -> 4 in
+  let vertices = try int_of_string Sys.argv.(2) with _ -> 2_000 in
+  let degree = try int_of_string Sys.argv.(3) with _ -> 4 in
+  let rng = Util.Rng.create ~seed:2014 in
+  let graph = build_graph ~rng ~vertices ~degree in
+  let pool = Runtime.Pool.create ~num_workers:workers in
+  let reference = sequential_dijkstra graph 0 in
+  let parallel = batched_dijkstra pool graph 0 in
+  let stats =
+    (* Re-derive how much batching happened by rerunning through a fresh
+       instrumented structure is unnecessary; the batcher above was local
+       to batched_dijkstra, so just report agreement. *)
+    Array.for_all2 (fun a b -> a = b) reference parallel
+  in
+  let reachable = Array.fold_left (fun acc d -> if d < max_int then acc + 1 else acc) 0 reference in
+  Printf.printf "vertices             : %d (degree ~%d)\n" vertices (degree + 1);
+  Printf.printf "reachable from src   : %d\n" reachable;
+  Printf.printf "distances agree      : %b\n" stats;
+  Printf.printf "max finite distance  : %d\n"
+    (Array.fold_left (fun acc d -> if d < max_int && d > acc then d else acc) 0 reference);
+  Runtime.Pool.teardown pool;
+  if not stats then exit 1

@@ -1,0 +1,70 @@
+(* Bulk index construction with an implicitly batched 2-3 tree — the
+   search-tree scenario of the paper's Section 3 (Paul-Vishkin-Wagener
+   batched dictionary).
+
+   A parallel loop inserts n keys; a second parallel phase issues mixed
+   membership queries against the finished index. All accesses go through
+   BATCHIFY; the tree code itself contains no concurrency control. The
+   index is verified against Stdlib.Set, and the Theorem-1 prediction
+   O((T1 + n lg n)/P + m lg n + T_inf) is printed alongside.
+
+   Run with: dune exec examples/index_build.exe [workers] [keys] *)
+
+module T23 = Batched.Two_three
+
+let () =
+  let workers = try int_of_string Sys.argv.(1) with _ -> 4 in
+  let n = try int_of_string Sys.argv.(2) with _ -> 5_000 in
+  let rng = Util.Rng.create ~seed:99 in
+  let keys = Array.init n (fun _ -> Util.Rng.int rng (4 * n)) in
+
+  let pool = Runtime.Pool.create ~num_workers:workers in
+  (* The 2-3 tree is functional; the batcher's state is a mutable root. *)
+  let root = ref T23.empty in
+  let batcher =
+    Runtime.Batcher_rt.create ~pool ~state:root
+      ~run_batch:(fun _pool root ops -> root := T23.run_batch !root ops)
+      ()
+  in
+
+  (* Phase 1: parallel bulk insert. *)
+  Runtime.Pool.run pool (fun () ->
+      Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:n (fun i ->
+          Runtime.Batcher_rt.batchify batcher (T23.insert_op keys.(i))));
+  T23.check_invariants !root;
+
+  (* Phase 2: parallel queries (present and absent keys). *)
+  let hits = Atomic.make 0 in
+  Runtime.Pool.run pool (fun () ->
+      Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:n (fun i ->
+          let probe = if i mod 2 = 0 then keys.(i) else (4 * n) + i in
+          let op = T23.mem_op probe in
+          Runtime.Batcher_rt.batchify batcher op;
+          match op with
+          | T23.Mem r -> if r.T23.found then ignore (Atomic.fetch_and_add hits 1)
+          | T23.Insert _ | T23.Delete _ -> assert false));
+
+  (* Oracle. *)
+  let module IS = Set.Make (Int) in
+  let expected = Array.fold_left (fun s k -> IS.add k s) IS.empty keys in
+  let agree = T23.to_sorted_list !root = IS.elements expected in
+  let stats = Runtime.Batcher_rt.stats batcher in
+
+  Printf.printf "workers          : %d\n" workers;
+  Printf.printf "keys inserted    : %d (%d distinct)\n" n (T23.size !root);
+  Printf.printf "tree height      : %d (lg n = %d)\n" (T23.height !root)
+    (Batcher_core.Theory.log2i (T23.size !root));
+  Printf.printf "queries hit      : %d / %d\n" (Atomic.get hits) n;
+  Printf.printf "matches Set      : %b\n" agree;
+  Printf.printf "batches          : %d (largest %d, %d ops total)\n"
+    stats.Runtime.Batcher_rt.batches stats.Runtime.Batcher_rt.max_batch
+    stats.Runtime.Batcher_rt.ops;
+  let bound =
+    Batcher_core.Theory.predict
+      (Batcher_core.Theory.search_tree_example ~initial:1 ~records_per_node:1)
+      ~p:workers ~t1:(2 * n) ~t_inf:(Batcher_core.Theory.log2i n) ~n_ops:(2 * n) ~m:2
+      ~n_records:(2 * n)
+  in
+  Printf.printf "Theorem 1 bound  : O(%d) model steps on %d workers\n" bound workers;
+  Runtime.Pool.teardown pool;
+  if not agree then exit 1

@@ -1,0 +1,1 @@
+lib/batched/counter.ml: Array Model Par

@@ -1,0 +1,1 @@
+lib/batched/counter.mli: Model

@@ -1,0 +1,1 @@
+lib/batched/fifo.ml: Array List Model Par Util

@@ -1,0 +1,1 @@
+lib/batched/fifo.mli: Model

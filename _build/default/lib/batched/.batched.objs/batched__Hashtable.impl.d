@@ -1,0 +1,1 @@
+lib/batched/hashtable.ml: Array Hashtbl List Model Par

@@ -1,0 +1,1 @@
+lib/batched/hashtable.mli: Model

@@ -1,0 +1,1 @@
+lib/batched/model.ml: Float Par

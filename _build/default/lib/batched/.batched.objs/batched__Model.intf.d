@@ -1,0 +1,1 @@
+lib/batched/model.mli: Par

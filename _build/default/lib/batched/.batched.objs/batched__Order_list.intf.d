@@ -1,0 +1,1 @@
+lib/batched/order_list.mli:

@@ -1,0 +1,1 @@
+lib/batched/ostree.ml: Array List Model Par

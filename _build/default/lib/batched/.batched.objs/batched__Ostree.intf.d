@@ -1,0 +1,1 @@
+lib/batched/ostree.mli: Model

@@ -1,0 +1,1 @@
+lib/batched/pqueue.ml: Array Model Par

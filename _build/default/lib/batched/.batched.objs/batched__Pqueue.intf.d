@@ -1,0 +1,1 @@
+lib/batched/pqueue.mli: Model

@@ -1,0 +1,1 @@
+lib/batched/skiplist.ml: Array Int64 List Model Par Util

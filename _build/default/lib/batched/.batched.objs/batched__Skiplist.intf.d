@@ -1,0 +1,1 @@
+lib/batched/skiplist.mli: Model

@@ -1,0 +1,1 @@
+lib/batched/sp_order.ml: Array Model Order_list Par

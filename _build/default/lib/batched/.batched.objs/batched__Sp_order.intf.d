@@ -1,0 +1,1 @@
+lib/batched/sp_order.mli: Model

@@ -1,0 +1,1 @@
+lib/batched/stack.ml: Array List Model Par Util

@@ -1,0 +1,1 @@
+lib/batched/stack.mli: Model

@@ -1,0 +1,1 @@
+lib/batched/two_three.mli: Model

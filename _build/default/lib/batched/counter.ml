@@ -1,0 +1,35 @@
+type t = { mutable count : int }
+
+let create ?(init = 0) () = { count = init }
+let value t = t.count
+
+type op = { amount : int; mutable result : int }
+
+let op amount = { amount; result = 0 }
+
+let run_batch t d =
+  (* Prefix sums over the amounts, seeded with the current value; the
+     parallel version has the same semantics, computed by Runtime.Pool. *)
+  let acc = ref t.count in
+  Array.iter
+    (fun o ->
+      acc := !acc + o.amount;
+      o.result <- !acc)
+    d;
+  t.count <- !acc
+
+let increment_seq t amount =
+  t.count <- t.count + amount;
+  t.count
+
+let sim_model ?(records_per_node = 1) () =
+  let reset () = () in
+  let batch_cost nodes =
+    let x = records_per_node * Array.length nodes in
+    (* Ladner-Fischer prefix sums: an up-sweep and a down-sweep over a
+       balanced tree of x unit-cost leaves. *)
+    let sweep = Par.balanced ~leaf_cost:(fun _ -> 1) (max 1 x) in
+    Par.series [ sweep; sweep ]
+  in
+  let seq_cost _ = max 1 records_per_node in
+  { Model.name = "counter"; reset; batch_cost; seq_cost }

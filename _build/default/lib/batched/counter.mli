@@ -1,0 +1,31 @@
+(** Batched shared counter — Figure 2 of the paper.
+
+    INCREMENT atomically adds an amount (possibly negative) and returns
+    the counter's value after the addition. The batched operation runs
+    prefix sums over the batch, so every operation in the batch receives
+    the value it would have seen in the linearization order given by batch
+    position — a linearizable counter without any atomics. *)
+
+type t
+
+val create : ?init:int -> unit -> t
+val value : t -> int
+
+type op = { amount : int; mutable result : int }
+
+val op : int -> op
+(** [op amount] makes an operation record with unset result. *)
+
+val run_batch : t -> op array -> unit
+(** Execute a batch: afterwards [(run_batch t d); d.(i).result] equals
+    the counter value after the first [i+1] amounts were applied, and
+    [value t] equals the old value plus the batch total. *)
+
+val increment_seq : t -> int -> int
+(** Sequential single-op baseline. *)
+
+val sim_model : ?records_per_node:int -> unit -> Model.t
+(** Simulator cost model: a batch of [x] records costs Θ(x) work and
+    Θ(lg x) span (two-pass parallel prefix sums); a lone sequential
+    increment costs 1. Each data-structure node carries
+    [records_per_node] increments (default 1). *)

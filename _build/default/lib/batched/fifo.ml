@@ -1,0 +1,142 @@
+type t = {
+  mutable data : int array;
+  mutable head : int;  (* index of the oldest element *)
+  mutable len : int;
+}
+
+let initial_capacity = 8
+
+let create ?(capacity = initial_capacity) () =
+  { data = Array.make (max 1 capacity) 0; head = 0; len = 0 }
+
+let size t = t.len
+let capacity t = Array.length t.data
+
+type dequeue_record = { mutable dequeued : int option }
+
+type op =
+  | Enqueue of int
+  | Dequeue of dequeue_record
+
+let enqueue v = Enqueue v
+let dequeue () = Dequeue { dequeued = None }
+
+let rebuild t new_capacity =
+  let new_capacity = max initial_capacity new_capacity in
+  if new_capacity <> Array.length t.data || t.head <> 0 then begin
+    let cap = Array.length t.data in
+    let data = Array.make new_capacity 0 in
+    for i = 0 to t.len - 1 do
+      data.(i) <- t.data.((t.head + i) mod cap)
+    done;
+    t.data <- data;
+    t.head <- 0
+  end
+
+let ensure t needed =
+  let cap = Array.length t.data in
+  if needed > cap then begin
+    let rec grow c = if c >= needed then c else grow (2 * c) in
+    rebuild t (grow cap)
+  end
+  else if needed < cap / 4 && cap > initial_capacity then begin
+    let rec shrink c = if needed < c / 4 && c > initial_capacity then shrink (c / 2) else c in
+    rebuild t (shrink cap)
+  end
+
+let run_batch t d =
+  let enqueues =
+    Array.fold_left (fun acc o -> match o with Enqueue _ -> acc + 1 | Dequeue _ -> acc) 0 d
+  in
+  ensure t (t.len + enqueues);
+  (* ENQUEUE phase: batch order, at the tail. *)
+  Array.iter
+    (function
+      | Enqueue v ->
+          let cap = Array.length t.data in
+          t.data.((t.head + t.len) mod cap) <- v;
+          t.len <- t.len + 1
+      | Dequeue _ -> ())
+    d;
+  (* DEQUEUE phase: batch order, oldest first. *)
+  Array.iter
+    (function
+      | Enqueue _ -> ()
+      | Dequeue r ->
+          if t.len = 0 then r.dequeued <- None
+          else begin
+            r.dequeued <- Some t.data.(t.head);
+            t.head <- (t.head + 1) mod Array.length t.data;
+            t.len <- t.len - 1
+          end)
+    d;
+  ensure t t.len
+
+let enqueue_seq t v = run_batch t [| Enqueue v |]
+
+let dequeue_seq t =
+  match dequeue () with
+  | Dequeue r as op ->
+      run_batch t [| op |];
+      r.dequeued
+  | Enqueue _ -> assert false
+
+let to_list t =
+  List.init t.len (fun i -> t.data.((t.head + i) mod Array.length t.data))
+
+let check_invariants t =
+  if t.len < 0 || t.len > Array.length t.data then failwith "Fifo: bad length";
+  if t.head < 0 || t.head >= Array.length t.data then failwith "Fifo: bad head";
+  let cap = Array.length t.data in
+  if cap > initial_capacity && t.len < cap / 4 then failwith "Fifo: underfull"
+
+let sim_model ?(records_per_node = 1) ?(dequeue_fraction = 0.0) ?(seed = 47) () =
+  (* Same shape as the stack's model: linear phases with parallel-combine
+     span, plus occasional rebuild cost. *)
+  let len = ref 0 in
+  let cap = ref initial_capacity in
+  let rng = ref (Util.Rng.create ~seed) in
+  let reset () =
+    len := 0;
+    cap := initial_capacity;
+    rng := Util.Rng.create ~seed
+  in
+  let draw x =
+    let deqs = ref 0 in
+    for _ = 1 to x do
+      if Util.Rng.float !rng 1.0 < dequeue_fraction then incr deqs
+    done;
+    (x - !deqs, !deqs)
+  in
+  let apply enq deq =
+    let rebuilds = ref [] in
+    len := !len + enq;
+    if !len > !cap then begin
+      rebuilds := Par.balanced ~leaf_cost:(fun _ -> 1) (max 1 !len) :: !rebuilds;
+      while !len > !cap do
+        cap := !cap * 2
+      done
+    end;
+    len := max 0 (!len - deq);
+    if !len < !cap / 4 && !cap > initial_capacity then begin
+      rebuilds := Par.balanced ~leaf_cost:(fun _ -> 1) (max 1 !len) :: !rebuilds;
+      while !len < !cap / 4 && !cap > initial_capacity do
+        cap := max initial_capacity (!cap / 2)
+      done
+    end;
+    !rebuilds
+  in
+  let batch_cost nodes =
+    let x = max 1 (records_per_node * Array.length nodes) in
+    let enq, deq = draw x in
+    let rebuilds = apply enq deq in
+    let phase = Par.balanced ~leaf_cost:(fun _ -> 1) x in
+    Par.series (rebuilds @ [ phase; phase ])
+  in
+  let seq_cost _ =
+    let enq, deq = draw records_per_node in
+    let rebuilds = apply enq deq in
+    max 1 records_per_node
+    + List.fold_left (fun acc pr -> acc + Par.work pr) 0 rebuilds
+  in
+  { Model.name = "fifo"; reset; batch_cost; seq_cost }

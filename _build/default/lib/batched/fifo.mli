@@ -1,0 +1,36 @@
+(** Batched FIFO queue on a growable ring buffer.
+
+    The batch semantics mirror the paper's stack: an ENQUEUE phase (batch
+    order) followed by a DEQUEUE phase (batch order, oldest first), with
+    the ring rebuilt — Θ(size) work, Θ(lg size) span in the cost model —
+    when it over- or under-fills. Amortized Θ(1) per operation, so
+    W(n) = Θ(n) and s(n) = Θ(lg P), same regime as the stack but FIFO,
+    which is what breadth-first frontier processing wants. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val size : t -> int
+val capacity : t -> int
+
+type dequeue_record = { mutable dequeued : int option }
+
+type op =
+  | Enqueue of int
+  | Dequeue of dequeue_record
+
+val enqueue : int -> op
+val dequeue : unit -> op
+
+val run_batch : t -> op array -> unit
+
+val enqueue_seq : t -> int -> unit
+val dequeue_seq : t -> int option
+
+val to_list : t -> int list
+(** Front (oldest) first. *)
+
+val check_invariants : t -> unit
+
+val sim_model :
+  ?records_per_node:int -> ?dequeue_fraction:float -> ?seed:int -> unit -> Model.t

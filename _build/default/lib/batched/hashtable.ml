@@ -1,0 +1,163 @@
+type t = {
+  mutable table : (int * int) list array;
+  mutable count : int;
+}
+
+let min_buckets = 16
+
+let create ?(initial_buckets = min_buckets) () =
+  { table = Array.make (max 1 initial_buckets) []; count = 0 }
+
+let length t = t.count
+let buckets t = Array.length t.table
+
+(* Fibonacci hashing on the key, reduced modulo the current table. *)
+let bucket_of t key =
+  let h = key * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 31)) land max_int mod Array.length t.table
+
+type insert_record = { i_key : int; i_value : int; mutable replaced : bool }
+type lookup_record = { l_key : int; mutable l_value : int option }
+type remove_record = { r_key : int; mutable removed : bool }
+
+type op =
+  | Insert of insert_record
+  | Lookup of lookup_record
+  | Remove of remove_record
+
+let insert ~key ~value = Insert { i_key = key; i_value = value; replaced = false }
+let lookup key = Lookup { l_key = key; l_value = None }
+let remove key = Remove { r_key = key; removed = false }
+
+let resize t new_size =
+  let old = t.table in
+  t.table <- Array.make (max min_buckets new_size) [];
+  Array.iter
+    (fun chain ->
+      List.iter
+        (fun (k, v) ->
+          let b = bucket_of t k in
+          t.table.(b) <- (k, v) :: t.table.(b))
+        chain)
+    old
+
+let maybe_resize t =
+  (* A whole batch lands before the check, so the table may need to grow
+     or shrink by several factors at once. *)
+  let n_buckets = Array.length t.table in
+  if t.count > 2 * n_buckets then begin
+    let rec grow s = if t.count > 2 * s then grow (2 * s) else s in
+    resize t (grow n_buckets)
+  end
+  else if t.count < n_buckets / 4 && n_buckets > min_buckets then begin
+    let rec shrink s =
+      if t.count < s / 4 && s > min_buckets then shrink (s / 2) else s
+    in
+    resize t (shrink n_buckets)
+  end
+
+let apply_one t op =
+  match op with
+  | Insert r ->
+      let b = bucket_of t r.i_key in
+      let chain = t.table.(b) in
+      if List.mem_assoc r.i_key chain then begin
+        r.replaced <- true;
+        t.table.(b) <- (r.i_key, r.i_value) :: List.remove_assoc r.i_key chain
+      end
+      else begin
+        t.table.(b) <- (r.i_key, r.i_value) :: chain;
+        t.count <- t.count + 1
+      end
+  | Lookup r -> r.l_value <- List.assoc_opt r.l_key t.table.(bucket_of t r.l_key)
+  | Remove r ->
+      let b = bucket_of t r.r_key in
+      let chain = t.table.(b) in
+      if List.mem_assoc r.r_key chain then begin
+        r.removed <- true;
+        t.table.(b) <- List.remove_assoc r.r_key chain;
+        t.count <- t.count - 1
+      end
+
+let run_batch t ops =
+  (* The parallel version groups records by bucket and walks buckets
+     concurrently; applying records in batch order per bucket gives the
+     same results, which is what this sequential core does. *)
+  Array.iter (apply_one t) ops;
+  maybe_resize t
+
+let insert_seq t ~key ~value =
+  match insert ~key ~value with
+  | Insert r as op ->
+      run_batch t [| op |];
+      r.replaced
+  | _ -> assert false
+
+let lookup_seq t key =
+  match lookup key with
+  | Lookup r as op ->
+      run_batch t [| op |];
+      r.l_value
+  | _ -> assert false
+
+let remove_seq t key =
+  match remove key with
+  | Remove r as op ->
+      run_batch t [| op |];
+      r.removed
+  | _ -> assert false
+
+let to_sorted_bindings t =
+  Array.to_list t.table |> List.concat |> List.sort compare
+
+let check_invariants t =
+  let seen = Hashtbl.create 64 in
+  Array.iteri
+    (fun b chain ->
+      List.iter
+        (fun (k, _) ->
+          if bucket_of t k <> b then failwith "Hashtable: entry in wrong bucket";
+          if Hashtbl.mem seen k then failwith "Hashtable: duplicate key";
+          Hashtbl.add seen k ())
+        chain)
+    t.table;
+  if Hashtbl.length seen <> t.count then failwith "Hashtable: count mismatch";
+  let n_buckets = Array.length t.table in
+  if t.count > 2 * n_buckets then failwith "Hashtable: overfull";
+  if n_buckets > min_buckets && t.count < n_buckets / 4 then
+    failwith "Hashtable: underfull"
+
+let sim_model ?(records_per_node = 1) () =
+  let count = ref 0 in
+  let n_buckets = ref min_buckets in
+  let reset () =
+    count := 0;
+    n_buckets := min_buckets
+  in
+  (* Inserts only (the model's worst case for growth). *)
+  let apply x =
+    count := !count + x;
+    if !count > 2 * !n_buckets then begin
+      let copy = Par.balanced ~leaf_cost:(fun _ -> 1) (max 1 !count) in
+      while !count > 2 * !n_buckets do
+        n_buckets := 2 * !n_buckets
+      done;
+      Some copy
+    end
+    else None
+  in
+  let batch_cost nodes =
+    let x = max 1 (records_per_node * Array.length nodes) in
+    let resize = apply x in
+    let partition = Par.leaf x in
+    let walk = Par.balanced ~leaf_cost:(fun _ -> 2) x in
+    match resize with
+    | Some copy -> Par.series [ partition; walk; copy ]
+    | None -> Par.series [ partition; walk ]
+  in
+  let seq_cost _ =
+    match apply records_per_node with
+    | Some copy -> (records_per_node * 3) + Par.work copy
+    | None -> records_per_node * 3
+  in
+  { Model.name = "hashtable"; reset; batch_cost; seq_cost }

@@ -1,0 +1,46 @@
+(** Batched hash table (separate chaining, table doubling).
+
+    The batched operation partitions the batch's records by bucket and
+    then processes buckets independently — disjoint buckets are the
+    parallelism a batched BOP exploits, with no per-bucket locks needed
+    since only one batch runs at a time. Within a batch, records are
+    applied in batch order per bucket, and lookups observe earlier
+    updates of the same batch. *)
+
+type t
+
+val create : ?initial_buckets:int -> unit -> t
+val length : t -> int
+val buckets : t -> int
+
+type insert_record = { i_key : int; i_value : int; mutable replaced : bool }
+type lookup_record = { l_key : int; mutable l_value : int option }
+type remove_record = { r_key : int; mutable removed : bool }
+
+type op =
+  | Insert of insert_record
+  | Lookup of lookup_record
+  | Remove of remove_record
+
+val insert : key:int -> value:int -> op
+val lookup : int -> op
+val remove : int -> op
+
+val run_batch : t -> op array -> unit
+
+val insert_seq : t -> key:int -> value:int -> bool
+(** [true] if an existing binding was replaced. *)
+
+val lookup_seq : t -> int -> int option
+val remove_seq : t -> int -> bool
+
+val to_sorted_bindings : t -> (int * int) list
+
+val check_invariants : t -> unit
+(** Every entry hashes to its bucket; no duplicate keys; load factor
+    within the resize window. *)
+
+val sim_model : ?records_per_node:int -> unit -> Model.t
+(** Cost model: a batch of x records costs a Θ(x) partition plus x
+    parallel constant-cost bucket operations; resizes add Θ(size) work
+    at Θ(lg size) span. *)

@@ -1,0 +1,83 @@
+(* Elements form a doubly-linked list; [label] gives O(1) comparison.
+   Insertion takes the midpoint of the neighbouring labels; when the gap
+   closes, all labels are redistributed with geometric spacing. *)
+
+type elt = {
+  mutable label : int;
+  mutable prev : elt option;
+  mutable next : elt option;
+  order : t;
+}
+
+and t = {
+  mutable head : elt option;
+  mutable count : int;
+  mutable relabel_count : int;
+}
+
+let gap = 1 lsl 16
+
+let create () =
+  let rec t = { head = None; count = 1; relabel_count = 0 }
+  and base = { label = 0; prev = None; next = None; order = t } in
+  t.head <- Some base;
+  (t, base)
+
+let size t = t.count
+let relabels t = t.relabel_count
+
+let relabel t =
+  t.relabel_count <- t.relabel_count + 1;
+  let rec go label = function
+    | None -> ()
+    | Some e ->
+        e.label <- label;
+        go (label + gap) e.next
+  in
+  go 0 t.head
+
+let insert_after t e =
+  let label =
+    match e.next with
+    | None -> e.label + gap
+    | Some succ ->
+        if succ.label - e.label >= 2 then e.label + ((succ.label - e.label) / 2)
+        else begin
+          relabel t;
+          match e.next with
+          | None -> e.label + gap
+          | Some succ -> e.label + ((succ.label - e.label) / 2)
+        end
+  in
+  let fresh = { label; prev = Some e; next = e.next; order = t } in
+  (match e.next with Some succ -> succ.prev <- Some fresh | None -> ());
+  e.next <- Some fresh;
+  t.count <- t.count + 1;
+  fresh
+
+let compare a b =
+  if a.order != b.order then invalid_arg "Order_list.compare: different orders";
+  Stdlib.compare a.label b.label
+
+let precedes a b = compare a b < 0
+
+let check_invariants t =
+  let rec go = function
+    | Some e -> begin
+        match e.next with
+        | Some succ ->
+            if succ.label <= e.label then failwith "Order_list: labels not increasing";
+            (match succ.prev with
+            | Some p when p == e -> ()
+            | _ -> failwith "Order_list: broken back link");
+            go e.next
+        | None -> ()
+      end
+    | None -> ()
+  in
+  go t.head;
+  let rec count acc = function
+    | None -> acc
+    | Some e -> count (acc + 1) e.next
+  in
+  if count 0 t.head <> t.count then failwith "Order_list: count mismatch"

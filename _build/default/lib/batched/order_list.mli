@@ -1,0 +1,38 @@
+(** Order-maintenance list: a total order supporting O(1) comparison and
+    (amortized) O(1) insertion after an existing element.
+
+    Substrate for the series-parallel (SP) order structure used by the
+    on-the-fly race-detection example — the application the paper's
+    introduction gives as the case where data-structure calls cannot be
+    batched by program restructuring (Bender et al., SPAA 2004;
+    Mellor-Crummey 1991).
+
+    Implementation: integer labels with geometric gaps; when a gap is
+    exhausted the whole list is relabeled (O(n), amortized away by the
+    gap factor). Elements are never removed. *)
+
+type t
+(** The order; holds all its elements. *)
+
+type elt
+(** An element of some order. *)
+
+val create : unit -> t * elt
+(** A fresh order containing exactly its base element. *)
+
+val insert_after : t -> elt -> elt
+(** [insert_after t e] inserts a new element immediately after [e]
+    (before any element that previously followed [e]). *)
+
+val compare : elt -> elt -> int
+(** Order comparison; both elements must belong to the same order. *)
+
+val precedes : elt -> elt -> bool
+(** [precedes a b] iff [a] is strictly before [b]. *)
+
+val size : t -> int
+val relabels : t -> int
+(** Number of full relabelings performed (for tests/diagnostics). *)
+
+val check_invariants : t -> unit
+(** Labels strictly increase along the list; raises [Failure]. *)

@@ -1,0 +1,204 @@
+(* Weight-balanced BST with the (Δ = 3, Γ = 2) parameters proven correct
+   for Haskell's Data.Set (Hirai & Yamamoto, JFP 2011). [sz] caches the
+   subtree size, giving O(lg n) rank and select. *)
+
+type t =
+  | Leaf
+  | Node of { l : t; k : int; r : t; sz : int }
+
+let empty = Leaf
+
+let size = function Leaf -> 0 | Node n -> n.sz
+
+let node l k r = Node { l; k; r; sz = size l + size r + 1 }
+
+let delta = 3
+let gamma = 2
+
+(* [r] may be one element too heavy relative to [l]. *)
+let balance_left l k r =
+  if delta * (size l + 1) >= size r + 1 then node l k r
+  else begin
+    match r with
+    | Node { l = rl; k = rk; r = rr; _ } ->
+        if size rl + 1 < gamma * (size rr + 1) then
+          (* single left rotation *)
+          node (node l k rl) rk rr
+        else begin
+          match rl with
+          | Node { l = rll; k = rlk; r = rlr; _ } ->
+              (* double rotation *)
+              node (node l k rll) rlk (node rlr rk rr)
+          | Leaf -> assert false
+        end
+    | Leaf -> assert false
+  end
+
+(* Mirror image: [l] may be too heavy. *)
+let balance_right l k r =
+  if delta * (size r + 1) >= size l + 1 then node l k r
+  else begin
+    match l with
+    | Node { l = ll; k = lk; r = lr; _ } ->
+        if size lr + 1 < gamma * (size ll + 1) then node ll lk (node lr k r)
+        else begin
+          match lr with
+          | Node { l = lrl; k = lrk; r = lrr; _ } ->
+              node (node ll lk lrl) lrk (node lrr k r)
+          | Leaf -> assert false
+        end
+    | Leaf -> assert false
+  end
+
+let rec mem t key =
+  match t with
+  | Leaf -> false
+  | Node n -> if key = n.k then true else if key < n.k then mem n.l key else mem n.r key
+
+let rec insert t key =
+  match t with
+  | Leaf -> node Leaf key Leaf
+  | Node n ->
+      if key = n.k then t
+      else if key < n.k then balance_right (insert n.l key) n.k n.r
+      else balance_left n.l n.k (insert n.r key)
+
+let rec delete_min t =
+  match t with
+  | Leaf -> invalid_arg "Ostree.delete_min: empty"
+  | Node { l = Leaf; k; r; _ } -> (k, r)
+  | Node n ->
+      let m, l' = delete_min n.l in
+      (m, balance_left l' n.k n.r)
+
+let rec delete t key =
+  match t with
+  | Leaf -> Leaf
+  | Node n ->
+      if key < n.k then balance_left (delete n.l key) n.k n.r
+      else if key > n.k then balance_right n.l n.k (delete n.r key)
+      else begin
+        match n.l, n.r with
+        | Leaf, r -> r
+        | l, Leaf -> l
+        | l, r ->
+            let s, r' = delete_min r in
+            balance_right l s r'
+      end
+
+let rec rank t key =
+  match t with
+  | Leaf -> 0
+  | Node n ->
+      if key <= n.k then rank n.l key
+      else size n.l + 1 + rank n.r key
+
+let rec select t i =
+  match t with
+  | Leaf -> None
+  | Node n ->
+      let sl = size n.l in
+      if i < sl then select n.l i
+      else if i = sl then Some n.k
+      else select n.r (i - sl - 1)
+
+let rec to_sorted_list = function
+  | Leaf -> []
+  | Node n -> to_sorted_list n.l @ (n.k :: to_sorted_list n.r)
+
+let check_invariants t =
+  let rec check = function
+    | Leaf -> 0
+    | Node n ->
+        let sl = check n.l and sr = check n.r in
+        if n.sz <> sl + sr + 1 then failwith "Ostree: size cache wrong";
+        if not (delta * (sl + 1) >= sr + 1 && delta * (sr + 1) >= sl + 1) then
+          failwith "Ostree: weight balance violated";
+        n.sz
+  in
+  ignore (check t);
+  let rec ascending = function
+    | a :: (b :: _ as rest) ->
+        if a >= b then failwith "Ostree: keys out of order";
+        ascending rest
+    | _ -> ()
+  in
+  ascending (to_sorted_list t)
+
+type insert_record = { key : int; mutable inserted : bool }
+type delete_record = { del_key : int; mutable deleted : bool }
+type rank_record = { rank_of : int; mutable rank_result : int }
+type select_record = { index : int; mutable selected : int option }
+
+type op =
+  | Insert of insert_record
+  | Delete of delete_record
+  | Rank of rank_record
+  | Select of select_record
+
+let insert_op key = Insert { key; inserted = false }
+let delete_op key = Delete { del_key = key; deleted = false }
+let rank_op key = Rank { rank_of = key; rank_result = 0 }
+let select_op index = Select { index; selected = None }
+
+let run_batch t d =
+  (* Median-first inserts (the PVW recursion shape), then deletes, then
+     read-only queries over the net result. *)
+  let records =
+    Array.to_list d
+    |> List.filter_map (function Insert r -> Some r | _ -> None)
+    |> List.sort_uniq (fun (a : insert_record) b -> compare a.key b.key)
+    |> Array.of_list
+  in
+  let rec insert_range t lo hi =
+    if lo >= hi then t
+    else begin
+      let mid = (lo + hi) / 2 in
+      let r = records.(mid) in
+      let before = mem t r.key in
+      let t = insert t r.key in
+      if not before then r.inserted <- true;
+      let t = insert_range t lo mid in
+      insert_range t (mid + 1) hi
+    end
+  in
+  let t = insert_range t 0 (Array.length records) in
+  let t =
+    Array.fold_left
+      (fun t op ->
+        match op with
+        | Delete r ->
+            if mem t r.del_key then begin
+              r.deleted <- true;
+              delete t r.del_key
+            end
+            else t
+        | _ -> t)
+      t d
+  in
+  Array.iter
+    (function
+      | Insert _ | Delete _ -> ()
+      | Rank r -> r.rank_result <- rank t r.rank_of
+      | Select s -> s.selected <- select t s.index)
+    d;
+  t
+
+let sim_model ~initial_size ?(records_per_node = 1) () =
+  let sz = ref initial_size in
+  let reset () = sz := initial_size in
+  let batch_cost nodes =
+    let x = max 1 (records_per_node * Array.length nodes) in
+    let lg_x = Model.log2_cost x in
+    let lg_n = Model.log2_cost !sz in
+    let sort = Par.balanced ~leaf_cost:(fun _ -> lg_x) x in
+    let work_phase = Par.balanced ~leaf_cost:(fun _ -> lg_n) x in
+    sz := !sz + x;
+    Par.series [ sort; work_phase ]
+  in
+  let seq_cost _ =
+    let c = Model.log2_cost !sz + 2 in
+    sz := !sz + records_per_node;
+    max 1 (records_per_node * c)
+  in
+  { Model.name = "ostree"; reset; batch_cost; seq_cost }

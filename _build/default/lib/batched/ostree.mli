@@ -1,0 +1,53 @@
+(** Batched order-statistic tree: a weight-balanced binary search tree
+    whose nodes carry subtree sizes, supporting rank and select — the
+    augmented-dictionary regime of the bulk-update search trees the
+    paper's related work cites (weight-balanced B-trees of Erb,
+    Kobitzsch and Sanders).
+
+    Rebalancing uses single/double rotations with the classic
+    (weight, ratio) = (5/2, 3/2)-ish integer parameters; all operations
+    are O(lg n). The batched operation applies inserts (median-first,
+    as in the 2-3 tree), then deletes, then answers rank/select/mem
+    queries against the net result. *)
+
+type t
+
+val empty : t
+val size : t -> int
+val mem : t -> int -> bool
+val insert : t -> int -> t
+val delete : t -> int -> t
+
+val rank : t -> int -> int
+(** [rank t k] = number of stored keys strictly less than [k]. *)
+
+val select : t -> int -> int option
+(** [select t i] = the i-th smallest key (0-based), if [0 <= i < size]. *)
+
+val to_sorted_list : t -> int list
+
+val check_invariants : t -> unit
+(** Sizes consistent, keys ordered, weight balance respected. *)
+
+type insert_record = { key : int; mutable inserted : bool }
+type delete_record = { del_key : int; mutable deleted : bool }
+type rank_record = { rank_of : int; mutable rank_result : int }
+type select_record = { index : int; mutable selected : int option }
+
+type op =
+  | Insert of insert_record
+  | Delete of delete_record
+  | Rank of rank_record
+  | Select of select_record
+
+val insert_op : int -> op
+val delete_op : int -> op
+val rank_op : int -> op
+val select_op : int -> op
+
+val run_batch : t -> op array -> t
+
+val sim_model :
+  initial_size:int -> ?records_per_node:int -> unit -> Model.t
+(** Same cost regime as the 2-3 tree: sort + parallel searches +
+    insertion recursion, all O(lg n) per record. *)

@@ -1,0 +1,102 @@
+(* Leftist heap keyed on [prio]; [rank] is the null-path length. *)
+type t =
+  | E
+  | N of { rank : int; prio : int; value : int; left : t; right : t }
+
+let empty = E
+
+let rank = function E -> 0 | N n -> n.rank
+
+let rec size = function E -> 0 | N n -> 1 + size n.left + size n.right
+
+let is_empty t = t = E
+
+let node prio value a b =
+  if rank a >= rank b then N { rank = rank b + 1; prio; value; left = a; right = b }
+  else N { rank = rank a + 1; prio; value; left = b; right = a }
+
+let rec meld a b =
+  match a, b with
+  | E, t | t, E -> t
+  | N na, N nb ->
+      if na.prio <= nb.prio then node na.prio na.value na.left (meld na.right b)
+      else node nb.prio nb.value nb.left (meld a nb.right)
+
+let insert t ~prio ~value = meld t (N { rank = 1; prio; value; left = E; right = E })
+
+let find_min = function
+  | E -> None
+  | N n -> Some (n.prio, n.value)
+
+let delete_min = function
+  | E -> None
+  | N n -> Some ((n.prio, n.value), meld n.left n.right)
+
+type extract_record = { mutable extracted : (int * int) option }
+
+type op =
+  | Insert of int * int
+  | Extract_min of extract_record
+
+let insert_op ~prio ~value = Insert (prio, value)
+let extract_op () = Extract_min { extracted = None }
+
+let run_batch t d =
+  (* Build the batch's private heap, meld once, then serve extractions. *)
+  let batch_heap =
+    Array.fold_left
+      (fun h op ->
+        match op with
+        | Insert (prio, value) -> insert h ~prio ~value
+        | Extract_min _ -> h)
+      E d
+  in
+  let t = ref (meld t batch_heap) in
+  Array.iter
+    (function
+      | Insert _ -> ()
+      | Extract_min r -> begin
+          match delete_min !t with
+          | None -> r.extracted <- None
+          | Some (kv, t') ->
+              r.extracted <- Some kv;
+              t := t'
+        end)
+    d;
+  !t
+
+let rec to_sorted_list t =
+  match delete_min t with
+  | None -> []
+  | Some (kv, t') -> kv :: to_sorted_list t'
+
+let check_invariants t =
+  let rec check = function
+    | E -> ()
+    | N n ->
+        (* Heap order. *)
+        (match n.left with N l when l.prio < n.prio -> failwith "Pqueue: heap order" | _ -> ());
+        (match n.right with N r when r.prio < n.prio -> failwith "Pqueue: heap order" | _ -> ());
+        (* Leftist property and rank correctness. *)
+        if rank n.left < rank n.right then failwith "Pqueue: leftist property";
+        if n.rank <> rank n.right + 1 then failwith "Pqueue: rank";
+        check n.left;
+        check n.right
+  in
+  check t
+
+let sim_model ?(records_per_node = 1) () =
+  let sz = ref 0 in
+  let reset () = sz := 0 in
+  let batch_cost nodes =
+    let x = max 1 (records_per_node * Array.length nodes) in
+    let lg_n = Model.log2_cost (max 2 (!sz + x)) in
+    sz := !sz + x;
+    Par.balanced ~leaf_cost:(fun _ -> lg_n) x
+  in
+  let seq_cost _ =
+    let c = Model.log2_cost (max 2 !sz) + 1 in
+    sz := !sz + records_per_node;
+    max 1 (records_per_node * c)
+  in
+  { Model.name = "pqueue"; reset; batch_cost; seq_cost }

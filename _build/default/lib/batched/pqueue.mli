@@ -1,0 +1,41 @@
+(** Batched min-priority queue, after the batched parallel priority
+    queues the paper cites for shortest-path algorithms (Brodal et al.,
+    Sanders). Implemented as a leftist heap: a batch of inserts is built
+    into a private heap and melded in one O(lg n) step; extract-mins are
+    served in priority order within the batch. Used by the Dijkstra
+    example. *)
+
+type t
+
+val empty : t
+val size : t -> int
+val is_empty : t -> bool
+
+val insert : t -> prio:int -> value:int -> t
+val find_min : t -> (int * int) option
+(** [(prio, value)] with least prio, or [None]. *)
+
+val delete_min : t -> ((int * int) * t) option
+
+type extract_record = { mutable extracted : (int * int) option }
+
+type op =
+  | Insert of int * int  (** prio, value *)
+  | Extract_min of extract_record
+
+val insert_op : prio:int -> value:int -> op
+val extract_op : unit -> op
+
+val run_batch : t -> op array -> t
+(** All inserts of the batch take effect first; then extract-mins are
+    served in batch order (each sees the previous extractions). *)
+
+val to_sorted_list : t -> (int * int) list
+(** Ascending priority; ties in arbitrary but deterministic order. *)
+
+val check_invariants : t -> unit
+
+val sim_model : ?records_per_node:int -> unit -> Model.t
+(** Cost model: a batch of x records costs a parallel combine of x leaves
+    of lg(size) each — heap construction + meld for inserts, tournament
+    extraction for deletes. *)

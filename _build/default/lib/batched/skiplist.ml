@@ -1,0 +1,281 @@
+let max_level = 32
+
+(* The head sentinel holds no key; [forward.(l)] is the first real node at
+   level l. Real nodes have towers of length [height]. *)
+type node = {
+  key : int;
+  forward : node option array;
+}
+
+type t = {
+  head : node;
+  mutable level : int;  (* highest level in use, >= 1 *)
+  mutable size : int;
+  rng : Util.Rng.t;
+}
+
+let create ?(seed = 0xBA7C4) () =
+  {
+    head = { key = min_int; forward = Array.make max_level None };
+    level = 1;
+    size = 0;
+    rng = Util.Rng.create ~seed;
+  }
+
+let length t = t.size
+
+(* Geometric heights with p = 1/2, capped. *)
+let random_height t =
+  let bits = Util.Rng.next64 t.rng in
+  let rec count h =
+    if h >= max_level then max_level
+    else if Int64.logand (Int64.shift_right_logical bits (h - 1)) 1L = 1L then count (h + 1)
+    else h
+  in
+  count 1
+
+type insert_record = { key : int; mutable inserted : bool }
+type mem_record = { mem_key : int; mutable found : bool }
+type delete_record = { del_key : int; mutable deleted : bool }
+
+type op =
+  | Insert of insert_record
+  | Mem of mem_record
+  | Delete of delete_record
+
+let insert key = Insert { key; inserted = false }
+let mem key = Mem { mem_key = key; found = false }
+let delete key = Delete { del_key = key; deleted = false }
+
+(* Fill [update] with, per level, the rightmost node whose key is < key,
+   starting the search at [start] from level [t.level - 1]. *)
+let search_update t (update : node array) key =
+  let x = ref t.head in
+  for l = t.level - 1 downto 0 do
+    let rec advance () =
+      match !x.forward.(l) with
+      | Some nxt when nxt.key < key ->
+          x := nxt;
+          advance ()
+      | _ -> ()
+    in
+    advance ();
+    update.(l) <- !x
+  done
+
+let splice t (update : node array) key =
+  let h = random_height t in
+  if h > t.level then begin
+    for l = t.level to h - 1 do
+      update.(l) <- t.head
+    done;
+    t.level <- h
+  end;
+  let fresh = { key; forward = Array.make h None } in
+  for l = 0 to h - 1 do
+    fresh.forward.(l) <- update.(l).forward.(l);
+    update.(l).forward.(l) <- Some fresh
+  done;
+  t.size <- t.size + 1
+
+let insert_seq t key =
+  let update = Array.make max_level t.head in
+  search_update t update key;
+  let duplicate =
+    match update.(0).forward.(0) with
+    | Some nxt -> nxt.key = key
+    | None -> false
+  in
+  if duplicate then false
+  else begin
+    splice t update key;
+    true
+  end
+
+let mem_seq t key =
+  let x = ref t.head in
+  for l = t.level - 1 downto 0 do
+    let rec advance () =
+      match !x.forward.(l) with
+      | Some nxt when nxt.key < key ->
+          x := nxt;
+          advance ()
+      | _ -> ()
+    in
+    advance ()
+  done;
+  match !x.forward.(0) with Some nxt -> nxt.key = key | None -> false
+
+let delete_seq t key =
+  let update = Array.make max_level t.head in
+  search_update t update key;
+  match update.(0).forward.(0) with
+  | Some victim when victim.key = key ->
+      (* Unlink the victim's tower at every level it participates in. *)
+      let h = Array.length victim.forward in
+      for l = 0 to h - 1 do
+        match update.(l).forward.(l) with
+        | Some n when n == victim -> update.(l).forward.(l) <- victim.forward.(l)
+        | _ -> ()
+      done;
+      (* Lower the list level past now-empty levels. *)
+      while t.level > 1 && t.head.forward.(t.level - 1) = None do
+        t.level <- t.level - 1
+      done;
+      t.size <- t.size - 1;
+      true
+  | _ -> false
+
+let run_batch t d =
+  (* Step 1 (build): collect and sort the batch's insert keys. Step 2
+     (search) + step 3 (splice): ascending order lets each search resume
+     from the previous splice point, the sequential analogue of the
+     paper's parallel search phase. *)
+  let inserts =
+    Array.to_list d
+    |> List.filter_map (function
+         | Insert r -> Some r
+         | Mem _ | Delete _ -> None)
+  in
+  let sorted =
+    List.sort (fun (a : insert_record) b -> compare a.key b.key) inserts
+  in
+  let update = Array.make max_level t.head in
+  List.iter
+    (fun (r : insert_record) ->
+      search_update t update r.key;
+      let duplicate =
+        match update.(0).forward.(0) with
+        | Some nxt -> nxt.key = r.key
+        | None -> false
+      in
+      if not duplicate then begin
+        splice t update r.key;
+        r.inserted <- true
+      end)
+    sorted;
+  (* Delete phase. *)
+  Array.iter
+    (function
+      | Delete r -> r.deleted <- delete_seq t r.del_key
+      | Insert _ | Mem _ -> ())
+    d;
+  (* Membership phase observes the batch's net effect. *)
+  Array.iter
+    (function
+      | Insert _ | Delete _ -> ()
+      | Mem r -> r.found <- mem_seq t r.mem_key)
+    d
+
+(* The paper's BOP with a caller-supplied parallel-for. Step 1 (build):
+   sort the batch's insert keys. Step 2 (search): every key's update
+   array is computed concurrently — searches only read the list. Step 3
+   (splice): sequential over ascending keys; a saved update entry may be
+   stale where an earlier (smaller) key of the same batch spliced in
+   front of it, so each level pointer is re-advanced before linking. *)
+let run_batch_with ~pfor t d =
+  let inserts =
+    Array.to_list d
+    |> List.filter_map (function
+         | Insert r -> Some r
+         | Mem _ | Delete _ -> None)
+    |> List.sort (fun (a : insert_record) b -> compare a.key b.key)
+    |> Array.of_list
+  in
+  let x = Array.length inserts in
+  let updates = Array.init x (fun _ -> [||]) in
+  (* Parallel search phase. *)
+  pfor x (fun i ->
+      let u = Array.make max_level t.head in
+      search_update t u inserts.(i).key;
+      updates.(i) <- u);
+  (* Sequential splice phase with revalidation. *)
+  Array.iteri
+    (fun i (r : insert_record) ->
+      let u = updates.(i) in
+      (* New levels may have appeared since the search. *)
+      let u =
+        if Array.length u < max_level then Array.make max_level t.head else u
+      in
+      for l = t.level - 1 downto 0 do
+        let rec advance () =
+          match u.(l).forward.(l) with
+          | Some nxt when nxt.key < r.key ->
+              u.(l) <- nxt;
+              advance ()
+          | _ -> ()
+        in
+        advance ()
+      done;
+      let duplicate =
+        match u.(0).forward.(0) with
+        | Some nxt -> nxt.key = r.key
+        | None -> false
+      in
+      if not duplicate then begin
+        splice t u r.key;
+        r.inserted <- true
+      end)
+    inserts;
+  (* Delete and membership phases, as in the sequential core. *)
+  Array.iter
+    (function
+      | Delete r -> r.deleted <- delete_seq t r.del_key
+      | Insert _ | Mem _ -> ())
+    d;
+  Array.iter
+    (function
+      | Insert _ | Delete _ -> ()
+      | Mem r -> r.found <- mem_seq t r.mem_key)
+    d
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some (n : node) -> go (n.key :: acc) n.forward.(0)
+  in
+  go [] t.head.forward.(0)
+
+let check_invariants t =
+  (* Level-0 keys strictly ascending and size consistent. *)
+  let keys = to_list t in
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        if a >= b then failwith "Skiplist: keys not strictly ascending";
+        sorted rest
+    | _ -> ()
+  in
+  sorted keys;
+  if List.length keys <> t.size then failwith "Skiplist: size mismatch";
+  (* Every level-l list is a subsequence of the level-0 list. *)
+  for l = 1 to t.level - 1 do
+    let rec walk = function
+      | None -> ()
+      | Some (n : node) ->
+          if not (List.mem n.key keys) then failwith "Skiplist: orphan tower";
+          if Array.length n.forward <= l then failwith "Skiplist: tower too short";
+          walk n.forward.(l)
+    in
+    walk t.head.forward.(l)
+  done
+
+let sim_model ~initial_size ?(records_per_node = 1) ?(search_scale = 1.0) () =
+  let size = ref initial_size in
+  let reset () = size := initial_size in
+  let search_cost () = Model.scaled (Model.log2_cost !size) search_scale in
+  let batch_cost nodes =
+    let x = records_per_node * Array.length nodes in
+    let x = max 1 x in
+    let per_search = search_cost () in
+    let build = Par.leaf x in
+    let searches = Par.balanced ~leaf_cost:(fun _ -> per_search) x in
+    let splice_phase = Par.leaf x in
+    size := !size + x;
+    Par.series [ build; searches; splice_phase ]
+  in
+  let seq_cost _ =
+    let c = search_cost () + 2 in
+    size := !size + records_per_node;
+    max 1 (records_per_node * c)
+  in
+  { Model.name = "skiplist"; reset; batch_cost; seq_cost }

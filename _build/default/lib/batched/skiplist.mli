@@ -1,0 +1,70 @@
+(** Batched skip list — the data structure of the paper's Section 7
+    evaluation.
+
+    The batched insert (BOP) follows the paper's three steps: (1) build a
+    small list from the batch's records, (2) search for every record's
+    position in the main list, (3) splice. In the real implementation the
+    records are sorted and spliced with a resuming finger, so a batch of
+    [x] keys costs O(x + lg N) expected beyond the per-key splice work;
+    the simulator cost model exposes the parallel shape (searches in
+    parallel, build/splice sequential), exactly as the prototype in the
+    paper did.
+
+    Tower heights come from a deterministic private stream, so runs are
+    reproducible. Keys are a set: inserting a present key is a no-op. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+
+val length : t -> int
+
+type insert_record = { key : int; mutable inserted : bool }
+type mem_record = { mem_key : int; mutable found : bool }
+type delete_record = { del_key : int; mutable deleted : bool }
+
+type op =
+  | Insert of insert_record
+  | Mem of mem_record
+  | Delete of delete_record
+
+val insert : int -> op
+val mem : int -> op
+val delete : int -> op
+
+val run_batch : t -> op array -> unit
+(** Phase order within a batch: inserts, then deletes, then membership
+    tests (which observe the batch's net effect). *)
+
+val run_batch_with :
+  pfor:(int -> (int -> unit) -> unit) -> t -> op array -> unit
+(** Like {!run_batch}, but the search phase runs through [pfor count body]
+    — the paper's actual BOP: searches into the main list proceed in
+    parallel (they are read-only), and the splice phase is sequential,
+    revalidating each saved search position past splices of smaller keys
+    from the same batch. Pass [Runtime.Pool.parallel_for pool ~lo:0
+    ~hi:count] (suitably wrapped) to parallelize for real; behavior is
+    identical to {!run_batch} for any correct [pfor]. *)
+
+val insert_seq : t -> int -> bool
+(** Single-key insert; [true] if the key was new. The sequential baseline
+    of Figure 5. *)
+
+val mem_seq : t -> int -> bool
+
+val delete_seq : t -> int -> bool
+(** [true] if the key was present (and is now removed). *)
+
+val to_list : t -> int list
+(** Ascending key order. *)
+
+val check_invariants : t -> unit
+(** Validates sortedness and tower consistency; raises [Failure]. *)
+
+val sim_model :
+  initial_size:int -> ?records_per_node:int -> ?search_scale:float -> unit -> Model.t
+(** Cost model for inserting fresh keys into a list that starts with
+    [initial_size] elements. A batch of [x] records costs: build Θ(x)
+    sequential; searches [x] parallel leaves of ~[search_scale]·lg(size)
+    each; splice Θ(x) sequential. A lone sequential insert costs
+    ~[search_scale]·lg(size) + O(1). *)

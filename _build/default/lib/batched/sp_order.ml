@@ -1,0 +1,108 @@
+type strand = {
+  id : int;
+  eng : Order_list.elt;
+  heb : Order_list.elt;
+}
+
+type t = {
+  english : Order_list.t;
+  hebrew : Order_list.t;
+  mutable next_id : int;
+}
+
+let create () =
+  let english, eng0 = Order_list.create () in
+  let hebrew, heb0 = Order_list.create () in
+  let t = { english; hebrew; next_id = 1 } in
+  (t, { id = 0; eng = eng0; heb = heb0 })
+
+let fresh t ~eng ~heb =
+  let s = { id = t.next_id; eng; heb } in
+  t.next_id <- t.next_id + 1;
+  s
+
+(* Fork of strand s: English gets s < left < right < continuation,
+   Hebrew gets s < right < left < continuation. Descendants of a child
+   are always inserted right after that child, so they stay inside its
+   window in both orders — which is exactly what makes "before in both
+   orders" coincide with serial precedence. *)
+let fork_seq t s =
+  let eng_l = Order_list.insert_after t.english s.eng in
+  let eng_r = Order_list.insert_after t.english eng_l in
+  let eng_c = Order_list.insert_after t.english eng_r in
+  let heb_r = Order_list.insert_after t.hebrew s.heb in
+  let heb_l = Order_list.insert_after t.hebrew heb_r in
+  let heb_c = Order_list.insert_after t.hebrew heb_l in
+  let left = fresh t ~eng:eng_l ~heb:heb_l in
+  let right = fresh t ~eng:eng_r ~heb:heb_r in
+  let continuation = fresh t ~eng:eng_c ~heb:heb_c in
+  (left, right, continuation)
+
+let precedes_seq _t a b =
+  a.id <> b.id
+  && Order_list.precedes a.eng b.eng
+  && Order_list.precedes a.heb b.heb
+
+let parallel_seq t a b =
+  a.id <> b.id && (not (precedes_seq t a b)) && not (precedes_seq t b a)
+
+type fork_record = {
+  fork_of : strand;
+  mutable left : strand option;
+  mutable right : strand option;
+  mutable continuation : strand option;
+}
+
+type query_record = {
+  q_a : strand;
+  q_b : strand;
+  mutable q_precedes : bool;
+}
+
+type op =
+  | Fork of fork_record
+  | Precedes of query_record
+
+let fork_op s = Fork { fork_of = s; left = None; right = None; continuation = None }
+let precedes_op a b = Precedes { q_a = a; q_b = b; q_precedes = false }
+
+let run_batch t ops =
+  (* Fork phase, then query phase: a query issued concurrently with a
+     fork observes it, as the suspended caller would after resuming. *)
+  Array.iter
+    (function
+      | Fork r ->
+          let left, right, continuation = fork_seq t r.fork_of in
+          r.left <- Some left;
+          r.right <- Some right;
+          r.continuation <- Some continuation
+      | Precedes _ -> ())
+    ops;
+  Array.iter
+    (function
+      | Fork _ -> ()
+      | Precedes q -> q.q_precedes <- precedes_seq t q.q_a q.q_b)
+    ops
+
+let strands t = t.next_id
+
+let check_invariants t =
+  Order_list.check_invariants t.english;
+  Order_list.check_invariants t.hebrew;
+  if Order_list.size t.english <> Order_list.size t.hebrew then
+    failwith "Sp_order: order sizes diverged"
+
+let sim_model () =
+  let n = ref 1 in
+  let reset () = n := 1 in
+  let batch_cost nodes =
+    let x = max 1 (Array.length nodes) in
+    n := !n + x;
+    (* Per-record constant label work, parallel combine over the batch. *)
+    Par.balanced ~leaf_cost:(fun _ -> 2) x
+  in
+  let seq_cost _ =
+    incr n;
+    2
+  in
+  { Model.name = "sp_order"; reset; batch_cost; seq_cost }

@@ -1,0 +1,71 @@
+(** On-the-fly series-parallel (SP) order maintenance — the race-detector
+    substrate from the paper's introduction (after Bender, Fineman,
+    Gilbert, Leiserson, SPAA 2004).
+
+    The executing fork-join program is carved into {e strands}; every
+    fork of a strand [s] produces a [left] strand, a [right] strand and
+    the [continuation] strand that runs after both join. The structure
+    maintains two total orders — the {e English} order (left subtree
+    first) and the {e Hebrew} order (right subtree first) — such that
+    strand [a] serially precedes strand [b] iff [a] is before [b] in
+    {e both} orders; if the orders disagree, the strands are logically
+    parallel, and an unordered pair of conflicting memory accesses is a
+    determinacy race.
+
+    Fork and query operations are exposed as operation records so the
+    whole structure can sit behind [Runtime.Batcher_rt] / [Sim.Batcher]:
+    this is the paper's canonical example of a structure whose accesses
+    {e cannot} be batched by restructuring the program, because control
+    flow blocks on each update. The implementation is entirely free of
+    concurrency control, as implicit batching permits. *)
+
+type t
+type strand
+
+val create : unit -> t * strand
+(** The structure and the root strand of the computation. *)
+
+val fork_seq : t -> strand -> strand * strand * strand
+(** [fork_seq t s] splits strand [s]: returns [(left, right,
+    continuation)]. Direct (non-batched) interface. *)
+
+val precedes_seq : t -> strand -> strand -> bool
+(** [precedes_seq t a b] iff [a] serially precedes [b]. Reflexively
+    false: a strand does not precede itself. *)
+
+val parallel_seq : t -> strand -> strand -> bool
+(** Logically parallel: neither precedes the other and not equal. *)
+
+type fork_record = {
+  fork_of : strand;
+  mutable left : strand option;
+  mutable right : strand option;
+  mutable continuation : strand option;
+}
+
+type query_record = {
+  q_a : strand;
+  q_b : strand;
+  mutable q_precedes : bool;
+}
+
+type op =
+  | Fork of fork_record
+  | Precedes of query_record
+
+val fork_op : strand -> op
+val precedes_op : strand -> strand -> op
+
+val run_batch : t -> op array -> unit
+(** Forks are performed first (in batch order), then queries — so a
+    query in a batch observes the batch's forks, matching the blocking
+    semantics a program sees through BATCHIFY. *)
+
+val strands : t -> int
+
+val check_invariants : t -> unit
+
+val sim_model : unit -> Model.t
+(** Cost model: forks are O(1) amortized label insertions; queries are
+    O(1) label comparisons; a batch of x records costs Θ(x) work with
+    Θ(lg x) span (the per-record work parallelizes). *)

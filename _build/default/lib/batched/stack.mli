@@ -1,0 +1,42 @@
+(** Batched LIFO stack with amortized bounds — the table-doubling example
+    of Section 3.
+
+    The underlying store is a growable/shrinkable array. A batch is split
+    into a PUSH phase followed by a POP phase (as in the paper); when the
+    combined result does not fit (or leaves the table too empty) the table
+    is rebuilt, which the cost model charges as a high-work, low-span
+    (highly parallel) batch — exercising the amortized form of the
+    performance theorem. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val size : t -> int
+val capacity : t -> int
+
+type pop_record = { mutable popped : int option }
+
+type op =
+  | Push of int
+  | Pop of pop_record
+
+val push : int -> op
+val pop : unit -> op
+
+val run_batch : t -> op array -> unit
+(** PUSH phase in batch order, then POP phase in batch order (LIFO:
+    later pops receive deeper elements). *)
+
+val push_seq : t -> int -> unit
+val pop_seq : t -> int option
+
+val to_list : t -> int list
+(** Bottom to top. *)
+
+val sim_model :
+  ?records_per_node:int -> ?pop_fraction:float -> ?seed:int -> unit -> Model.t
+(** Cost model: a batch of [x] records costs Θ(x) work / Θ(lg x) span,
+    plus Θ(current size) work / Θ(lg size) span whenever the batch
+    triggers a table rebuild. Which records are pops is drawn
+    deterministically from [seed] with probability [pop_fraction]
+    (default 0: all pushes). *)

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Batched List Printf Sim Theory Util

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Experiments Format List Printf String Util

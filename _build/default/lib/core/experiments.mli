@@ -1,0 +1,156 @@
+(** Drivers that regenerate every figure and table of the paper's
+    evaluation (and this repo's extension experiments). Each returns
+    structured rows; {!Report} renders them. The experiment ids match
+    DESIGN.md's per-experiment index. *)
+
+(** E1 — Figure 5: BATCHER vs sequential skip-list insertion throughput,
+    one row per initial list size. Throughput is records per simulated
+    timestep; [seq_throughput] is worker-count independent. *)
+type fig5_row = {
+  initial : int;
+  seq_throughput : float;
+  batcher : (int * float * float) list;
+      (** (P, mean throughput, sample stddev) over the seed set *)
+}
+
+val fig5 :
+  ?n_records:int ->
+  ?records_per_node:int ->
+  ?ps:int list ->
+  ?sizes:int list ->
+  ?seed:int ->
+  ?seeds:int list ->
+  unit ->
+  fig5_row list
+(** Defaults are the paper's parameters: 100,000 insertions, 100 records
+    per BATCHIFY, initial sizes 20K/100K/1M/10M/100M, P = 1..8. Each
+    BATCHER point averages over [seeds] (default: three seeds derived
+    from [seed]); the sequential baseline is deterministic. *)
+
+(** E2 — flat-combining comparison on the skip-list workload. *)
+type flatcomb_row = {
+  fc_p : int;
+  batcher_tp : float;
+  flatcomb_tp : float;
+  seq_tp : float;
+}
+
+val flatcomb :
+  ?initial:int ->
+  ?n_records:int ->
+  ?records_per_node:int ->
+  ?ps:int list ->
+  ?seed:int ->
+  unit ->
+  flatcomb_row list
+
+(** E3/E4/E5 — the Section 3 example structures: BATCHER vs the
+    lock-serialized concurrent model vs sequential, plus the Theorem-1
+    prediction ratio. *)
+type example_row = {
+  ex_p : int;
+  batcher_makespan : int;
+  lock_makespan : int;  (** idealized mutex: Ω(n) floor, no contention cost *)
+  cas_makespan : int;  (** contended primitive: Ω(P) per access worst case *)
+  seq_makespan : int;
+  bound_ratio : float;  (** measured / Theorem-1 prediction *)
+}
+
+val counter_example : ?n:int -> ?ps:int list -> ?seed:int -> unit -> example_row list
+val tree_example :
+  ?initial:int -> ?n:int -> ?ps:int list -> ?seed:int -> unit -> example_row list
+val stack_example : ?n:int -> ?ps:int list -> ?seed:int -> unit -> example_row list
+
+(** E6 — Theorem 1 validation sweep. *)
+type theory_row = {
+  th_ds : string;
+  th_workload : string;
+  th_p : int;
+  measured : int;
+  predicted : int;
+  ratio : float;
+}
+
+val theory_table : ?seed:int -> unit -> theory_row list
+
+(** E8 — Theorem 3 validation: for a τ sweep, compare the measured
+    makespan against (T1 + W + n·τ)/P + T∞ + S_τ(n) + m·τ, where W and
+    the τ-trimmed span S_τ are {e measured} from the run's batch log. *)
+type tau_row = {
+  t3_p : int;
+  t3_tau : int;
+  t3_long_batches : int;  (** batches with s_A > τ *)
+  t3_trimmed_span : int;  (** measured S_τ(n) *)
+  t3_measured : int;
+  t3_predicted : int;
+  t3_ratio : float;
+}
+
+val theorem3 : ?seed:int -> unit -> tau_row list
+
+(** E7 — Lemma 2: maximum number of batches any operation waits for. *)
+type lemma2_row = {
+  l2_workload : string;
+  l2_p : int;
+  max_trapped_batches : int;
+}
+
+val lemma2 : ?seed:int -> unit -> lemma2_row list
+
+(** A1/A2/A3 — scheduler ablations on the skip-list workload. *)
+type ablation_row = {
+  ab_variant : string;
+  ab_p : int;
+  ab_makespan : int;
+  ab_steals : int;
+  ab_batches : int;
+}
+
+val ablate_steal : ?seed:int -> unit -> ablation_row list
+val ablate_launch : ?seed:int -> unit -> ablation_row list
+val ablate_cap : ?seed:int -> unit -> ablation_row list
+
+val ablate_overhead : ?seed:int -> unit -> ablation_row list
+(** A4 — LAUNCHBATCH overhead model: the paper's tree-shaped
+    setup+cleanup vs a fused single stage vs a zero-overhead oracle,
+    quantifying the conclusion's "can the O(lg P) overhead be reduced?"
+    question. *)
+
+(** E9 — the conclusion's pthreaded scenario: statically threaded
+    programs whose only dynamic parallelism is the batched structure. *)
+type pthread_row = {
+  pt_threads : int;
+  pt_batcher : int;
+  pt_lock : int;
+  pt_seq : int;
+}
+
+val pthreaded : ?ops_per_thread:int -> ?seed:int -> unit -> pthread_row list
+
+(** E10 — several implicitly batched structures used from one program
+    (counter + skip list + hash table, interleaved). The simulator keeps
+    one batch in flight per structure, so batches of different
+    structures overlap — the composition the modular theorem prices by
+    summing per-structure terms. *)
+type multi_row = {
+  mu_p : int;
+  mu_batcher : int;
+  mu_lock : int;
+  mu_seq : int;
+  mu_batches : int;
+}
+
+val multi_structure : ?n:int -> ?seed:int -> unit -> multi_row list
+
+(** A5 — batching granularity: the paper's "100 insertion records per
+    BATCHIFY" knob, swept. Few records per call = launch overhead per
+    record dominates; many = overhead amortizes. *)
+type granularity_row = {
+  g_records_per_node : int;
+  g_p : int;
+  g_throughput : float;
+  g_seq_throughput : float;
+}
+
+val ablate_granularity :
+  ?initial:int -> ?n_records:int -> ?seed:int -> unit -> granularity_row list

@@ -1,0 +1,14 @@
+(** Plain-text rendering of experiment results, one printer per
+    experiment; the bench harness and CLI print through these so the
+    output matches the rows/series the paper reports. *)
+
+val fig5 : Format.formatter -> Experiments.fig5_row list -> unit
+val flatcomb : Format.formatter -> Experiments.flatcomb_row list -> unit
+val example : name:string -> Format.formatter -> Experiments.example_row list -> unit
+val theory : Format.formatter -> Experiments.theory_row list -> unit
+val theorem3 : Format.formatter -> Experiments.tau_row list -> unit
+val lemma2 : Format.formatter -> Experiments.lemma2_row list -> unit
+val ablation : name:string -> Format.formatter -> Experiments.ablation_row list -> unit
+val pthreaded : Format.formatter -> Experiments.pthread_row list -> unit
+val multi : Format.formatter -> Experiments.multi_row list -> unit
+val granularity : Format.formatter -> Experiments.granularity_row list -> unit

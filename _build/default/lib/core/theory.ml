@@ -1,0 +1,89 @@
+let log2i n = Batched.Model.log2_cost n
+
+let ws_bound ~p ~t1 ~t_inf = (t1 / p) + t_inf
+
+let batcher_bound ~p ~t1 ~t_inf ~n ~m ~w ~s =
+  ((t1 + w + (n * s)) / p) + (m * s) + t_inf
+
+let batcher_bound_tau ~p ~t1 ~t_inf ~n ~m ~w ~s_tau ~tau =
+  ((t1 + w + (n * tau)) / p) + t_inf + s_tau + (m * tau)
+
+type example = {
+  name : string;
+  w : n:int -> int;
+  s : p:int -> n:int -> int;
+}
+
+(* Constants below mirror the cost models in lib/batched: e.g. the
+   counter's BOP is two balanced sweeps over x leaves (work ~4x, span
+   ~2(2 lg x)), the skip list searches cost lg N per record around
+   sequential build/splice phases of x each. *)
+
+let counter_example ~records_per_node =
+  {
+    name = "counter";
+    w = (fun ~n -> 4 * n);
+    s = (fun ~p ~n:_ -> (4 * log2i (p * records_per_node)) + 2);
+  }
+
+let skiplist_example ~initial ~records_per_node =
+  let lg_final ~n = log2i (initial + n) in
+  {
+    name = "skiplist";
+    w = (fun ~n -> n * (lg_final ~n + 6));
+    s =
+      (fun ~p ~n ->
+        let x = p * records_per_node in
+        lg_final ~n + (2 * x) + (2 * log2i x) + 2);
+  }
+
+let search_tree_example ~initial ~records_per_node =
+  let lg_final ~n = log2i (initial + n) in
+  {
+    name = "two_three";
+    w = (fun ~n -> n * ((2 * lg_final ~n) + log2i n + 6));
+    s =
+      (fun ~p ~n ->
+        let x = p * records_per_node in
+        (3 * (lg_final ~n + log2i x)) + (6 * log2i x) + 6);
+  }
+
+let stack_example ~records_per_node =
+  {
+    name = "stack";
+    w = (fun ~n -> 6 * n);
+    s = (fun ~p ~n:_ -> (4 * log2i (p * records_per_node)) + 2);
+  }
+
+let ostree_example ~initial ~records_per_node =
+  let lg_final ~n = log2i (initial + n) in
+  {
+    name = "ostree";
+    w = (fun ~n -> n * (lg_final ~n + log2i n + 4));
+    s =
+      (fun ~p ~n ->
+        let x = p * records_per_node in
+        (2 * (lg_final ~n + log2i x)) + (4 * log2i x) + 4);
+  }
+
+let sp_order_example ~records_per_node =
+  {
+    name = "sp_order";
+    w = (fun ~n -> 6 * n);
+    s = (fun ~p ~n:_ -> (2 * log2i (p * records_per_node)) + 4);
+  }
+
+let hashtable_example ~records_per_node =
+  {
+    name = "hashtable";
+    w = (fun ~n -> 8 * n);
+    s =
+      (fun ~p ~n ->
+        let x = p * records_per_node in
+        x + (2 * log2i x) + (2 * log2i (max 2 n)) + 4);
+  }
+
+let predict ex ~p ~t1 ~t_inf ~n_ops ~m ~n_records =
+  let w = ex.w ~n:n_records in
+  let s = ex.s ~p ~n:n_records in
+  batcher_bound ~p ~t1 ~t_inf ~n:n_ops ~m ~w ~s

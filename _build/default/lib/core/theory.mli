@@ -1,0 +1,57 @@
+(** The paper's performance bounds, as computable predictions.
+
+    Used by the Theorem-1 validation experiment (E6): simulated makespans
+    are divided by these predictions; the theorem holds iff the ratio is
+    bounded by a constant across workloads, structures and worker counts. *)
+
+val log2i : int -> int
+(** ceil(log2 (max 2 n)). *)
+
+val ws_bound : p:int -> t1:int -> t_inf:int -> int
+(** The classic work-stealing bound T1/P + T∞ (Blumofe-Leiserson). *)
+
+val batcher_bound : p:int -> t1:int -> t_inf:int -> n:int -> m:int -> w:int -> s:int -> int
+(** Theorem 1: (T1 + W(n) + n·s(n))/P + m·s(n) + T∞. *)
+
+val batcher_bound_tau :
+  p:int -> t1:int -> t_inf:int -> n:int -> m:int -> w:int -> s_tau:int -> tau:int -> int
+(** Theorem 3, the τ-parameterized form underlying Theorem 1:
+    (T1 + W(n) + n·τ)/P + T∞ + S_τ(n) + m·τ, for any τ ≥ lg P, where
+    S_τ(n) is the τ-trimmed span (Definition 1). *)
+
+(** Data-structure bound parameters (W(n) and s(n)) for the structures
+    analyzed in Section 3, with constants calibrated to this repo's cost
+    models. *)
+type example = {
+  name : string;
+  w : n:int -> int;  (** data-structure work for n operations *)
+  s : p:int -> n:int -> int;  (** span of a size-P batch *)
+}
+
+val counter_example : records_per_node:int -> example
+(** W = Θ(n), s = Θ(lg P): two prefix-sum sweeps. *)
+
+val skiplist_example : initial:int -> records_per_node:int -> example
+(** W = Θ(n lg N), s = Θ(lg N + lg P). *)
+
+val search_tree_example : initial:int -> records_per_node:int -> example
+(** W = Θ(n (lg n + lg N)), s = Θ(lg N + lg P · lg P). *)
+
+val stack_example : records_per_node:int -> example
+(** Amortized: W = Θ(n), s = Θ(lg P). *)
+
+val ostree_example : initial:int -> records_per_node:int -> example
+(** Order-statistic (weight-balanced) tree: same regime as the 2-3 tree,
+    W = Θ(n (lg n + lg N)), s = Θ(lg N + lg P). *)
+
+val sp_order_example : records_per_node:int -> example
+(** SP-order maintenance: O(1) amortized label work per fork/query, so
+    W = Θ(n), s = Θ(lg P). *)
+
+val hashtable_example : records_per_node:int -> example
+(** Amortized (table doubling): W = Θ(n), s = Θ(lg P + lg n) — the lg n
+    span shows up only on resize batches. *)
+
+val predict : example -> p:int -> t1:int -> t_inf:int -> n_ops:int -> m:int -> n_records:int -> int
+(** Instantiate Theorem 1 for a workload: n/m count operation nodes, the
+    structure terms use total records. *)

@@ -1,0 +1,1 @@
+lib/dag/dag.ml: Array Format List Par Queue

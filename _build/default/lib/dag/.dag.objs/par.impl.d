@@ -1,0 +1,1 @@
+lib/dag/par.ml: Array Format List

@@ -1,0 +1,93 @@
+(** Execution DAGs for dynamically multithreaded computations.
+
+    A DAG node is a sequential subcomputation with an integer cost
+    [c >= 1] — semantically a chain of [c] unit-time nodes of the paper's
+    model, which keeps large simulated computations compact without
+    changing work/span accounting. Core DAGs contain two node kinds:
+    ordinary {!const:Core} nodes and {!const:Ds} nodes, the implicitly
+    batched data-structure operations (each carries an index into the
+    workload's operation table). Batch DAGs (lowered from {!Par.t}) contain
+    only [Core] nodes; they are distinguished by which DAG object they
+    belong to, mirroring Invariant 3 of the paper.
+
+    A DAG is frozen after construction: all mutable scheduling state
+    (remaining predecessor counts, remaining node cost) lives in the
+    simulator so one DAG can be executed many times. *)
+
+type kind =
+  | Core
+  | Ds of int  (** data-structure node; payload is an operation-table index *)
+
+type t = private {
+  costs : int array;
+  kinds : kind array;
+  succs : int array array;
+  pred_count : int array;
+  source : int;
+  sink : int;
+}
+
+val size : t -> int
+(** Number of nodes. *)
+
+val work : t -> int
+(** Sum of node costs. *)
+
+val span : t -> int
+(** Cost-weighted longest source-to-sink path. *)
+
+val ds_count : t -> int
+(** [n] of the paper: number of [Ds] nodes. *)
+
+val ds_depth : t -> int
+(** [m] of the paper: maximum number of [Ds] nodes on any directed path. *)
+
+val topological_order : t -> int array
+
+val to_dot : ?name:string -> Format.formatter -> t -> unit
+(** Graphviz rendering: core nodes as boxes labeled with their cost,
+    data-structure nodes as red ellipses labeled with the op index. *)
+
+val validate : t -> unit
+(** Checks: acyclicity, unique source (no preds) and sink (no succs), all
+    nodes reachable from the source, predecessor counts consistent with
+    successor lists. Raises [Failure] with a description otherwise. *)
+
+(** Imperative DAG construction from composable fragments. *)
+module Build : sig
+  type builder
+
+  type frag = { entry : int; exit_ : int }
+  (** A sub-DAG with a single entry and a single exit node. *)
+
+  val create : unit -> builder
+
+  val node_count : builder -> int
+  (** Nodes created so far; node ids are assigned sequentially, so this
+      lets callers record id ranges of sub-DAGs as they are built. *)
+
+  val single : builder -> ?cost:int -> kind -> frag
+  (** One node; [cost] defaults to 1. *)
+
+  val link : builder -> int -> int -> unit
+  (** [link b u v] adds edge [u -> v]. *)
+
+  val in_series : builder -> frag list -> frag
+  (** Sequential composition (nonempty list). *)
+
+  val in_parallel : builder -> frag list -> frag
+  (** Parallel composition via balanced binary fork and join trees of
+      unit-cost [Core] nodes — the binary-forking assumption. A singleton
+      list is returned unchanged. *)
+
+  val of_par : builder -> Par.t -> frag
+  (** Lower a cost expression. The result's work and span equal
+      [Par.work]/[Par.span] exactly. *)
+
+  val parallel_for : builder -> int -> (int -> frag) -> frag
+  (** [parallel_for b k body] composes [body 0 .. body (k-1)] in parallel. *)
+
+  val finish : builder -> frag -> t
+  (** Freeze, using the fragment's entry/exit as source/sink, and
+      [validate] the result. *)
+end

@@ -1,0 +1,1 @@
+lib/runtime/batcher_rt.mli: Pool

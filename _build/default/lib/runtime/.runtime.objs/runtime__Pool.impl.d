@@ -1,0 +1,1 @@
+lib/runtime/pool.ml: Array Atomic Domain Effect Fun List Unix Util Wsdeque

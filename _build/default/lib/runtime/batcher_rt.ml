@@ -1,0 +1,107 @@
+type ('s, 'op) t = {
+  pool : Pool.t;
+  st : 's;
+  run_batch : Pool.t -> 's -> 'op array -> unit;
+  batch_cap : int;
+  pending : ('op * (unit -> unit)) list Atomic.t;
+  flag : bool Atomic.t;
+  n_batches : int Atomic.t;
+  n_ops : int Atomic.t;
+  max_batch : int Atomic.t;
+}
+
+type stats = {
+  batches : int;
+  ops : int;
+  max_batch : int;
+}
+
+let create ?batch_cap ~pool ~state ~run_batch () =
+  let cap =
+    match batch_cap with
+    | Some c ->
+        if c < 1 then invalid_arg "Batcher_rt.create: batch_cap >= 1";
+        c
+    | None -> Pool.num_workers pool
+  in
+  {
+    pool;
+    st = state;
+    run_batch;
+    batch_cap = cap;
+    pending = Atomic.make [];
+    flag = Atomic.make false;
+    n_batches = Atomic.make 0;
+    n_ops = Atomic.make 0;
+    max_batch = Atomic.make 0;
+  }
+
+let state t = t.st
+
+let stats t =
+  {
+    batches = Atomic.get t.n_batches;
+    ops = Atomic.get t.n_ops;
+    max_batch = Atomic.get t.max_batch;
+  }
+
+let rec atomic_push t record =
+  let old = Atomic.get t.pending in
+  if not (Atomic.compare_and_set t.pending old (record :: old)) then
+    atomic_push t record
+
+let rec atomic_take_all t =
+  let old = Atomic.get t.pending in
+  if old = [] then []
+  else if Atomic.compare_and_set t.pending old [] then old
+  else atomic_take_all t
+
+let rec atomic_put_back t records =
+  match records with
+  | [] -> ()
+  | _ ->
+      let old = Atomic.get t.pending in
+      if not (Atomic.compare_and_set t.pending old (records @ old)) then
+        atomic_put_back t records
+
+let rec atomic_max a v =
+  let old = Atomic.get a in
+  if v > old && not (Atomic.compare_and_set a old v) then atomic_max a v
+
+let rec try_launch t =
+  if Atomic.get t.pending <> [] && Atomic.compare_and_set t.flag false true
+  then begin
+    let all = atomic_take_all t in
+    if all = [] then begin
+      (* Lost a race with a concurrent launch drain; retry. *)
+      Atomic.set t.flag false;
+      try_launch t
+    end
+    else begin
+      let rec split k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | r :: rest -> split (k - 1) (r :: acc) rest
+      in
+      let batch, overflow = split t.batch_cap [] all in
+      atomic_put_back t overflow;
+      (* LAUNCHBATCH, as a pool task: compact records into the working
+         set, run the BOP, mark records done (resume their tasks), clear
+         the flag, and relaunch if operations accrued meanwhile. *)
+      Pool.async t.pool (fun () ->
+          let arr = Array.of_list (List.map fst batch) in
+          t.run_batch t.pool t.st arr;
+          Atomic.incr t.n_batches;
+          ignore (Atomic.fetch_and_add t.n_ops (Array.length arr));
+          atomic_max t.max_batch (Array.length arr);
+          List.iter (fun (_, resume) -> resume ()) batch;
+          Atomic.set t.flag false;
+          try_launch t)
+      |> ignore
+    end
+  end
+
+let batchify t op =
+  Pool.suspend t.pool (fun resume ->
+      atomic_push t (op, resume);
+      try_launch t)

@@ -1,0 +1,47 @@
+(** The real BATCHER runtime: implicit batching over a {!Pool}.
+
+    A program task calls {!batchify} exactly like a blocking call to a
+    concurrent structure; the runtime parks the operation record with the
+    task's continuation, and whenever records are pending with no batch in
+    flight, one worker wins a CAS on the global batch flag and launches
+    the user-supplied batched operation (BOP) on a snapshot of at most
+    [batch_cap] records. At most one batch runs at a time (Invariant 1),
+    so [run_batch] needs no locks or atomics of its own, and it may use
+    the pool's [parallel_for]/[fork_join] freely.
+
+    Deviation from the paper's scheduler (documented in DESIGN.md): this
+    runtime keeps one task deque per worker rather than separate core and
+    batch deques — suspended callers' workers help with any available
+    work, helper-lock style. The dual-deque discipline, which matters for
+    the proof but not for the interface, is modeled exactly in [Sim].
+
+    [run_batch] must not itself call {!batchify} on the same structure
+    (the paper's model likewise forbids nested data-structure calls from
+    inside a BOP). *)
+
+type ('s, 'op) t
+
+val create :
+  ?batch_cap:int ->
+  pool:Pool.t ->
+  state:'s ->
+  run_batch:(Pool.t -> 's -> 'op array -> unit) ->
+  unit ->
+  ('s, 'op) t
+(** [batch_cap] defaults to the pool's worker count (Invariant 2). *)
+
+val batchify : ('s, 'op) t -> 'op -> unit
+(** Submit one operation and block (suspending the task, not the worker)
+    until the batch containing it has completed. Results are communicated
+    through mutable fields of ['op], as in the paper's operation records.
+    Must be called from within a pool task. *)
+
+val state : ('s, 'op) t -> 's
+
+type stats = {
+  batches : int;
+  ops : int;
+  max_batch : int;
+}
+
+val stats : ('s, 'op) t -> stats

@@ -1,0 +1,285 @@
+type task = unit -> unit
+
+type 'a outcome = ('a, exn) result
+
+type 'a promise_state =
+  | Done of 'a outcome
+  | Waiting of ('a outcome -> unit) list
+
+type 'a promise = 'a promise_state Atomic.t
+
+type t = {
+  deques : task Wsdeque.t array;
+  mutable domains : unit Domain.t array;
+  stop : bool Atomic.t;
+  n : int;
+  seed : int;
+}
+
+(* Which worker (index) the current domain is acting as. *)
+let worker_key : int option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let worker_index () = !(Domain.DLS.get worker_key)
+
+let num_workers t = t.n
+
+type _ Effect.t +=
+  | Suspend : (('a, unit) Effect.Deep.continuation -> unit) -> 'a Effect.t
+
+let push_on t id task = Wsdeque.push t.deques.(id) task
+
+(* Push on the deque of whichever worker is running us; fall back to
+   worker 0 for external callers. *)
+let push_current t task =
+  let id = match worker_index () with Some id -> id | None -> 0 in
+  push_on t id task
+
+let handler : (unit, unit) Effect.Deep.handler =
+  {
+    retc = Fun.id;
+    exnc = raise;
+    effc =
+      (fun (type c) (eff : c Effect.t) ->
+        match eff with
+        | Suspend f ->
+            Some (fun (k : (c, unit) Effect.Deep.continuation) -> f k)
+        | _ -> None);
+  }
+
+let exec (task : task) = Effect.Deep.match_with task () handler
+
+let find_task t my_id rng =
+  match Wsdeque.pop t.deques.(my_id) with
+  | Some task -> Some task
+  | None ->
+      if t.n <= 1 then None
+      else begin
+        (* A handful of random steal attempts per call. *)
+        let rec attempt tries =
+          if tries = 0 then None
+          else begin
+            let victim = (my_id + 1 + Util.Rng.int rng (t.n - 1)) mod t.n in
+            match Wsdeque.steal t.deques.(victim) with
+            | Some task -> Some task
+            | None -> attempt (tries - 1)
+          end
+        in
+        attempt (2 * t.n)
+      end
+
+(* Failed-steal backoff: spin briefly, then sleep — essential on machines
+   with fewer cores than workers. *)
+let backoff misses =
+  if misses < 16 then Domain.cpu_relax ()
+  else if misses < 64 then
+    for _ = 1 to 32 do
+      Domain.cpu_relax ()
+    done
+  else Unix.sleepf 0.000_2
+
+let worker_loop t my_id =
+  let r = Domain.DLS.get worker_key in
+  r := Some my_id;
+  let rng = Util.Rng.stream ~seed:t.seed ~index:my_id in
+  let misses = ref 0 in
+  while not (Atomic.get t.stop) do
+    match find_task t my_id rng with
+    | Some task ->
+        misses := 0;
+        exec task
+    | None ->
+        incr misses;
+        backoff !misses
+  done;
+  r := None
+
+let create ~num_workers =
+  if num_workers < 1 then invalid_arg "Pool.create: num_workers >= 1";
+  let t =
+    {
+      deques = Array.init num_workers (fun _ -> Wsdeque.create ());
+      domains = [||];
+      stop = Atomic.make false;
+      n = num_workers;
+      seed = 0x600D5EED;
+    }
+  in
+  t.domains <-
+    Array.init (num_workers - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let teardown t =
+  Atomic.set t.stop true;
+  Array.iter Domain.join t.domains;
+  t.domains <- [||]
+
+(* ---- promises ---- *)
+
+let rec add_waiter (p : 'a promise) w =
+  match Atomic.get p with
+  | Done r -> w r
+  | Waiting ws as old ->
+      if not (Atomic.compare_and_set p old (Waiting (w :: ws))) then add_waiter p w
+
+let rec complete (p : 'a promise) r =
+  match Atomic.get p with
+  | Done _ -> invalid_arg "Pool: promise completed twice"
+  | Waiting ws as old ->
+      if Atomic.compare_and_set p old (Done r) then List.iter (fun w -> w r) ws
+      else complete p r
+
+let async t f =
+  let p : 'a promise = Atomic.make (Waiting []) in
+  let task () =
+    let r = try Ok (f ()) with e -> Error e in
+    complete p r
+  in
+  push_current t task;
+  p
+
+let await t (p : 'a promise) =
+  match Atomic.get p with
+  | Done (Ok v) -> v
+  | Done (Error e) -> raise e
+  | Waiting _ ->
+      Effect.perform
+        (Suspend
+           (fun k ->
+             add_waiter p (fun r ->
+                 push_current t (fun () ->
+                     match r with
+                     | Ok v -> Effect.Deep.continue k v
+                     | Error e -> Effect.Deep.discontinue k e))))
+
+let suspend t f =
+  Effect.perform
+    (Suspend
+       (fun (k : (unit, unit) Effect.Deep.continuation) ->
+         f (fun () -> push_current t (fun () -> Effect.Deep.continue k ()))))
+
+let run t f =
+  let p : 'a promise = Atomic.make (Waiting []) in
+  let root () =
+    let r = try Ok (f ()) with e -> Error e in
+    complete p r
+  in
+  let slot = Domain.DLS.get worker_key in
+  let saved = !slot in
+  slot := Some 0;
+  push_on t 0 root;
+  let rng = Util.Rng.stream ~seed:t.seed ~index:0 in
+  let misses = ref 0 in
+  let rec drive () =
+    match Atomic.get p with
+    | Done (Ok v) ->
+        slot := saved;
+        v
+    | Done (Error e) ->
+        slot := saved;
+        raise e
+    | Waiting _ -> begin
+        (match find_task t 0 rng with
+        | Some task ->
+            misses := 0;
+            exec task
+        | None ->
+            incr misses;
+            backoff !misses);
+        drive ()
+      end
+  in
+  drive ()
+
+let fork_join t fa fb =
+  let pb = async t fb in
+  let a = fa () in
+  let b = await t pb in
+  (a, b)
+
+let parallel_for t ?grain ~lo ~hi body =
+  if hi > lo then begin
+    let grain =
+      match grain with
+      | Some g -> max 1 g
+      | None -> max 1 ((hi - lo) / (8 * t.n))
+    in
+    let rec go lo hi =
+      if hi - lo <= grain then
+        for i = lo to hi - 1 do
+          body i
+        done
+      else begin
+        let mid = lo + ((hi - lo) / 2) in
+        let right = async t (fun () -> go mid hi) in
+        go lo mid;
+        await t right
+      end
+    in
+    go lo hi
+  end
+
+let parallel_map t ?grain f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f a.(0)) in
+    (* Index 0 is computed twice (once to seed the output array); the
+       cost is one extra call, the benefit no Obj.magic. *)
+    parallel_for t ?grain ~lo:0 ~hi:n (fun i -> out.(i) <- f a.(i));
+    out
+  end
+
+let map_reduce t ?grain ~map ~combine ~init a =
+  let n = Array.length a in
+  let grain =
+    match grain with Some g -> max 1 g | None -> max 1 (n / (8 * t.n))
+  in
+  let rec go lo hi =
+    if hi - lo <= grain then begin
+      let acc = ref init in
+      for i = lo to hi - 1 do
+        acc := combine !acc (map a.(i))
+      done;
+      !acc
+    end
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      let right = async t (fun () -> go mid hi) in
+      let l = go lo mid in
+      combine l (await t right)
+    end
+  in
+  if n = 0 then init else go 0 n
+
+let parallel_prefix_sums t a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let blocks = min n (4 * t.n) in
+    let block_size = (n + blocks - 1) / blocks in
+    let out = Array.make n 0 in
+    let sums = Array.make blocks 0 in
+    (* Pass 1: per-block inclusive scans. *)
+    parallel_for t ~grain:1 ~lo:0 ~hi:blocks (fun bi ->
+        let lo = bi * block_size in
+        let hi = min n (lo + block_size) in
+        let acc = ref 0 in
+        for i = lo to hi - 1 do
+          acc := !acc + a.(i);
+          out.(i) <- !acc
+        done;
+        sums.(bi) <- !acc);
+    (* Sequential scan of the per-block totals. *)
+    let offsets = Util.Prefix_sum.exclusive sums in
+    (* Pass 2: add block offsets. *)
+    parallel_for t ~grain:1 ~lo:0 ~hi:blocks (fun bi ->
+        let lo = bi * block_size in
+        let hi = min n (lo + block_size) in
+        let off = offsets.(bi) in
+        for i = lo to hi - 1 do
+          out.(i) <- out.(i) + off
+        done);
+    out
+  end

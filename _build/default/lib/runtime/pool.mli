@@ -1,0 +1,62 @@
+(** Fork-join work-stealing pool on OCaml 5 domains with effect-handler
+    task suspension — the substrate the real BATCHER runtime extends.
+
+    The pool owns [num_workers - 1] spawned domains; the domain calling
+    {!run} becomes worker 0 for the duration of the call. Tasks are
+    closures on per-worker Chase-Lev deques; blocked tasks ({!await},
+    {!Batcher_rt.batchify}) suspend their continuation instead of
+    blocking the worker. *)
+
+type t
+
+val create : num_workers:int -> t
+(** Spawns [num_workers - 1] domains. [num_workers >= 1]. *)
+
+val num_workers : t -> int
+
+val teardown : t -> unit
+(** Stops and joins the spawned domains. The pool must be idle. *)
+
+type 'a promise
+
+val run : t -> (unit -> 'a) -> 'a
+(** Execute a computation to completion, participating as worker 0.
+    Must be called from outside the pool (not from a task). Exceptions
+    raised by the computation are re-raised. *)
+
+val async : t -> (unit -> 'a) -> 'a promise
+(** Schedule a task. Must be called from within a task. *)
+
+val await : t -> 'a promise -> 'a
+(** Wait for a promise, suspending the current task (the worker is not
+    blocked). Must be called from within a task. Re-raises the task's
+    exception, if any. *)
+
+val fork_join : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** Binary fork: runs the two thunks in parallel and joins. *)
+
+val parallel_for : t -> ?grain:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for t ~lo ~hi body] runs [body i] for [lo <= i < hi] with
+    recursive binary splitting down to [grain] (default: auto). *)
+
+val parallel_map : t -> ?grain:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Element-wise map with binary splitting; empty input yields [[||]]. *)
+
+val map_reduce :
+  t -> ?grain:int -> map:('a -> 'b) -> combine:('b -> 'b -> 'b) -> init:'b -> 'a array -> 'b
+(** Parallel map then tree reduction. [combine] must be associative;
+    [init] is its identity. *)
+
+val parallel_prefix_sums : t -> int array -> int array
+(** Inclusive parallel prefix sums (two-pass), the primitive of the
+    batched counter and of LAUNCHBATCH compaction. *)
+
+val suspend : t -> ((unit -> unit) -> unit) -> unit
+(** [suspend t f] suspends the current task and calls [f resume]; the
+    task continues when [resume ()] is invoked (exactly once, from any
+    task context — the continuation is rescheduled on the resumer's
+    worker). The suspension primitive under {!await} and under
+    [Batcher_rt.batchify]. Must be called from within a task. *)
+
+val worker_index : unit -> int option
+(** Index of the worker executing the caller, if inside a pool. *)

@@ -1,0 +1,73 @@
+(* Chase & Lev, "Dynamic circular work-stealing deque" (SPAA 2005),
+   adapted to OCaml 5 Atomics. [top] only increases; [bottom] is owned by
+   the single owner. Buffers are indexed by absolute position masked to
+   the (power-of-two) capacity. *)
+
+type 'a buffer = {
+  mask : int;
+  data : 'a option array;
+}
+
+let make_buffer log_size = { mask = (1 lsl log_size) - 1; data = Array.make (1 lsl log_size) None }
+
+let buf_get b i = b.data.(i land b.mask)
+let buf_put b i x = b.data.(i land b.mask) <- x
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a buffer Atomic.t;
+}
+
+let create () =
+  { top = Atomic.make 0; bottom = Atomic.make 0; buf = Atomic.make (make_buffer 8) }
+
+let size t =
+  let b = Atomic.get t.bottom and tp = Atomic.get t.top in
+  max 0 (b - tp)
+
+let grow t b top_ =
+  let old = Atomic.get t.buf in
+  let nb = { mask = (old.mask * 2) + 1; data = Array.make ((old.mask + 1) * 2) None } in
+  for i = top_ to b - 1 do
+    buf_put nb i (buf_get old i)
+  done;
+  Atomic.set t.buf nb
+
+let push t x =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let buf = Atomic.get t.buf in
+  if b - tp > buf.mask then grow t b tp;
+  buf_put (Atomic.get t.buf) b (Some x);
+  (* Publish the element before advancing bottom (Atomic.set is SC). *)
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Empty: restore. *)
+    Atomic.set t.bottom (b + 1);
+    None
+  end
+  else begin
+    let x = buf_get (Atomic.get t.buf) b in
+    if b > tp then x
+    else begin
+      (* Last element: race with thieves via CAS on top. *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (b + 1);
+      if won then x else None
+    end
+  end
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else begin
+    let x = buf_get (Atomic.get t.buf) tp in
+    if Atomic.compare_and_set t.top tp (tp + 1) then x else None
+  end

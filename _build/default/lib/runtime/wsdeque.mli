@@ -1,0 +1,27 @@
+(** Lock-free Chase-Lev work-stealing deque.
+
+    The owner pushes and pops at the bottom without contention; thieves
+    [steal] from the top with a CAS. The circular buffer grows on demand
+    (owner-side only); elements are never overwritten in a retired
+    buffer, so a thief racing a grow still reads a valid element iff its
+    CAS on [top] succeeds.
+
+    Single-owner: [push] and [pop] must only be called from one domain at
+    a time; [steal] may be called from any domain. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner only. *)
+
+val pop : 'a t -> 'a option
+(** Owner only. *)
+
+val steal : 'a t -> 'a option
+(** Any domain. Returns [None] if the deque looked empty or the race was
+    lost. *)
+
+val size : 'a t -> int
+(** Snapshot; racy, only a hint. *)

@@ -1,0 +1,1 @@
+lib/sim/batcher.ml: Array Batched Dag Deque List Metrics Par Trace Util Workload

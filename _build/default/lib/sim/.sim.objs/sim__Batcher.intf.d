@@ -1,0 +1,1 @@
+lib/sim/batcher.mli: Metrics Trace Workload

@@ -1,0 +1,1 @@
+lib/sim/lockconc.ml: Array Batched Dag Deque List Metrics Queue Util Workload

@@ -1,0 +1,1 @@
+lib/sim/lockconc.mli: Metrics Workload

@@ -1,0 +1,1 @@
+lib/sim/seqexec.ml: Array Batched Dag Metrics Workload

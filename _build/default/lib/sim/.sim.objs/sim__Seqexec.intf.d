@@ -1,0 +1,1 @@
+lib/sim/seqexec.mli: Metrics Workload

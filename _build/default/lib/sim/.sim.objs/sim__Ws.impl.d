@@ -1,0 +1,1 @@
+lib/sim/ws.ml: Array Dag Deque List Metrics Util

@@ -1,0 +1,1 @@
+lib/sim/ws.mli: Dag Metrics

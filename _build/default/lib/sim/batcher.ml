@@ -1,0 +1,482 @@
+type steal_policy =
+  | Alternating
+  | Core_only
+  | Batch_only
+  | Uniform_random
+
+type overhead_model =
+  | Tree_setup
+  | Fused_setup
+  | No_setup
+
+type config = {
+  p : int;
+  seed : int;
+  steal_policy : steal_policy;
+  launch_threshold : int;
+  batch_cap : int;
+  sequential_batches : bool;
+  overhead : overhead_model;
+  check_invariants : bool;
+  max_steps : int;
+}
+
+let default ~p =
+  {
+    p;
+    seed = 1;
+    steal_policy = Alternating;
+    launch_threshold = 1;
+    batch_cap = p;
+    sequential_batches = false;
+    overhead = Tree_setup;
+    check_invariants = true;
+    max_steps = 2_000_000_000;
+  }
+
+type origin = OCore | OBatch
+
+type inst = {
+  dag : Dag.t;
+  origin : origin;
+  preds_left : int array;
+  (* BOP node-id range within a batch dag; nodes outside it are
+     LAUNCHBATCH setup/cleanup overhead. Unused for the core dag. *)
+  bop_lo : int;
+  bop_hi : int;
+  sid : int;  (* structure index of a batch dag; -1 for the core dag *)
+}
+
+type task = { inst : inst; node : int }
+
+type wstatus = Free | Pending | Executing | Done
+
+type worker = {
+  id : int;
+  core_dq : task Deque.t;
+  batch_dq : task Deque.t;
+  mutable status : wstatus;
+  mutable assigned : task option;
+  mutable remaining : int;
+  mutable steal_count : int;
+  mutable suspended : int option;  (* core-dag ds node awaiting its batch *)
+  mutable seen_batches : int;  (* batches executing since becoming pending *)
+  rng : Util.Rng.t;
+}
+
+type batch = {
+  b_sid : int;  (* which structure this batch belongs to *)
+  members : int array;  (* worker ids whose ops are in the working set *)
+}
+
+type state = {
+  cfg : config;
+  workload : Workload.t;
+  core_inst : inst;
+  workers : worker array;
+  pending : int option array;  (* per worker: suspended core ds node id *)
+  mutable pending_count : int;  (* parked operations, all structures *)
+  pending_per : int array;  (* parked operations per structure *)
+  active : batch option array;  (* in-flight batch per structure (Inv. 1) *)
+  mutable active_count : int;
+  mutable finished : bool;
+  mutable force_launch : bool;
+  mutable units_this_step : int;
+  (* metrics accumulators *)
+  mutable time : int;
+  mutable core_work : int;
+  mutable batch_work : int;
+  mutable setup_work : int;
+  mutable batches : int;
+  mutable batch_size_total : int;
+  mutable max_batch_size : int;
+  mutable steal_attempts : int;
+  mutable steal_successes : int;
+  mutable free_steal_attempts : int;
+  mutable trapped_steal_attempts : int;
+  mutable max_seen_batches : int;
+  mutable batch_details : Metrics.batch_detail list;
+  tracing : bool;
+  mutable trace : Trace.event list;  (* reverse chronological *)
+}
+
+let make_inst ?(bop_lo = 0) ?(bop_hi = 0) ?(sid = -1) ~origin dag =
+  { dag; origin; preds_left = Array.copy dag.Dag.pred_count; bop_lo; bop_hi; sid }
+
+(* Structure index of a core-dag ds node. *)
+let struct_of st node =
+  match st.core_inst.dag.Dag.kinds.(node) with
+  | Dag.Ds idx -> st.workload.Workload.assign idx
+  | Dag.Core -> assert false
+
+let attribute st (task : task) =
+  match task.inst.origin with
+  | OCore -> st.core_work <- st.core_work + 1
+  | OBatch ->
+      if task.node >= task.inst.bop_lo && task.node < task.inst.bop_hi then
+        st.batch_work <- st.batch_work + 1
+      else st.setup_work <- st.setup_work + 1
+
+let assign w (task : task) =
+  w.assigned <- Some task;
+  w.remaining <- task.inst.dag.Dag.costs.(task.node)
+
+let deque_for w = function
+  | OCore -> w.core_dq
+  | OBatch -> w.batch_dq
+
+(* Enable [task]'s successors after its completion: newly ready nodes are
+   assigned to the completing worker (first) and pushed on the deque
+   matching the dag's origin (rest). *)
+let enable_successors _st w (task : task) =
+  let inst = task.inst in
+  let newly = ref [] in
+  Array.iter
+    (fun s ->
+      inst.preds_left.(s) <- inst.preds_left.(s) - 1;
+      if inst.preds_left.(s) = 0 then newly := s :: !newly)
+    inst.dag.Dag.succs.(task.node);
+  (match List.rev !newly with
+  | [] -> ()
+  | first :: rest ->
+      assign w { inst; node = first };
+      List.iter (fun s -> Deque.push_bottom (deque_for w inst.origin) { inst; node = s }) rest)
+
+let complete_batch st sid =
+  match st.active.(sid) with
+  | None -> assert false
+  | Some b ->
+      Array.iter
+        (fun m ->
+          let wm = st.workers.(m) in
+          if st.cfg.check_invariants && wm.status <> Executing then
+            failwith "Batcher sim: member not executing at batch completion";
+          wm.status <- Done;
+          if wm.seen_batches > st.max_seen_batches then
+            st.max_seen_batches <- wm.seen_batches;
+          st.pending.(m) <- None;
+          st.pending_count <- st.pending_count - 1;
+          st.pending_per.(sid) <- st.pending_per.(sid) - 1)
+        b.members;
+      if st.tracing then
+        st.trace <-
+          Trace.Batch_completed { time = st.time; sid; members = b.members } :: st.trace;
+      st.active.(sid) <- None;
+      st.active_count <- st.active_count - 1
+
+let complete st w (task : task) =
+  w.assigned <- None;
+  let inst = task.inst in
+  match inst.dag.Dag.kinds.(task.node), inst.origin with
+  | Dag.Ds _, OCore ->
+      (* The operation record is parked; control does not pass the node
+         until its batch completes (the worker is now trapped). *)
+      if st.cfg.check_invariants && st.pending.(w.id) <> None then
+        failwith "Batcher sim: worker already has a pending op";
+      st.pending.(w.id) <- Some task.node;
+      st.pending_count <- st.pending_count + 1;
+      let sid = struct_of st task.node in
+      st.pending_per.(sid) <- st.pending_per.(sid) + 1;
+      w.status <- Pending;
+      w.suspended <- Some task.node;
+      w.seen_batches <- (match st.active.(sid) with Some _ -> 1 | None -> 0);
+      if st.tracing then
+        st.trace <-
+          Trace.Suspended { time = st.time; worker = w.id; node = task.node; sid }
+          :: st.trace
+  | _ ->
+      enable_successors st w task;
+      if task.node = inst.dag.Dag.sink then begin
+        match inst.origin with
+        | OBatch -> complete_batch st inst.sid
+        | OCore -> st.finished <- true
+      end
+
+let exec_unit st w =
+  match w.assigned with
+  | None -> assert false
+  | Some task ->
+      attribute st task;
+      st.units_this_step <- st.units_this_step + 1;
+      w.remaining <- w.remaining - 1;
+      if w.remaining = 0 then complete st w task
+
+(* Build the batch dag for the snapshot [members]: setup ; BOP ; cleanup.
+   Setup and cleanup model LAUNCHBATCH's parallel-for over the pending
+   array and the working-set compaction: Θ(p) work, Θ(lg p) span — or a
+   sequential Θ(p) scan in flat-combining mode. *)
+let launch st w =
+  let cfg = st.cfg in
+  let sid =
+    match w.suspended with
+    | Some node -> struct_of st node
+    | None -> assert false
+  in
+  let members = ref [] in
+  let count = ref 0 in
+  Array.iter
+    (fun v ->
+      if
+        v.status = Pending
+        && !count < cfg.batch_cap
+        && (match v.suspended with
+           | Some node -> struct_of st node = sid
+           | None -> false)
+      then begin
+        members := v.id :: !members;
+        incr count
+      end)
+    st.workers;
+  let members = Array.of_list (List.rev !members) in
+  let ops =
+    Array.map
+      (fun m ->
+        match st.pending.(m) with
+        | Some node -> begin
+            match st.core_inst.dag.Dag.kinds.(node) with
+            | Dag.Ds idx -> idx
+            | Dag.Core -> assert false
+          end
+        | None -> assert false)
+      members
+  in
+  let bop = st.workload.Workload.models.(sid).Batched.Model.batch_cost ops in
+  let bop = if cfg.sequential_batches then Par.leaf (Par.work bop) else bop in
+  st.batch_details <-
+    {
+      Metrics.bd_size = Array.length members;
+      bd_work = Par.work bop;
+      bd_span = Par.span bop;
+    }
+    :: st.batch_details;
+  let overhead () =
+    if cfg.sequential_batches then Par.leaf cfg.p
+    else Par.balanced ~leaf_cost:(fun _ -> 1) cfg.p
+  in
+  let b = Dag.Build.create () in
+  let pre =
+    match cfg.overhead with
+    | Tree_setup | Fused_setup -> [ Dag.Build.of_par b (overhead ()) ]
+    | No_setup -> []
+  in
+  let lo = Dag.Build.node_count b in
+  let bop_f = Dag.Build.of_par b bop in
+  let hi = Dag.Build.node_count b in
+  let post =
+    match cfg.overhead with
+    | Tree_setup -> [ Dag.Build.of_par b (overhead ()) ]
+    | Fused_setup | No_setup -> []
+  in
+  let whole = Dag.Build.in_series b (pre @ [ bop_f ] @ post) in
+  let dag = Dag.Build.finish b whole in
+  let inst = make_inst ~origin:OBatch ~bop_lo:lo ~bop_hi:hi ~sid dag in
+  if st.tracing then
+    st.trace <- Trace.Launched { time = st.time; worker = w.id; sid; members } :: st.trace;
+  st.active.(sid) <- Some { b_sid = sid; members };
+  st.active_count <- st.active_count + 1;
+  st.batches <- st.batches + 1;
+  st.batch_size_total <- st.batch_size_total + Array.length members;
+  if Array.length members > st.max_batch_size then
+    st.max_batch_size <- Array.length members;
+  Array.iter (fun m -> st.workers.(m).status <- Executing) members;
+  (* Every trapped worker with an outstanding operation on THIS structure
+     observes one more batch execution (per-structure Lemma 2). *)
+  Array.iter
+    (fun v ->
+      match v.status, v.suspended with
+      | (Pending | Executing), Some node when struct_of st node = sid ->
+          v.seen_batches <- v.seen_batches + 1
+      | _ -> ())
+    st.workers;
+  st.force_launch <- false;
+  (* The launching worker starts on LAUNCHBATCH's root immediately. *)
+  assign w { inst; node = dag.Dag.source };
+  exec_unit st w
+
+let resume st w =
+  (match w.suspended with
+  | None -> assert false
+  | Some node ->
+      if st.tracing then
+        st.trace <- Trace.Resumed { time = st.time; worker = w.id; node } :: st.trace;
+      w.status <- Free;
+      w.suspended <- None;
+      enable_successors st w { inst = st.core_inst; node };
+      (* [enable_successors] assigned a core successor if one became
+         ready; a ds node cannot be the core sink by construction. *)
+      if node = st.core_inst.dag.Dag.sink then
+        failwith "Batcher sim: data-structure node is the core sink");
+  if w.assigned <> None then exec_unit st w
+
+let victim st w =
+  let p = st.cfg.p in
+  if p <= 1 then None
+  else begin
+    let offset = 1 + Util.Rng.int w.rng (p - 1) in
+    Some st.workers.((w.id + offset) mod p)
+  end
+
+let steal_attempt st w ~target_batch =
+  st.steal_attempts <- st.steal_attempts + 1;
+  if w.status = Free then
+    st.free_steal_attempts <- st.free_steal_attempts + 1
+  else st.trapped_steal_attempts <- st.trapped_steal_attempts + 1;
+  match victim st w with
+  | None -> ()
+  | Some v -> begin
+      let dq = if target_batch then v.batch_dq else v.core_dq in
+      match Deque.steal_top dq with
+      | None -> ()
+      | Some task ->
+          st.steal_successes <- st.steal_successes + 1;
+          assign w task;
+          exec_unit st w
+    end
+
+let acquire_free st w =
+  let core_empty = Deque.is_empty w.core_dq in
+  let batch_empty = Deque.is_empty w.batch_dq in
+  if st.cfg.check_invariants && (not core_empty) && not batch_empty then
+    failwith "Batcher sim: Invariant 4 violated (both deques nonempty)";
+  if not core_empty then begin
+    match Deque.pop_bottom w.core_dq with
+    | Some task ->
+        assign w task;
+        exec_unit st w
+    | None -> assert false
+  end
+  else if not batch_empty then begin
+    match Deque.pop_bottom w.batch_dq with
+    | Some task ->
+        assign w task;
+        exec_unit st w
+    | None -> assert false
+  end
+  else begin
+    let k = w.steal_count in
+    w.steal_count <- w.steal_count + 1;
+    let target_batch =
+      match st.cfg.steal_policy with
+      | Alternating -> k land 1 = 1
+      | Core_only -> false
+      | Batch_only -> true
+      | Uniform_random -> Util.Rng.bool w.rng
+    in
+    steal_attempt st w ~target_batch
+  end
+
+let acquire_trapped st w =
+  if not (Deque.is_empty w.batch_dq) then begin
+    match Deque.pop_bottom w.batch_dq with
+    | Some task ->
+        assign w task;
+        exec_unit st w
+    | None -> assert false
+  end
+  else if w.status = Done then resume st w
+  else if
+    w.status = Pending
+    && (match w.suspended with
+       | Some node ->
+           let sid = struct_of st node in
+           st.active.(sid) = None
+           && (st.pending_per.(sid) >= st.cfg.launch_threshold || st.force_launch)
+       | None -> false)
+  then launch st w
+  else steal_attempt st w ~target_batch:true
+
+let step_worker st w =
+  match w.assigned with
+  | Some _ -> exec_unit st w
+  | None -> if w.status = Free then acquire_free st w else acquire_trapped st w
+
+let run_internal ~tracing cfg workload =
+  if cfg.p < 1 then invalid_arg "Batcher.run: p >= 1";
+  if cfg.batch_cap < 1 then invalid_arg "Batcher.run: batch_cap >= 1";
+  Workload.reset_models workload;
+  let core_inst = make_inst ~origin:OCore workload.Workload.core in
+  let n_structs = Array.length workload.Workload.models in
+  let workers =
+    Array.init cfg.p (fun id ->
+        {
+          id;
+          core_dq = Deque.create ();
+          batch_dq = Deque.create ();
+          status = Free;
+          assigned = None;
+          remaining = 0;
+          steal_count = 0;
+          suspended = None;
+          seen_batches = 0;
+          rng = Util.Rng.stream ~seed:cfg.seed ~index:id;
+        })
+  in
+  let st =
+    {
+      cfg;
+      workload;
+      core_inst;
+      workers;
+      pending = Array.make cfg.p None;
+      pending_count = 0;
+      pending_per = Array.make n_structs 0;
+      active = Array.make n_structs None;
+      active_count = 0;
+      finished = false;
+      force_launch = false;
+      units_this_step = 0;
+      time = 0;
+      core_work = 0;
+      batch_work = 0;
+      setup_work = 0;
+      batches = 0;
+      batch_size_total = 0;
+      max_batch_size = 0;
+      steal_attempts = 0;
+      steal_successes = 0;
+      free_steal_attempts = 0;
+      trapped_steal_attempts = 0;
+      max_seen_batches = 0;
+      batch_details = [];
+      tracing;
+      trace = [];
+    }
+  in
+  assign workers.(0) { inst = core_inst; node = core_inst.dag.Dag.source };
+  let idle_sweeps = ref 0 in
+  while not st.finished do
+    st.time <- st.time + 1;
+    if st.time > cfg.max_steps then failwith "Batcher sim: max_steps exceeded";
+    st.units_this_step <- 0;
+    Array.iter (fun w -> step_worker st w) workers;
+    (* Livelock escape for the accumulate-k launch ablation: if nothing
+       executed for two sweeps while ops are parked, force a launch even
+       below the threshold. Never triggers with the default threshold 1. *)
+    if st.units_this_step = 0 && st.active_count = 0 && st.pending_count > 0 then begin
+      incr idle_sweeps;
+      if !idle_sweeps >= 2 then st.force_launch <- true
+    end
+    else idle_sweeps := 0
+  done;
+  {
+    Metrics.p = cfg.p;
+    makespan = st.time;
+    core_work = st.core_work;
+    batch_work = st.batch_work;
+    setup_work = st.setup_work;
+    batches = st.batches;
+    batch_size_total = st.batch_size_total;
+    max_batch_size = st.max_batch_size;
+    steal_attempts = st.steal_attempts;
+    steal_successes = st.steal_successes;
+    free_steal_attempts = st.free_steal_attempts;
+    trapped_steal_attempts = st.trapped_steal_attempts;
+    max_batches_while_pending = st.max_seen_batches;
+    total_records = Workload.total_records workload;
+    batch_details = st.batch_details;
+  },
+  List.rev st.trace
+
+let run cfg workload = fst (run_internal ~tracing:false cfg workload)
+
+let run_traced cfg workload = run_internal ~tracing:true cfg workload

@@ -1,0 +1,16 @@
+(** Work-stealing deque for the simulator.
+
+    The owner pushes and pops at the bottom; thieves steal from the top.
+    The simulator is single-threaded, so this is a plain growable ring
+    buffer — the lock-free version for the real runtime lives in
+    [Runtime.Wsdeque]. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push_bottom : 'a t -> 'a -> unit
+val pop_bottom : 'a t -> 'a option
+val steal_top : 'a t -> 'a option
+val clear : 'a t -> unit

@@ -1,0 +1,3 @@
+let run ?(seed = 1) ~p workload =
+  let cfg = { (Batcher.default ~p) with Batcher.seed; sequential_batches = true } in
+  Batcher.run cfg workload

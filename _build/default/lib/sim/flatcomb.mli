@@ -1,0 +1,7 @@
+(** Flat combining (Hendler, Incze, Shavit, Tzafrir) viewed — as the
+    paper does — as implicit batching with sequential batch execution:
+    one combiner executes every gathered operation record one after
+    another, and the gathering scan itself is sequential. A thin
+    configuration of {!Batcher}. *)
+
+val run : ?seed:int -> p:int -> Workload.t -> Metrics.t

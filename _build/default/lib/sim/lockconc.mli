@@ -1,0 +1,28 @@
+(** Lock-serialized concurrent data structure model.
+
+    Work stealing executes the core DAG, but each data-structure node
+    acquires a global mutual-exclusion lock (FIFO) and holds it for the
+    operation's sequential cost while its worker is blocked — the model
+    of a concurrent structure built on mutually exclusive primitives
+    (fetch-and-add counters, CAS-retry hot spots), for which the paper
+    argues an Ω(n) aggregate bound. *)
+
+type config = {
+  p : int;
+  seed : int;
+  max_steps : int;
+  contention : bool;
+      (** When set, an operation's lock-held time is multiplied by the
+          number of processors contending for the structure when its
+          service starts — the cache-line-bouncing / CAS-retry-loop model
+          behind the paper's Ω(P)-per-access worst case (cf. its
+          discussion of lock-free B+-trees). Off: an idealized mutex
+          whose critical section costs only the op's sequential time. *)
+}
+
+val default : p:int -> config
+(** Idealized mutex ([contention = false]). *)
+
+val run : config -> Workload.t -> Metrics.t
+(** [batch_work] reports lock-held service units;
+    [trapped_steal_attempts] reports blocked (lock-wait) worker steps. *)

@@ -1,0 +1,24 @@
+let run (w : Workload.t) =
+  Workload.reset_models w;
+  let dag = w.core in
+  (* One worker executes nodes in topological order; elapsed time is the
+     plain sum of costs, with ds nodes costing their direct sequential
+     cost in addition to the issue cost counted in the core dag. *)
+  let core = Dag.work dag in
+  let ds_total = ref 0 in
+  let order = Dag.topological_order dag in
+  Array.iter
+    (fun v ->
+      match dag.Dag.kinds.(v) with
+      | Dag.Ds idx ->
+          let m = w.models.(w.assign idx) in
+          ds_total := !ds_total + m.Batched.Model.seq_cost idx
+      | Dag.Core -> ())
+    order;
+  {
+    (Metrics.zero ~p:1) with
+    Metrics.makespan = core + !ds_total;
+    core_work = core;
+    batch_work = !ds_total;
+    total_records = Workload.total_records w;
+  }

@@ -1,0 +1,8 @@
+(** Sequential baseline: one processor executes the whole computation,
+    with each data-structure operation performed directly (no batching,
+    no concurrency control) at the model's single-operation cost — the
+    "SEQ" series of Figure 5. *)
+
+val run : Workload.t -> Metrics.t
+(** Makespan = core work + Σ seq_cost over all operation nodes, in index
+    order. The model is [reset] first. *)

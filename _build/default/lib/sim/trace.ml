@@ -1,0 +1,150 @@
+type event =
+  | Suspended of { time : int; worker : int; node : int; sid : int }
+  | Launched of { time : int; worker : int; sid : int; members : int array }
+  | Batch_completed of { time : int; sid : int; members : int array }
+  | Resumed of { time : int; worker : int; node : int }
+
+let pp_event fmt = function
+  | Suspended e ->
+      Format.fprintf fmt "[%d] w%d suspended on node %d (struct %d)" e.time e.worker
+        e.node e.sid
+  | Launched e ->
+      Format.fprintf fmt "[%d] w%d launched struct-%d batch {%s}" e.time e.worker e.sid
+        (String.concat "," (Array.to_list (Array.map string_of_int e.members)))
+  | Batch_completed e ->
+      Format.fprintf fmt "[%d] struct-%d batch {%s} completed" e.time e.sid
+        (String.concat "," (Array.to_list (Array.map string_of_int e.members)))
+  | Resumed e -> Format.fprintf fmt "[%d] w%d resumed after node %d" e.time e.worker e.node
+
+let time_of = function
+  | Suspended e -> e.time
+  | Launched e -> e.time
+  | Batch_completed e -> e.time
+  | Resumed e -> e.time
+
+(* Per-worker replay state. *)
+type wstate =
+  | Free
+  | Trapped of { sid : int; mutable launches_seen : int; mutable in_batch : bool;
+                 mutable batch_done : bool }
+
+let validate ~p ~batch_cap events =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let workers = Array.make p Free in
+  (* Per-structure in-flight batch (members), or None. *)
+  let in_flight = Hashtbl.create 8 in
+  let rec go last = function
+    | [] ->
+        (* Nothing may remain suspended or in flight at the end. *)
+        if Hashtbl.length in_flight > 0 then err "batch still in flight at end of trace"
+        else begin
+          let stuck = ref None in
+          Array.iteri
+            (fun w st -> match st with Trapped _ -> stuck := Some w | Free -> ())
+            workers;
+          match !stuck with
+          | Some w -> err "worker %d still trapped at end of trace" w
+          | None -> Ok ()
+        end
+    | ev :: rest ->
+        let t = time_of ev in
+        if t < last then err "time went backwards at %a" pp_event ev
+        else begin
+          match ev with
+          | Suspended e ->
+              if e.worker < 0 || e.worker >= p then err "bad worker in %a" pp_event ev
+              else begin
+                match workers.(e.worker) with
+                | Trapped _ -> err "double suspension: %a" pp_event ev
+                | Free ->
+                    workers.(e.worker) <-
+                      Trapped
+                        { sid = e.sid; launches_seen = 0; in_batch = false;
+                          batch_done = false };
+                    go t rest
+              end
+          | Launched e ->
+              if Hashtbl.mem in_flight e.sid then
+                err "Invariant 1 violated: overlapping launch %a" pp_event ev
+              else if Array.length e.members < 1 || Array.length e.members > batch_cap
+              then err "Invariant 2 violated (size %d): %a" (Array.length e.members)
+                     pp_event ev
+              else begin
+                let distinct =
+                  List.length (List.sort_uniq compare (Array.to_list e.members))
+                  = Array.length e.members
+                in
+                if not distinct then err "duplicate members: %a" pp_event ev
+                else begin
+                  (* Each member must be trapped on this structure, not
+                     already in a batch. *)
+                  let bad = ref None in
+                  Array.iter
+                    (fun m ->
+                      match workers.(m) with
+                      | Trapped st when st.sid = e.sid && not st.in_batch -> ()
+                      | _ -> bad := Some m)
+                    e.members;
+                  match !bad with
+                  | Some m -> err "member %d not eligible: %a" m pp_event ev
+                  | None ->
+                      Array.iter
+                        (fun m ->
+                          match workers.(m) with
+                          | Trapped st -> st.in_batch <- true
+                          | Free -> assert false)
+                        e.members;
+                      (* Lemma 2 accounting: every trapped-and-unfinished
+                         op of this structure sees one more batch. *)
+                      Array.iter
+                        (fun st ->
+                          match st with
+                          | Trapped s when s.sid = e.sid && not s.batch_done ->
+                              s.launches_seen <- s.launches_seen + 1
+                          | _ -> ())
+                        workers;
+                      Hashtbl.add in_flight e.sid e.members;
+                      go t rest
+                end
+              end
+          | Batch_completed e -> begin
+              match Hashtbl.find_opt in_flight e.sid with
+              | None -> err "completion without launch: %a" pp_event ev
+              | Some members ->
+                  if members <> e.members then err "member set mismatch: %a" pp_event ev
+                  else begin
+                    Hashtbl.remove in_flight e.sid;
+                    let bad = ref None in
+                    Array.iter
+                      (fun m ->
+                        match workers.(m) with
+                        | Trapped st when st.in_batch ->
+                            st.in_batch <- false;
+                            st.batch_done <- true;
+                            (* Lemma 2: suspension observed at most two
+                               batch executions of its structure (its own
+                               plus at most one predecessor). The
+                               predecessor was already running at
+                               suspension time, so it was not counted by
+                               the launch rule; hence the count here is
+                               at most 2 and usually 1 or 2. *)
+                            if st.launches_seen > 2 then bad := Some m
+                        | _ -> bad := Some m)
+                      members;
+                    match !bad with
+                    | Some m -> err "Lemma 2 or state violation for worker %d: %a" m
+                                  pp_event ev
+                    | None -> go t rest
+                  end
+            end
+          | Resumed e -> begin
+              match workers.(e.worker) with
+              | Trapped st when st.batch_done ->
+                  workers.(e.worker) <- Free;
+                  go t rest
+              | Trapped _ -> err "resumed before batch completion: %a" pp_event ev
+              | Free -> err "resumed while free: %a" pp_event ev
+            end
+        end
+  in
+  go 0 events

@@ -1,0 +1,31 @@
+(** Scheduler event traces and an independent protocol validator.
+
+    When tracing is on, {!Batcher.run_traced} emits one event per
+    scheduler-level transition (suspension, launch, batch completion,
+    resumption). {!validate} then replays the paper's protocol rules
+    against the event stream {e independently of the simulator's own
+    state machine} — a redundant implementation acting as an oracle:
+
+    - timestamps are nondecreasing;
+    - per structure, launches and batch completions strictly alternate
+      (Invariant 1), and batches hold between 1 and [batch_cap]
+      operations (Invariant 2);
+    - a batch's members were all suspended (and not yet resumed) when it
+      launched, and belong to the launched structure;
+    - every suspension is followed by exactly one enclosing batch
+      completion and then one resumption by the same worker, in order;
+    - between an operation's suspension and its resumption, at most two
+      batches of its structure start executing (Lemma 2). *)
+
+type event =
+  | Suspended of { time : int; worker : int; node : int; sid : int }
+      (** a data-structure node parked its record; worker now trapped *)
+  | Launched of { time : int; worker : int; sid : int; members : int array }
+  | Batch_completed of { time : int; sid : int; members : int array }
+  | Resumed of { time : int; worker : int; node : int }
+
+val pp_event : Format.formatter -> event -> unit
+
+val validate : p:int -> batch_cap:int -> event list -> (unit, string) result
+(** [validate ~p ~batch_cap events] with events in chronological order.
+    Returns [Error description] on the first protocol violation. *)

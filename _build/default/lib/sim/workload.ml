@@ -1,0 +1,124 @@
+type t = {
+  core : Dag.t;
+  models : Batched.Model.t array;
+  assign : int -> int;
+  records_per_node : int;
+  n_nodes : int;
+}
+
+let total_records t = t.records_per_node * t.n_nodes
+
+let model t = t.models.(0)
+
+let reset_models t =
+  Array.iter (fun m -> m.Batched.Model.reset ()) t.models
+
+let core_metrics t =
+  (Dag.work t.core, Dag.span t.core, Dag.ds_count t.core, Dag.ds_depth t.core)
+
+let single_structure ~core ~model ~records_per_node ~n_nodes =
+  { core; models = [| model |]; assign = (fun _ -> 0); records_per_node; n_nodes }
+
+let parallel_loop_dag ~n_nodes ~pre ~post =
+  let b = Dag.Build.create () in
+  let next = ref 0 in
+  let body _ =
+    let idx = !next in
+    incr next;
+    let before = Dag.Build.single b ~cost:pre Dag.Core in
+    let op = Dag.Build.single b (Dag.Ds idx) in
+    let after = Dag.Build.single b ~cost:post Dag.Core in
+    Dag.Build.in_series b [ before; op; after ]
+  in
+  let loop = Dag.Build.parallel_for b n_nodes body in
+  let entry = Dag.Build.single b Dag.Core in
+  let exit_ = Dag.Build.single b Dag.Core in
+  let whole = Dag.Build.in_series b [ entry; loop; exit_ ] in
+  Dag.Build.finish b whole
+
+let parallel_ops ~model ~records_per_node ~n_nodes ?(pre = 1) ?(post = 1) () =
+  if n_nodes < 1 then invalid_arg "Workload.parallel_ops: n_nodes >= 1";
+  let core = parallel_loop_dag ~n_nodes ~pre ~post in
+  single_structure ~core ~model ~records_per_node ~n_nodes
+
+let interleaved_ops ~models ~records_per_node ~n_nodes () =
+  if models = [] then invalid_arg "Workload.interleaved_ops: no models";
+  if n_nodes < 1 then invalid_arg "Workload.interleaved_ops: n_nodes >= 1";
+  let models = Array.of_list models in
+  let k = Array.length models in
+  {
+    core = parallel_loop_dag ~n_nodes ~pre:1 ~post:1;
+    models;
+    assign = (fun idx -> idx mod k);
+    records_per_node;
+    n_nodes;
+  }
+
+let chained_ops ~model ~records_per_node ~chain_length ~width ?(between = 1) () =
+  if chain_length < 1 || width < 1 then
+    invalid_arg "Workload.chained_ops: dimensions >= 1";
+  let b = Dag.Build.create () in
+  let next = ref 0 in
+  let chain _ =
+    let frags =
+      List.concat_map
+        (fun _ ->
+          let idx = !next in
+          incr next;
+          [ Dag.Build.single b (Dag.Ds idx);
+            Dag.Build.single b ~cost:between Dag.Core ])
+        (List.init chain_length Fun.id)
+    in
+    Dag.Build.in_series b frags
+  in
+  let body = Dag.Build.parallel_for b width chain in
+  let entry = Dag.Build.single b Dag.Core in
+  let exit_ = Dag.Build.single b Dag.Core in
+  let whole = Dag.Build.in_series b [ entry; body; exit_ ] in
+  single_structure ~core:(Dag.Build.finish b whole) ~model ~records_per_node
+    ~n_nodes:(chain_length * width)
+
+let pthreaded ~model ~records_per_node ~threads ~ops_per_thread ?(between = 1) () =
+  chained_ops ~model ~records_per_node ~chain_length:ops_per_thread ~width:threads
+    ~between ()
+
+let random ~model ~records_per_node ~size ~seed () =
+  let rng = Util.Rng.create ~seed in
+  let b = Dag.Build.create () in
+  let next = ref 0 in
+  let ds_node () =
+    let idx = !next in
+    incr next;
+    Dag.Build.single b (Dag.Ds idx)
+  in
+  (* Recursively produce a fragment containing ~budget ds nodes. *)
+  let rec build budget =
+    if budget <= 1 then begin
+      match Util.Rng.int rng 3 with
+      | 0 -> Dag.Build.single b ~cost:(1 + Util.Rng.int rng 5) Dag.Core
+      | _ -> ds_node ()
+    end
+    else begin
+      let k = 2 + Util.Rng.int rng 3 in
+      let parts = List.init k (fun _ -> build (budget / k)) in
+      if Util.Rng.bool rng then Dag.Build.in_series b parts
+      else Dag.Build.in_parallel b parts
+    end
+  in
+  let body = build (max 1 size) in
+  let entry = Dag.Build.single b Dag.Core in
+  let exit_ = Dag.Build.single b Dag.Core in
+  let whole = Dag.Build.in_series b [ entry; body; exit_ ] in
+  single_structure ~core:(Dag.Build.finish b whole) ~model ~records_per_node
+    ~n_nodes:!next
+
+let pure_core ~leaf_cost ~leaves =
+  let b = Dag.Build.create () in
+  let body _ = Dag.Build.single b ~cost:leaf_cost Dag.Core in
+  let loop = Dag.Build.parallel_for b leaves body in
+  let entry = Dag.Build.single b Dag.Core in
+  let exit_ = Dag.Build.single b Dag.Core in
+  let whole = Dag.Build.in_series b [ entry; loop; exit_ ] in
+  single_structure ~core:(Dag.Build.finish b whole)
+    ~model:(Batched.Counter.sim_model ())
+    ~records_per_node:1 ~n_nodes:0

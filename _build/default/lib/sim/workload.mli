@@ -1,0 +1,97 @@
+(** Workloads: a core DAG plus the cost models of the data structures its
+    [Ds] nodes target.
+
+    A workload may use several independent abstract data types at once
+    (as real programs do — e.g. a hash table and a counter side by side);
+    [assign] maps each operation index to its structure. The scheduler
+    maintains the batching protocol {e per structure}: Invariants 1 and 2
+    hold for each structure independently, and the performance theorem
+    composes by summing each structure's W and s terms.
+
+    [Ds] node payloads are operation indices [0 .. n_nodes-1], assigned in
+    construction order; each node stands for [records_per_node] actual
+    data-structure records (the paper's Section 7 experiment issues 100
+    insertion records per BATCHIFY call). *)
+
+type t = {
+  core : Dag.t;
+  models : Batched.Model.t array;  (** one per structure; nonempty *)
+  assign : int -> int;  (** operation index -> index into [models] *)
+  records_per_node : int;
+  n_nodes : int;
+}
+
+val total_records : t -> int
+
+val model : t -> Batched.Model.t
+(** The first (often only) structure's model. *)
+
+val reset_models : t -> unit
+
+val core_metrics : t -> int * int * int * int
+(** [(t1, t_inf, n, m)] of the core DAG — work, span, data-structure
+    nodes, max data-structure nodes on a path. *)
+
+val parallel_ops :
+  model:Batched.Model.t ->
+  records_per_node:int ->
+  n_nodes:int ->
+  ?pre:int ->
+  ?post:int ->
+  unit ->
+  t
+(** The paper's canonical core program (Figure 1): a parallel loop whose
+    body performs one data-structure operation, preceded by [pre] and
+    followed by [post] units of core work (both default 1). m = 1. *)
+
+val interleaved_ops :
+  models:Batched.Model.t list ->
+  records_per_node:int ->
+  n_nodes:int ->
+  unit ->
+  t
+(** Like {!parallel_ops}, but iteration [i] targets structure
+    [i mod (length models)] — a program using several implicitly batched
+    structures at once. *)
+
+val chained_ops :
+  model:Batched.Model.t ->
+  records_per_node:int ->
+  chain_length:int ->
+  width:int ->
+  ?between:int ->
+  unit ->
+  t
+(** [width] parallel chains, each a sequence of [chain_length] operations
+    separated by [between] units of core work — so n = width·chain_length
+    and m = chain_length. Exercises the m·s(n) term of Theorem 1. *)
+
+val pthreaded :
+  model:Batched.Model.t ->
+  records_per_node:int ->
+  threads:int ->
+  ops_per_thread:int ->
+  ?between:int ->
+  unit ->
+  t
+(** The paper's closing suggestion: a statically threaded program — each
+    of [threads] "pthreads" is a sequential chain of operations with
+    [between] units of local work between calls; only the data-structure
+    batches are dynamically scheduled. Equivalent to [chained_ops] with
+    [width = threads], named for the scenario it models. *)
+
+val pure_core : leaf_cost:int -> leaves:int -> t
+(** A data-structure-free balanced computation (for validating the plain
+    work-stealing bound O(T1/P + T∞)); its model is a dummy counter. *)
+
+val random :
+  model:Batched.Model.t ->
+  records_per_node:int ->
+  size:int ->
+  seed:int ->
+  unit ->
+  t
+(** A random series-parallel core DAG with roughly [size] operation
+    nodes: recursively composes series and parallel blocks of core work
+    and data-structure calls. Used by the fuzzing properties to cover
+    shapes beyond flat loops and chains. Deterministic in [seed]. *)

@@ -1,0 +1,119 @@
+type config = {
+  p : int;
+  seed : int;
+  max_steps : int;
+}
+
+let default ~p = { p; seed = 1; max_steps = 2_000_000_000 }
+
+type task = int
+
+type worker = {
+  id : int;
+  dq : task Deque.t;
+  mutable assigned : task option;
+  mutable remaining : int;
+  rng : Util.Rng.t;
+}
+
+type state = {
+  cfg : config;
+  dag : Dag.t;
+  preds_left : int array;
+  workers : worker array;
+  mutable finished : bool;
+  mutable time : int;
+  mutable work_done : int;
+  mutable steal_attempts : int;
+  mutable steal_successes : int;
+}
+
+let assign w node ~(dag : Dag.t) =
+  w.assigned <- Some node;
+  w.remaining <- dag.Dag.costs.(node)
+
+let complete st w node =
+  w.assigned <- None;
+  let newly = ref [] in
+  Array.iter
+    (fun s ->
+      st.preds_left.(s) <- st.preds_left.(s) - 1;
+      if st.preds_left.(s) = 0 then newly := s :: !newly)
+    st.dag.Dag.succs.(node);
+  (match List.rev !newly with
+  | [] -> ()
+  | first :: rest ->
+      assign w first ~dag:st.dag;
+      List.iter (fun s -> Deque.push_bottom w.dq s) rest);
+  if node = st.dag.Dag.sink then st.finished <- true
+
+let exec_unit st w =
+  match w.assigned with
+  | None -> assert false
+  | Some node ->
+      st.work_done <- st.work_done + 1;
+      w.remaining <- w.remaining - 1;
+      if w.remaining = 0 then complete st w node
+
+let step st w =
+  match w.assigned with
+  | Some _ -> exec_unit st w
+  | None -> begin
+      match Deque.pop_bottom w.dq with
+      | Some node ->
+          assign w node ~dag:st.dag;
+          exec_unit st w
+      | None ->
+          st.steal_attempts <- st.steal_attempts + 1;
+          if st.cfg.p > 1 then begin
+            let offset = 1 + Util.Rng.int w.rng (st.cfg.p - 1) in
+            let v = st.workers.((w.id + offset) mod st.cfg.p) in
+            match Deque.steal_top v.dq with
+            | None -> ()
+            | Some node ->
+                st.steal_successes <- st.steal_successes + 1;
+                assign w node ~dag:st.dag;
+                exec_unit st w
+          end
+    end
+
+let run cfg dag =
+  if Dag.ds_count dag > 0 then
+    invalid_arg "Ws.run: dag contains data-structure nodes; use Batcher";
+  let workers =
+    Array.init cfg.p (fun id ->
+        {
+          id;
+          dq = Deque.create ();
+          assigned = None;
+          remaining = 0;
+          rng = Util.Rng.stream ~seed:cfg.seed ~index:id;
+        })
+  in
+  let st =
+    {
+      cfg;
+      dag;
+      preds_left = Array.copy dag.Dag.pred_count;
+      workers;
+      finished = false;
+      time = 0;
+      work_done = 0;
+      steal_attempts = 0;
+      steal_successes = 0;
+    }
+  in
+  assign workers.(0) dag.Dag.source ~dag;
+  while not st.finished do
+    st.time <- st.time + 1;
+    if st.time > cfg.max_steps then failwith "Ws sim: max_steps exceeded";
+    Array.iter (fun w -> step st w) workers
+  done;
+  {
+    (Metrics.zero ~p:cfg.p) with
+    Metrics.makespan = st.time;
+    core_work = st.work_done;
+    steal_attempts = st.steal_attempts;
+    steal_successes = st.steal_successes;
+    free_steal_attempts = st.steal_attempts;
+  }

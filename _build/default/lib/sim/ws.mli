@@ -1,0 +1,15 @@
+(** Classic randomized work stealing (Blumofe-Leiserson / ABP) for core
+    DAGs without data-structure nodes — the baseline scheduler that
+    BATCHER extends, used to validate the simulator against the classic
+    O(T1/P + T∞) bound. *)
+
+type config = {
+  p : int;
+  seed : int;
+  max_steps : int;
+}
+
+val default : p:int -> config
+
+val run : config -> Dag.t -> Metrics.t
+(** Raises [Invalid_argument] if the DAG contains [Ds] nodes. *)

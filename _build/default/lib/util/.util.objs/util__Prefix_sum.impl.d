@@ -1,0 +1,1 @@
+lib/util/prefix_sum.ml: Array

@@ -1,0 +1,54 @@
+let inclusive a =
+  let n = Array.length a in
+  let b = Array.make n 0 in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + a.(i);
+    b.(i) <- !acc
+  done;
+  b
+
+let exclusive a =
+  let n = Array.length a in
+  let b = Array.make n 0 in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    b.(i) <- !acc;
+    acc := !acc + a.(i)
+  done;
+  b
+
+let inclusive_inplace a =
+  let acc = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc + a.(i);
+    a.(i) <- !acc
+  done
+
+let total a = Array.fold_left ( + ) 0 a
+
+let compact a =
+  let n = Array.length a in
+  let flags = Array.make n 0 in
+  for i = 0 to n - 1 do
+    match a.(i) with Some _ -> flags.(i) <- 1 | None -> ()
+  done;
+  let offsets = exclusive flags in
+  let count = (if n = 0 then 0 else offsets.(n - 1) + flags.(n - 1)) in
+  if count = 0 then [||]
+  else begin
+    (* Find a witness to seed the output array. *)
+    let witness =
+      let rec find i =
+        match a.(i) with Some x -> x | None -> find (i + 1)
+      in
+      find 0
+    in
+    let out = Array.make count witness in
+    for i = 0 to n - 1 do
+      match a.(i) with
+      | Some x -> out.(offsets.(i)) <- x
+      | None -> ()
+    done;
+    out
+  end

@@ -1,0 +1,20 @@
+(** Sequential prefix sums — the core primitive of the batched counter
+    (Figure 2 of the paper) and of the LAUNCHBATCH compaction step.
+
+    These are the sequential kernels; the parallel versions are expressed
+    as cost DAGs in [Dag.Par] for the simulator and as fork-join code in
+    [Runtime.Pool] for the real runtime. *)
+
+val inclusive : int array -> int array
+(** [inclusive a] returns [b] with [b.(i) = a.(0) + ... + a.(i)]. *)
+
+val exclusive : int array -> int array
+(** [exclusive a] returns [b] with [b.(i) = a.(0) + ... + a.(i-1)]
+    ([b.(0) = 0]). *)
+
+val inclusive_inplace : int array -> unit
+val total : int array -> int
+
+val compact : 'a option array -> 'a array
+(** [compact a] packs the [Some] entries of [a] densely, preserving order —
+    the working-set compaction of LAUNCHBATCH. *)

@@ -1,0 +1,21 @@
+(** Summary statistics over float samples, used by experiment reports. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on an empty array. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+val percentile : float array -> float -> float
+(** [percentile xs q] for [q] in [0,1], linear interpolation. *)
+
+val geomean : float array -> float
+(** Geometric mean; requires all samples positive. *)

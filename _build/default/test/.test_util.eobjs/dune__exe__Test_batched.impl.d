@@ -1,0 +1,1 @@
+test/test_batched.ml: Alcotest Array Batched Fun Gen Int List Par QCheck QCheck_alcotest Queue Set Sim Util

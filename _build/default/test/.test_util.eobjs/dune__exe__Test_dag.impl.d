@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Buffer Dag Format Fun List Par QCheck QCheck_alcotest Str String

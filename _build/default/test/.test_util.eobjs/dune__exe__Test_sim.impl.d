@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Batched Dag Gen List Printf QCheck QCheck_alcotest Sim

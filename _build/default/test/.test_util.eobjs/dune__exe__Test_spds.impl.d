@@ -1,0 +1,1 @@
+test/test_spds.ml: Alcotest Array Batched Fun Gen Int List Map QCheck QCheck_alcotest Set Sim

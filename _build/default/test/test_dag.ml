@@ -1,0 +1,205 @@
+(* Tests for the Par cost DSL and the execution-DAG builder. *)
+
+let test_par_leaf () =
+  Alcotest.(check int) "work" 5 (Par.work (Par.leaf 5));
+  Alcotest.(check int) "span" 5 (Par.span (Par.leaf 5));
+  Alcotest.(check int) "clamped" 1 (Par.work (Par.leaf 0))
+
+let test_par_series () =
+  let p = Par.series [ Par.leaf 2; Par.leaf 3 ] in
+  Alcotest.(check int) "work" 5 (Par.work p);
+  Alcotest.(check int) "span" 5 (Par.span p)
+
+let test_par_branch () =
+  let p = Par.branch [ Par.leaf 4; Par.leaf 6 ] in
+  (* One fork + one join node around the two legs. *)
+  Alcotest.(check int) "work" 12 (Par.work p);
+  Alcotest.(check int) "span" 8 (Par.span p)
+
+let test_par_balanced_shape () =
+  let p = Par.balanced ~leaf_cost:(fun _ -> 1) 8 in
+  (* 8 leaves + 7 forks + 7 joins. *)
+  Alcotest.(check int) "work" 22 (Par.work p);
+  (* Balanced over 8: 3 fork levels + leaf + 3 join levels. *)
+  Alcotest.(check int) "span" 7 (Par.span p)
+
+let test_par_balanced_leaves () =
+  let p = Par.balanced ~leaf_cost:(fun i -> i + 1) 5 in
+  Alcotest.(check int) "leaves" 5 (Par.leaves p)
+
+let test_par_invalid () =
+  Alcotest.check_raises "empty series" (Invalid_argument "Par.series: empty")
+    (fun () -> ignore (Par.series []));
+  Alcotest.check_raises "empty branch" (Invalid_argument "Par.branch: empty")
+    (fun () -> ignore (Par.branch []))
+
+let build_diamond () =
+  let b = Dag.Build.create () in
+  let top = Dag.Build.single b Dag.Core in
+  let left = Dag.Build.single b ~cost:3 Dag.Core in
+  let right = Dag.Build.single b ~cost:5 Dag.Core in
+  let bottom = Dag.Build.single b Dag.Core in
+  Dag.Build.link b top.Dag.Build.entry left.Dag.Build.entry;
+  Dag.Build.link b top.Dag.Build.entry right.Dag.Build.entry;
+  Dag.Build.link b left.Dag.Build.entry bottom.Dag.Build.entry;
+  Dag.Build.link b right.Dag.Build.entry bottom.Dag.Build.entry;
+  Dag.Build.finish b
+    { Dag.Build.entry = top.Dag.Build.entry; exit_ = bottom.Dag.Build.entry }
+
+let test_dag_diamond () =
+  let d = build_diamond () in
+  Alcotest.(check int) "size" 4 (Dag.size d);
+  Alcotest.(check int) "work" 10 (Dag.work d);
+  Alcotest.(check int) "span" 7 (Dag.span d)
+
+let test_dag_series () =
+  let b = Dag.Build.create () in
+  let f =
+    Dag.Build.in_series b
+      [ Dag.Build.single b ~cost:2 Dag.Core; Dag.Build.single b ~cost:3 Dag.Core ]
+  in
+  let d = Dag.Build.finish b f in
+  Alcotest.(check int) "work" 5 (Dag.work d);
+  Alcotest.(check int) "span" 5 (Dag.span d)
+
+let test_dag_parallel_matches_par () =
+  let b = Dag.Build.create () in
+  let f =
+    Dag.Build.in_parallel b
+      [ Dag.Build.single b ~cost:4 Dag.Core; Dag.Build.single b ~cost:6 Dag.Core ]
+  in
+  let d = Dag.Build.finish b f in
+  let p = Par.branch [ Par.leaf 4; Par.leaf 6 ] in
+  Alcotest.(check int) "work" (Par.work p) (Dag.work d);
+  Alcotest.(check int) "span" (Par.span p) (Dag.span d)
+
+let test_dag_ds_metrics () =
+  let b = Dag.Build.create () in
+  let chain i =
+    Dag.Build.in_series b
+      [ Dag.Build.single b (Dag.Ds (2 * i)); Dag.Build.single b (Dag.Ds ((2 * i) + 1)) ]
+  in
+  let body = Dag.Build.parallel_for b 3 chain in
+  let entry = Dag.Build.single b Dag.Core in
+  let exit_ = Dag.Build.single b Dag.Core in
+  let d = Dag.Build.finish b (Dag.Build.in_series b [ entry; body; exit_ ]) in
+  Alcotest.(check int) "n" 6 (Dag.ds_count d);
+  Alcotest.(check int) "m" 2 (Dag.ds_depth d)
+
+let test_dag_validate_catches_cycle () =
+  (* Construct an invalid dag by hand: a 2-cycle. *)
+  let b = Dag.Build.create () in
+  let x = Dag.Build.single b Dag.Core in
+  let y = Dag.Build.single b Dag.Core in
+  Dag.Build.link b x.Dag.Build.entry y.Dag.Build.entry;
+  Dag.Build.link b y.Dag.Build.entry x.Dag.Build.entry;
+  (match
+     Dag.Build.finish b { Dag.Build.entry = x.Dag.Build.entry; exit_ = y.Dag.Build.entry }
+   with
+  | _ -> Alcotest.fail "expected validate failure"
+  | exception Failure _ -> ())
+
+let test_parallel_for_singleton () =
+  let b = Dag.Build.create () in
+  let f = Dag.Build.parallel_for b 1 (fun _ -> Dag.Build.single b ~cost:7 Dag.Core) in
+  let d = Dag.Build.finish b f in
+  Alcotest.(check int) "no forks for singleton" 1 (Dag.size d);
+  Alcotest.(check int) "work" 7 (Dag.work d)
+
+let test_to_dot () =
+  let b = Dag.Build.create () in
+  let f =
+    Dag.Build.in_series b
+      [ Dag.Build.single b Dag.Core;
+        Dag.Build.single b (Dag.Ds 3);
+        Dag.Build.single b Dag.Core ]
+  in
+  let d = Dag.Build.finish b f in
+  let buf = Buffer.create 128 in
+  let fmt = Format.formatter_of_buffer buf in
+  Dag.to_dot ~name:"test" fmt d;
+  Format.pp_print_flush fmt ();
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "has digraph" true
+    (String.length s > 0 && String.sub s 0 12 = "digraph test");
+  Alcotest.(check bool) "mentions op3" true
+    (String.length s > 0
+    &&
+    let re = Str.regexp_string "op3" in
+    match Str.search_forward re s 0 with _ -> true | exception Not_found -> false)
+
+(* Property: lowering a random Par expression yields a DAG whose work and
+   span match Par.work/Par.span, and that validates. *)
+
+let par_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 1 then map Par.leaf (1 -- 5)
+          else
+            frequency
+              [
+                (2, map Par.leaf (1 -- 5));
+                ( 3,
+                  let* k = 2 -- 4 in
+                  map Par.series (list_repeat k (self (n / k))) );
+                ( 3,
+                  let* k = 2 -- 4 in
+                  map Par.branch (list_repeat k (self (n / k))) );
+              ])
+        (min n 30))
+
+let arbitrary_par = QCheck.make ~print:(Format.asprintf "%a" Par.pp) par_gen
+
+let prop_lowering_preserves_metrics =
+  QCheck.Test.make ~name:"of_par preserves work and span" ~count:200 arbitrary_par
+    (fun p ->
+      let b = Dag.Build.create () in
+      let f = Dag.Build.of_par b p in
+      let d = Dag.Build.finish b f in
+      Dag.work d = Par.work p && Dag.span d = Par.span p)
+
+let prop_span_le_work =
+  QCheck.Test.make ~name:"span <= work" ~count:200 arbitrary_par (fun p ->
+      Par.span p <= Par.work p)
+
+let prop_topo_is_permutation =
+  QCheck.Test.make ~name:"topological order is a permutation" ~count:100 arbitrary_par
+    (fun p ->
+      let b = Dag.Build.create () in
+      let f = Dag.Build.of_par b p in
+      let d = Dag.Build.finish b f in
+      let order = Dag.topological_order d in
+      let sorted = Array.copy order in
+      Array.sort compare sorted;
+      sorted = Array.init (Dag.size d) Fun.id)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_lowering_preserves_metrics; prop_span_le_work; prop_topo_is_permutation ]
+
+let () =
+  Alcotest.run "dag"
+    [
+      ( "par",
+        [
+          Alcotest.test_case "leaf" `Quick test_par_leaf;
+          Alcotest.test_case "series" `Quick test_par_series;
+          Alcotest.test_case "branch" `Quick test_par_branch;
+          Alcotest.test_case "balanced shape" `Quick test_par_balanced_shape;
+          Alcotest.test_case "balanced leaves" `Quick test_par_balanced_leaves;
+          Alcotest.test_case "invalid" `Quick test_par_invalid;
+        ] );
+      ( "build",
+        [
+          Alcotest.test_case "diamond" `Quick test_dag_diamond;
+          Alcotest.test_case "series" `Quick test_dag_series;
+          Alcotest.test_case "parallel matches Par" `Quick test_dag_parallel_matches_par;
+          Alcotest.test_case "ds metrics" `Quick test_dag_ds_metrics;
+          Alcotest.test_case "validate catches cycle" `Quick test_dag_validate_catches_cycle;
+          Alcotest.test_case "singleton parallel_for" `Quick test_parallel_for_singleton;
+          Alcotest.test_case "to_dot" `Quick test_to_dot;
+        ] );
+      ("properties", qcheck_cases);
+    ]
