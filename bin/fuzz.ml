@@ -1,0 +1,160 @@
+(* Fuzzing driver over lib/check: a conformance pass (every batched
+   structure against its sequential oracle, through both the real
+   runtime and the simulator) followed by a schedule-configuration
+   sweep (random core DAGs x random scheduler ablations, validated
+   against the paper's protocol rules and the Theorem-1 bound).
+   Failing cases are shrunk and printed as ready-to-paste OCaml.
+   Exits 1 on any failure — suitable for CI and the @fuzz-smoke alias. *)
+
+open Cmdliner
+
+let run_conformance ~n_ops ~seed ~verbose =
+  let failures = ref 0 in
+  List.iter
+    (fun subject ->
+      let name = Check.Conformance.subject_name subject in
+      match Check.Conformance.run ~n_ops ~seed subject with
+      | Ok r ->
+          if verbose then
+            Printf.printf
+              "conformance %-10s ok  (runtime: %d batches, max %d; sim: %d \
+               batches, makespan %d)\n\
+               %!"
+              name r.Check.Conformance.rt_batches r.rt_max_batch r.sim_batches
+              r.sim_makespan
+      | Error e ->
+          incr failures;
+          Printf.printf "conformance %-10s FAIL: %s\n%!" name e)
+    Check.Conformance.subjects;
+  (match Check.Conformance.order_list_check ~n:n_ops ~seed () with
+  | Ok () -> if verbose then Printf.printf "conformance order_list ok\n%!"
+  | Error e ->
+      incr failures;
+      Printf.printf "conformance order_list FAIL: %s\n%!" e);
+  !failures
+
+let run_sweep ~seeds ~start ~max_p ~max_size ~bound_factor ~deadline ~verbose =
+  let should_stop =
+    match deadline with
+    | None -> fun () -> false
+    | Some d -> fun () -> Unix.gettimeofday () > d
+  in
+  let on_case i case =
+    if verbose then
+      Printf.printf "case %4d: %s\n%!" (start + i)
+        (Check.Schedule_fuzz.show_case case)
+    else if (i + 1) mod 50 = 0 then Printf.printf "  ... %d cases\n%!" (i + 1)
+  in
+  let seed_list = List.init seeds (fun i -> start + i) in
+  let cases_run, fails =
+    Check.Schedule_fuzz.sweep ~bound_factor ~max_p ~max_size ~should_stop
+      ~on_case ~seeds:seed_list ()
+  in
+  Printf.printf "schedule fuzz: %d/%d cases run, %d failure(s)\n%!" cases_run
+    seeds (List.length fails);
+  List.iter
+    (fun (f : Check.Schedule_fuzz.failure) ->
+      Printf.printf "\nFAILURE on %s\n  error: %s\n"
+        (Check.Schedule_fuzz.show_case f.f_case)
+        f.f_error;
+      Printf.printf "shrunk to %s\n  error: %s\n"
+        (Check.Schedule_fuzz.show_case f.f_shrunk)
+        f.f_shrunk_error;
+      Printf.printf "reproducer:\n%s\n%!"
+        (Check.Schedule_fuzz.to_ocaml f.f_shrunk))
+    fails;
+  List.length fails
+
+let main seeds start max_p max_size bound_factor time_budget conformance_ops
+    skip_conformance skip_schedule verbose =
+  let seeds = max 0 seeds in
+  let deadline =
+    Option.map (fun b -> Unix.gettimeofday () +. b) time_budget
+  in
+  let conf_failures =
+    if skip_conformance then 0
+    else begin
+      Printf.printf "== conformance: %d structures + order_list ==\n%!"
+        (List.length Check.Conformance.subjects);
+      run_conformance ~n_ops:conformance_ops ~seed:1 ~verbose
+    end
+  in
+  let sweep_failures =
+    if skip_schedule then 0
+    else begin
+      Printf.printf "== schedule fuzz: seeds %d..%d ==\n%!" start
+        (start + seeds - 1);
+      run_sweep ~seeds ~start ~max_p ~max_size ~bound_factor ~deadline
+        ~verbose
+    end
+  in
+  let total = conf_failures + sweep_failures in
+  if total = 0 then begin
+    Printf.printf "all checks passed\n%!";
+    0
+  end
+  else begin
+    Printf.printf "%d failure(s)\n%!" total;
+    1
+  end
+
+let seeds_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "seeds" ] ~docv:"N" ~doc:"Number of schedule-fuzz seeds to sweep.")
+
+let start_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "start-seed" ] ~docv:"S" ~doc:"First schedule-fuzz seed.")
+
+let max_p_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "max-p" ] ~docv:"P" ~doc:"Largest simulated worker count.")
+
+let max_size_arg =
+  Arg.(
+    value & opt int 60
+    & info [ "max-size" ] ~docv:"N"
+        ~doc:"Largest workload size (data-structure nodes).")
+
+let bound_factor_arg =
+  Arg.(
+    value & opt float 16.0
+    & info [ "bound-factor" ] ~docv:"F"
+        ~doc:"Constant factor allowed over the Theorem-1 expression.")
+
+let time_budget_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "time-budget" ] ~docv:"SECS"
+        ~doc:"Stop the sweep after this many seconds (checked between cases).")
+
+let conformance_ops_arg =
+  Arg.(
+    value & opt int 96
+    & info [ "conformance-ops" ] ~docv:"N"
+        ~doc:"Operations per conformance script.")
+
+let skip_conformance_arg =
+  Arg.(value & flag & info [ "skip-conformance" ] ~doc:"Schedule fuzzing only.")
+
+let skip_schedule_arg =
+  Arg.(value & flag & info [ "skip-schedule" ] ~doc:"Conformance only.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every case.")
+
+let cmd =
+  let doc =
+    "fuzz the BATCHER scheduler and batched structures against oracles"
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(
+      const main $ seeds_arg $ start_arg $ max_p_arg $ max_size_arg
+      $ bound_factor_arg $ time_budget_arg $ conformance_ops_arg
+      $ skip_conformance_arg $ skip_schedule_arg $ verbose_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,27 @@
+let theorem1 ~workload ~metrics =
+  let open Sim.Metrics in
+  let t1, t_inf, n, m = Sim.Workload.core_metrics workload in
+  let w = metrics.batch_work + metrics.setup_work in
+  (* s(n): the widest observed batch span, plus the Θ(lg P) setup and
+     cleanup stages a launch wraps around the BOP. *)
+  let batch_span =
+    List.fold_left (fun acc bd -> max acc bd.bd_span) 0 metrics.batch_details
+  in
+  let setup_span = 2 * (2 * Batcher_core.Theory.log2i metrics.p + 1) in
+  let s = batch_span + setup_span in
+  max 1
+    (Batcher_core.Theory.batcher_bound ~p:metrics.p ~t1 ~t_inf ~n ~m ~w ~s)
+
+let ratio ~workload ~metrics =
+  float_of_int metrics.Sim.Metrics.makespan
+  /. float_of_int (theorem1 ~workload ~metrics)
+
+let check ?(factor = 16.0) ~workload ~metrics () =
+  let predicted = theorem1 ~workload ~metrics in
+  let r = ratio ~workload ~metrics in
+  if r <= factor then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "Theorem 1 bound exceeded: makespan %d > %g x predicted %d (ratio %.2f)"
+         metrics.Sim.Metrics.makespan factor predicted r)

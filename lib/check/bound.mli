@@ -1,0 +1,37 @@
+(** Theorem-1 regression checking.
+
+    A simulated run is compared against the paper's completion-time bound
+
+    {v (T1 + W(n) + n·s(n))/P + m·s(n) + T∞ v}
+
+    instantiated with the run's own measurements: T1, T∞, n and m come
+    from {!Sim.Workload.core_metrics}; W(n) is the BOP plus LAUNCHBATCH
+    work the simulator attributed to batches; s(n) is the largest batch
+    span observed (plus the setup/cleanup span of a launch). Theorem 1
+    promises the makespan is within a constant factor of this expression
+    {e in expectation}, so {!check} takes the acceptable factor as a
+    parameter — a run exceeding it flags a scheduler-efficiency
+    regression, not merely an unlucky seed, as long as the factor is
+    chosen generously (the repo's experiments observe ratios below 16;
+    see E6 in DESIGN.md).
+
+    The expression only makes sense for configurations the theorem
+    speaks about: immediate launching and a full batch cap. Ablated
+    configurations (launch thresholds, tiny caps, core-only stealing)
+    may legitimately exceed it, so {!Schedule_fuzz} applies {!check}
+    only to paper-default-shaped configurations. *)
+
+val theorem1 : workload:Sim.Workload.t -> metrics:Sim.Metrics.t -> int
+(** The bound expression, in simulated timesteps (at least 1). *)
+
+val ratio : workload:Sim.Workload.t -> metrics:Sim.Metrics.t -> float
+(** makespan / {!theorem1} — the quantity that must stay bounded. *)
+
+val check :
+  ?factor:float ->
+  workload:Sim.Workload.t ->
+  metrics:Sim.Metrics.t ->
+  unit ->
+  (unit, string) result
+(** [Error] when makespan exceeds [factor] (default 16.0) times
+    {!theorem1}, with a description naming both sides. *)

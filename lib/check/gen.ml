@@ -1,0 +1,96 @@
+let script ~gen ~n ~seed =
+  let rng = Util.Rng.create ~seed in
+  let rec build i acc = if i = n then List.rev acc else build (i + 1) (gen rng i :: acc) in
+  Array.of_list (build 0 [])
+
+let counter_op rng _i = Batched.Counter.op (Util.Rng.int rng 19 - 9)
+
+let fifo_op rng _i =
+  if Util.Rng.int rng 5 < 3 then Batched.Fifo.enqueue (Util.Rng.int rng 1000)
+  else Batched.Fifo.dequeue ()
+
+let stack_op rng _i =
+  if Util.Rng.int rng 5 < 3 then Batched.Stack.push (Util.Rng.int rng 1000)
+  else Batched.Stack.pop ()
+
+let pqueue_op rng i =
+  if Util.Rng.int rng 5 < 3 then
+    (* 4096 * draw + i keeps priorities distinct across the script as
+       long as it is shorter than 4096 ops. *)
+    Batched.Pqueue.insert_op
+      ~prio:((Util.Rng.int rng 1000 * 4096) + (i mod 4096))
+      ~value:(Util.Rng.int rng 1000)
+  else Batched.Pqueue.extract_op ()
+
+let small_key ~n rng = Util.Rng.int rng (max 8 (n / 2))
+
+let hashtable_op ~n rng _i =
+  match Util.Rng.int rng 4 with
+  | 0 | 1 ->
+      Batched.Hashtable.insert ~key:(small_key ~n rng) ~value:(Util.Rng.int rng 1000)
+  | 2 -> Batched.Hashtable.lookup (small_key ~n rng)
+  | _ -> Batched.Hashtable.remove (small_key ~n rng)
+
+let skiplist_op ~n rng _i =
+  match Util.Rng.int rng 4 with
+  | 0 | 1 -> Batched.Skiplist.insert (small_key ~n rng)
+  | 2 -> Batched.Skiplist.mem (small_key ~n rng)
+  | _ -> Batched.Skiplist.delete (small_key ~n rng)
+
+let two_three_op ~n rng i =
+  match Util.Rng.int rng 4 with
+  | 0 | 1 -> Batched.Two_three.insert_op (2 * i)
+  | 2 -> Batched.Two_three.mem_op (Util.Rng.int rng (2 * max 1 n))
+  | _ -> Batched.Two_three.delete_op (Util.Rng.int rng (2 * max 1 n))
+
+let ostree_op ~n rng i =
+  match Util.Rng.int rng 5 with
+  | 0 | 1 -> Batched.Ostree.insert_op (2 * i)
+  | 2 -> Batched.Ostree.delete_op (Util.Rng.int rng (2 * max 1 n))
+  | 3 -> Batched.Ostree.rank_op (Util.Rng.int rng (2 * max 1 n))
+  | _ -> Batched.Ostree.select_op (Util.Rng.int rng (max 1 n))
+
+let config_gen ?(min_p = 1) ?(max_p = 8) () =
+  let open QCheck.Gen in
+  int_range min_p max_p >>= fun p ->
+  int_range 0 1_000_000 >>= fun seed ->
+  oneofl
+    Sim.Batcher.[ Alternating; Core_only; Batch_only; Uniform_random ]
+  >>= fun steal_policy ->
+  int_range 1 p >>= fun launch_threshold ->
+  int_range 1 p >>= fun batch_cap ->
+  oneofl Sim.Batcher.[ Tree_setup; Fused_setup; No_setup ] >>= fun overhead ->
+  bool >>= fun sequential_batches ->
+  return
+    {
+      (Sim.Batcher.default ~p) with
+      Sim.Batcher.seed;
+      steal_policy;
+      launch_threshold;
+      batch_cap;
+      overhead;
+      sequential_batches;
+    }
+
+let print_config (c : Sim.Batcher.config) =
+  Printf.sprintf
+    "{ p = %d; seed = %d; policy = %s; threshold = %d; cap = %d; overhead = %s; \
+     flat = %b }"
+    c.Sim.Batcher.p c.seed
+    (Schedule_fuzz.policy_name c.steal_policy)
+    c.launch_threshold c.batch_cap
+    (Schedule_fuzz.overhead_name c.overhead)
+    c.sequential_batches
+
+let arb_config ?min_p ?max_p () =
+  QCheck.make ~print:print_config (config_gen ?min_p ?max_p ())
+
+let case_gen ?max_p ?max_size () =
+  QCheck.Gen.map
+    (Schedule_fuzz.case_of_seed ?max_p ?max_size)
+    (QCheck.Gen.int_range 0 1_000_000)
+
+let arb_case ?max_p ?max_size () =
+  QCheck.make ~print:Schedule_fuzz.show_case
+    ~shrink:(fun c yield -> List.iter yield (Schedule_fuzz.shrink_steps c))
+    (case_gen ?max_p ?max_size ())

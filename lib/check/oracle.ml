@@ -1,0 +1,213 @@
+(* Naive reference implementations. Clarity beats efficiency throughout:
+   these exist to be obviously correct, not fast. *)
+
+module Dict = struct
+  (* Ascending assoc list. *)
+  type t = { mutable items : (int * int) list }
+
+  let create () = { items = [] }
+  let size t = List.length t.items
+
+  let insert t ~key ~value =
+    let rec go = function
+      | [] -> ([ (key, value) ], false)
+      | (k, _) :: rest when k = key -> ((key, value) :: rest, true)
+      | (k, v) :: rest when k > key -> ((key, value) :: (k, v) :: rest, false)
+      | kv :: rest ->
+          let rest', replaced = go rest in
+          (kv :: rest', replaced)
+    in
+    let items, replaced = go t.items in
+    t.items <- items;
+    replaced
+
+  let mem t key = List.mem_assoc key t.items
+
+  let add_if_absent t key =
+    if mem t key then false
+    else begin
+      ignore (insert t ~key ~value:key);
+      true
+    end
+
+  let remove t key =
+    let present = mem t key in
+    if present then t.items <- List.remove_assoc key t.items;
+    present
+
+  let find t key = List.assoc_opt key t.items
+  let rank t key = List.length (List.filter (fun (k, _) -> k < key) t.items)
+  let select t i = List.nth_opt (List.map fst t.items) i
+  let keys t = List.map fst t.items
+  let bindings t = t.items
+end
+
+module Fifo = struct
+  type t = { mutable items : int list (* front first *) }
+
+  let create () = { items = [] }
+  let enqueue t v = t.items <- t.items @ [ v ]
+
+  let dequeue t =
+    match t.items with
+    | [] -> None
+    | v :: rest ->
+        t.items <- rest;
+        Some v
+
+  let to_list t = t.items
+end
+
+module Lifo = struct
+  type t = { mutable items : int list (* top first *) }
+
+  let create () = { items = [] }
+  let push t v = t.items <- v :: t.items
+
+  let pop t =
+    match t.items with
+    | [] -> None
+    | v :: rest ->
+        t.items <- rest;
+        Some v
+
+  let to_list t = List.rev t.items
+end
+
+module Heap = struct
+  type t = { mutable items : (int * int) array; mutable len : int }
+
+  let create () = { items = Array.make 16 (0, 0); len = 0 }
+  let size t = t.len
+
+  let swap t i j =
+    let tmp = t.items.(i) in
+    t.items.(i) <- t.items.(j);
+    t.items.(j) <- tmp
+
+  let prio t i = fst t.items.(i)
+
+  let rec sift_up t i =
+    let parent = (i - 1) / 2 in
+    if i > 0 && prio t i < prio t parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < t.len && prio t l < prio t !smallest then smallest := l;
+    if r < t.len && prio t r < prio t !smallest then smallest := r;
+    if !smallest <> i then begin
+      swap t i !smallest;
+      sift_down t !smallest
+    end
+
+  let insert t ~prio ~value =
+    if t.len = Array.length t.items then begin
+      let bigger = Array.make (2 * t.len) (0, 0) in
+      Array.blit t.items 0 bigger 0 t.len;
+      t.items <- bigger
+    end;
+    t.items.(t.len) <- (prio, value);
+    t.len <- t.len + 1;
+    sift_up t (t.len - 1)
+
+  let extract_min t =
+    if t.len = 0 then None
+    else begin
+      let top = t.items.(0) in
+      t.len <- t.len - 1;
+      t.items.(0) <- t.items.(t.len);
+      sift_down t 0;
+      Some top
+    end
+
+  let to_sorted_list t =
+    Array.to_list (Array.sub t.items 0 t.len)
+    |> List.sort compare
+end
+
+module Counter = struct
+  type t = { mutable count : int }
+
+  let create () = { count = 0 }
+
+  let add t amount =
+    t.count <- t.count + amount;
+    t.count
+
+  let value t = t.count
+end
+
+module Order = struct
+  type token = int
+  type t = { mutable items : token list; mutable next : int }
+
+  let create () =
+    ({ items = [ 0 ]; next = 1 }, 0)
+
+  let insert_after t tok =
+    let fresh = t.next in
+    t.next <- t.next + 1;
+    let rec go = function
+      | [] -> invalid_arg "Oracle.Order.insert_after: unknown token"
+      | x :: rest when x = tok -> x :: fresh :: rest
+      | x :: rest -> x :: go rest
+    in
+    t.items <- go t.items;
+    fresh
+
+  let index t tok =
+    let rec go i = function
+      | [] -> invalid_arg "Oracle.Order.index: unknown token"
+      | x :: _ when x = tok -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 t.items
+
+  let precedes t a b = a <> b && index t a < index t b
+  let size t = List.length t.items
+end
+
+module Sp = struct
+  type node = { id : int; eng : Order.token; heb : Order.token }
+
+  type t = {
+    english : Order.t;
+    hebrew : Order.t;
+    mutable next_id : int;
+  }
+
+  let create () =
+    let english, eng0 = Order.create () in
+    let hebrew, heb0 = Order.create () in
+    ({ english; hebrew; next_id = 1 }, { id = 0; eng = eng0; heb = heb0 })
+
+  let fresh t ~eng ~heb =
+    let n = { id = t.next_id; eng; heb } in
+    t.next_id <- t.next_id + 1;
+    n
+
+  (* English: s < l < r < c.  Hebrew: s < r < l < c. *)
+  let fork t s =
+    let eng_l = Order.insert_after t.english s.eng in
+    let eng_r = Order.insert_after t.english eng_l in
+    let eng_c = Order.insert_after t.english eng_r in
+    let heb_r = Order.insert_after t.hebrew s.heb in
+    let heb_l = Order.insert_after t.hebrew heb_r in
+    let heb_c = Order.insert_after t.hebrew heb_l in
+    let left = fresh t ~eng:eng_l ~heb:heb_l in
+    let right = fresh t ~eng:eng_r ~heb:heb_r in
+    let continuation = fresh t ~eng:eng_c ~heb:heb_c in
+    (left, right, continuation)
+
+  let precedes t a b =
+    a.id <> b.id
+    && Order.precedes t.english a.eng b.eng
+    && Order.precedes t.hebrew a.heb b.heb
+
+  let nodes t = t.next_id
+  let indices t n = (Order.index t.english n.eng, Order.index t.hebrew n.heb)
+end

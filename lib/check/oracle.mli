@@ -1,0 +1,140 @@
+(** Naive sequential reference implementations ("oracles").
+
+    Every batched structure in [lib/batched/] is cross-checked against
+    one of these by {!Conformance}: the oracle replays the exact batch
+    linearization the scheduler chose (batches in execution order, the
+    structure's documented phase order within each batch) on an
+    implementation so simple it is obviously correct — sorted association
+    lists, plain list queues, a textbook binary heap. Mismatching per-op
+    results or final states indicate a bug in the batched structure, in
+    the batching runtime, or in the simulator.
+
+    The oracles are deliberately independent of [lib/batched/]: they
+    share no code with the structures under test and know nothing about
+    operation records. All are single-threaded and mutable; none is
+    remotely efficient, which is fine — conformance scripts are small. *)
+
+(** Sorted association list: the dictionary oracle for the skip list,
+    hash table, 2-3 tree and order-statistic tree. *)
+module Dict : sig
+  type t
+
+  val create : unit -> t
+  val size : t -> int
+
+  val insert : t -> key:int -> value:int -> bool
+  (** Bind [key], replacing any existing binding; [true] iff replaced. *)
+
+  val add_if_absent : t -> int -> bool
+  (** Set-style insert (value = key); [true] iff the key was new. *)
+
+  val remove : t -> int -> bool
+  (** [true] iff the key was present (and is now gone). *)
+
+  val find : t -> int -> int option
+  val mem : t -> int -> bool
+
+  val rank : t -> int -> int
+  (** Number of stored keys strictly less than the argument. *)
+
+  val select : t -> int -> int option
+  (** i-th smallest key (0-based), if in range. *)
+
+  val keys : t -> int list
+  (** Ascending. *)
+
+  val bindings : t -> (int * int) list
+  (** Ascending by key. *)
+end
+
+(** Plain list FIFO queue. *)
+module Fifo : sig
+  type t
+
+  val create : unit -> t
+  val enqueue : t -> int -> unit
+  val dequeue : t -> int option
+  val to_list : t -> int list
+  (** Front (oldest) first. *)
+end
+
+(** Plain list LIFO stack. *)
+module Lifo : sig
+  type t
+
+  val create : unit -> t
+  val push : t -> int -> unit
+  val pop : t -> int option
+  val to_list : t -> int list
+  (** Bottom to top (matching [Batched.Stack.to_list]). *)
+end
+
+(** Textbook array-backed binary min-heap of [(prio, value)] pairs.
+    Extraction order is fully determined only when priorities are
+    distinct; conformance scripts generate distinct priorities. *)
+module Heap : sig
+  type t
+
+  val create : unit -> t
+  val size : t -> int
+  val insert : t -> prio:int -> value:int -> unit
+  val extract_min : t -> (int * int) option
+  val to_sorted_list : t -> (int * int) list
+  (** Ascending priority; does not disturb the heap. *)
+end
+
+(** Plain integer counter. *)
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> int
+  (** Add an amount; returns the value after the addition. *)
+
+  val value : t -> int
+end
+
+(** Order-maintenance oracle: the total order kept as an actual list,
+    insertion by O(n) splice, comparison by O(n) index scan — checking
+    [Batched.Order_list]'s amortized O(1) label scheme against the
+    obvious spec. Elements are opaque integer tokens. *)
+module Order : sig
+  type t
+  type token
+
+  val create : unit -> t * token
+  (** A fresh order holding exactly its base token. *)
+
+  val insert_after : t -> token -> token
+  val precedes : t -> token -> token -> bool
+  (** Strictly before; false on equal tokens. *)
+
+  val size : t -> int
+
+  val index : t -> token -> int
+  (** Position from the front, 0-based — for O(1) batched comparisons
+      after a snapshot. *)
+end
+
+(** Series-parallel order oracle, mirroring the English/Hebrew
+    construction of [Batched.Sp_order] on top of the naive {!Order}
+    lists: fork of [s] inserts [s < l < r < c] into the English order and
+    [s < r < l < c] into the Hebrew order; [a] serially precedes [b] iff
+    it does in both. The risky component under test is the label-based
+    [Batched.Order_list] underneath the real structure. *)
+module Sp : sig
+  type t
+  type node
+
+  val create : unit -> t * node
+  val fork : t -> node -> node * node * node
+  (** [(left, right, continuation)]. *)
+
+  val precedes : t -> node -> node -> bool
+  val nodes : t -> int
+
+  val indices : t -> node -> int * int
+  (** [(english, hebrew)] positions — lets callers snapshot both orders
+      once and compare O(1) per pair when building full relation
+      matrices. *)
+end

@@ -1,0 +1,300 @@
+type model_kind =
+  | Counter
+  | Skiplist
+  | Stack
+  | Fifo
+  | Pqueue
+  | Hashtable
+  | Two_three
+  | Ostree
+  | Sp_order
+
+type family =
+  | Parallel_ops
+  | Chained
+  | Pthreaded
+  | Random_sp
+  | Interleaved
+
+type case = {
+  family : family;
+  model : model_kind;
+  size : int;
+  records_per_node : int;
+  wl_seed : int;
+  p : int;
+  sim_seed : int;
+  steal_policy : Sim.Batcher.steal_policy;
+  launch_threshold : int;
+  batch_cap : int;
+  overhead : Sim.Batcher.overhead_model;
+  sequential_batches : bool;
+}
+
+let model_of kind ~records_per_node ~seed =
+  match kind with
+  | Counter -> Batched.Counter.sim_model ~records_per_node ()
+  | Skiplist -> Batched.Skiplist.sim_model ~initial_size:1024 ~records_per_node ()
+  | Stack -> Batched.Stack.sim_model ~records_per_node ~pop_fraction:0.3 ~seed ()
+  | Fifo -> Batched.Fifo.sim_model ~records_per_node ~dequeue_fraction:0.3 ~seed ()
+  | Pqueue -> Batched.Pqueue.sim_model ~records_per_node ()
+  | Hashtable -> Batched.Hashtable.sim_model ~records_per_node ()
+  | Two_three -> Batched.Two_three.sim_model ~initial_size:512 ~records_per_node ()
+  | Ostree -> Batched.Ostree.sim_model ~initial_size:512 ~records_per_node ()
+  | Sp_order -> Batched.Sp_order.sim_model ()
+
+let workload_of c =
+  let model = model_of c.model ~records_per_node:c.records_per_node ~seed:c.wl_seed in
+  let records_per_node = c.records_per_node in
+  let rng = Util.Rng.create ~seed:c.wl_seed in
+  match c.family with
+  | Parallel_ops ->
+      Sim.Workload.parallel_ops ~model ~records_per_node ~n_nodes:c.size ()
+  | Chained ->
+      let width = 1 + Util.Rng.int rng 6 in
+      let chain_length = max 1 (c.size / width) in
+      Sim.Workload.chained_ops ~model ~records_per_node ~chain_length ~width
+        ~between:(Util.Rng.int rng 4) ()
+  | Pthreaded ->
+      let threads = 1 + Util.Rng.int rng 7 in
+      let ops_per_thread = max 1 (c.size / threads) in
+      Sim.Workload.pthreaded ~model ~records_per_node ~threads ~ops_per_thread
+        ~between:(Util.Rng.int rng 4) ()
+  | Random_sp ->
+      Sim.Workload.random ~model ~records_per_node ~size:c.size ~seed:c.wl_seed ()
+  | Interleaved ->
+      let second = Batched.Counter.sim_model ~records_per_node () in
+      Sim.Workload.interleaved_ops ~models:[ model; second ] ~records_per_node
+        ~n_nodes:c.size ()
+
+let config_of c =
+  {
+    (Sim.Batcher.default ~p:c.p) with
+    Sim.Batcher.seed = c.sim_seed;
+    steal_policy = c.steal_policy;
+    launch_threshold = c.launch_threshold;
+    batch_cap = c.batch_cap;
+    overhead = c.overhead;
+    sequential_batches = c.sequential_batches;
+  }
+
+let is_paper_default c =
+  c.steal_policy = Sim.Batcher.Alternating
+  && c.launch_threshold = 1
+  && c.batch_cap = c.p
+  && c.overhead = Sim.Batcher.Tree_setup
+  && not c.sequential_batches
+
+let run_case ?(bound_factor = 16.0) c =
+  let ( let* ) = Result.bind in
+  let workload = workload_of c in
+  let cfg = config_of c in
+  let* metrics, events =
+    match Sim.Batcher.run_traced cfg workload with
+    | result -> Ok result
+    | exception Failure e -> Error ("sim invariant: " ^ e)
+    | exception Invalid_argument e -> Error ("sim argument: " ^ e)
+    | exception e ->
+        (* e.g. Assert_failure or array-bounds escapes from a broken
+           scheduler — the fuzzer must survive to shrink them *)
+        Error ("sim exception: " ^ Printexc.to_string e)
+  in
+  let open Sim.Metrics in
+  let n = Dag.ds_count workload.Sim.Workload.core in
+  let* () =
+    if metrics.batch_size_total = n then Ok ()
+    else
+      Error
+        (Printf.sprintf "conservation: %d ops batched, %d in the DAG"
+           metrics.batch_size_total n)
+  in
+  let* () =
+    if metrics.max_batch_size <= c.batch_cap then Ok ()
+    else
+      Error
+        (Printf.sprintf "Invariant 2: batch of %d exceeds cap %d"
+           metrics.max_batch_size c.batch_cap)
+  in
+  let executed = metrics.core_work + metrics.batch_work + metrics.setup_work in
+  let* () =
+    if executed <= c.p * metrics.makespan then Ok ()
+    else
+      Error
+        (Printf.sprintf "executed %d units in %d steps on %d workers" executed
+           metrics.makespan c.p)
+  in
+  (* The validator's Lemma-2 accounting assumes immediate launches of
+     full-cap batches; ablated configurations may legitimately let an
+     operation observe more than two batches. *)
+  let* () =
+    if c.launch_threshold = 1 && c.batch_cap >= c.p then begin
+      if metrics.max_batches_while_pending > 2 then
+        Error
+          (Printf.sprintf "Lemma 2: operation observed %d batches"
+             metrics.max_batches_while_pending)
+      else
+        match Sim.Trace.validate ~p:c.p ~batch_cap:c.batch_cap events with
+        | Ok () -> Ok ()
+        | Error e -> Error ("trace: " ^ e)
+    end
+    else Ok ()
+  in
+  if is_paper_default c then
+    Bound.check ~factor:bound_factor ~workload ~metrics ()
+  else Ok ()
+
+let case_of_seed ?(max_p = 8) ?(max_size = 60) seed =
+  let rng = Util.Rng.create ~seed:(0x5EED + seed) in
+  let p = 1 + Util.Rng.int rng max_p in
+  let pick arr = arr.(Util.Rng.int rng (Array.length arr)) in
+  {
+    family = pick [| Parallel_ops; Chained; Pthreaded; Random_sp; Interleaved |];
+    model =
+      pick
+        [|
+          Counter; Skiplist; Stack; Fifo; Pqueue; Hashtable; Two_three; Ostree;
+          Sp_order;
+        |];
+    size = 1 + Util.Rng.int rng max_size;
+    records_per_node = (if Util.Rng.int rng 4 = 0 then 4 else 1);
+    wl_seed = Util.Rng.int rng 1_000_000;
+    p;
+    sim_seed = Util.Rng.int rng 1_000_000;
+    steal_policy =
+      pick
+        Sim.Batcher.[| Alternating; Alternating; Core_only; Batch_only; Uniform_random |];
+    launch_threshold = (if Util.Rng.bool rng then 1 else 1 + Util.Rng.int rng p);
+    batch_cap = (if Util.Rng.bool rng then p else 1 + Util.Rng.int rng p);
+    overhead = pick Sim.Batcher.[| Tree_setup; Tree_setup; Fused_setup; No_setup |];
+    sequential_batches = Util.Rng.int rng 4 = 0;
+  }
+
+(* Candidate reductions, most aggressive first. Each strictly reduces
+   (size, records, p, distance-from-default), so greedy shrinking
+   terminates. *)
+let shrink_steps c =
+  let cands = ref [] in
+  let add c' = if c' <> c then cands := c' :: !cands in
+  if c.size > 1 then begin
+    add { c with size = c.size / 2 };
+    add { c with size = c.size - 1 }
+  end;
+  if c.records_per_node > 1 then add { c with records_per_node = 1 };
+  if c.p > 1 then begin
+    let clamp p' c' = { c' with p = p'; batch_cap = min c'.batch_cap p';
+                        launch_threshold = min c'.launch_threshold p' } in
+    add (clamp (c.p / 2) c);
+    add (clamp (c.p - 1) c)
+  end;
+  if c.launch_threshold > 1 then add { c with launch_threshold = 1 };
+  if c.batch_cap < c.p then add { c with batch_cap = c.p };
+  if c.sequential_batches then add { c with sequential_batches = false };
+  if c.overhead <> Sim.Batcher.Tree_setup then
+    add { c with overhead = Sim.Batcher.Tree_setup };
+  if c.steal_policy <> Sim.Batcher.Alternating then
+    add { c with steal_policy = Sim.Batcher.Alternating };
+  if c.family <> Parallel_ops then add { c with family = Parallel_ops };
+  if c.model <> Counter then add { c with model = Counter };
+  if c.wl_seed <> 0 then add { c with wl_seed = 0 };
+  if c.sim_seed <> 1 then add { c with sim_seed = 1 };
+  List.rev !cands
+
+let fails ?bound_factor c =
+  match run_case ?bound_factor c with Ok () -> false | Error _ -> true
+
+let shrink ?bound_factor c0 =
+  if not (fails ?bound_factor c0) then c0
+  else begin
+    let rec go c fuel =
+      if fuel = 0 then c
+      else
+        match List.find_opt (fails ?bound_factor) (shrink_steps c) with
+        | None -> c
+        | Some smaller -> go smaller (fuel - 1)
+    in
+    go c0 200
+  end
+
+let family_name = function
+  | Parallel_ops -> "Parallel_ops"
+  | Chained -> "Chained"
+  | Pthreaded -> "Pthreaded"
+  | Random_sp -> "Random_sp"
+  | Interleaved -> "Interleaved"
+
+let model_name = function
+  | Counter -> "Counter"
+  | Skiplist -> "Skiplist"
+  | Stack -> "Stack"
+  | Fifo -> "Fifo"
+  | Pqueue -> "Pqueue"
+  | Hashtable -> "Hashtable"
+  | Two_three -> "Two_three"
+  | Ostree -> "Ostree"
+  | Sp_order -> "Sp_order"
+
+let policy_name = function
+  | Sim.Batcher.Alternating -> "Alternating"
+  | Sim.Batcher.Core_only -> "Core_only"
+  | Sim.Batcher.Batch_only -> "Batch_only"
+  | Sim.Batcher.Uniform_random -> "Uniform_random"
+
+let overhead_name = function
+  | Sim.Batcher.Tree_setup -> "Tree_setup"
+  | Sim.Batcher.Fused_setup -> "Fused_setup"
+  | Sim.Batcher.No_setup -> "No_setup"
+
+let pp_case fmt c =
+  Format.fprintf fmt
+    "{ family = %s; model = %s; size = %d; records_per_node = %d;@ wl_seed = %d; p \
+     = %d; sim_seed = %d;@ steal_policy = Sim.Batcher.%s; launch_threshold = %d; \
+     batch_cap = %d;@ overhead = Sim.Batcher.%s; sequential_batches = %b }"
+    (family_name c.family) (model_name c.model) c.size c.records_per_node c.wl_seed
+    c.p c.sim_seed (policy_name c.steal_policy) c.launch_threshold c.batch_cap
+    (overhead_name c.overhead) c.sequential_batches
+
+let show_case c = Format.asprintf "@[<hv 2>%a@]" pp_case c
+
+let to_ocaml c =
+  Format.asprintf
+    "@[<v>let test_fuzz_repro () =@,\
+    \  let case =@,\
+    \    Check.Schedule_fuzz.@[<hv 4>%a@]@,\
+    \  in@,\
+    \  match Check.Schedule_fuzz.run_case case with@,\
+    \  | Ok () -> ()@,\
+    \  | Error e -> Alcotest.fail e@]"
+    pp_case c
+
+type failure = {
+  f_case : case;
+  f_error : string;
+  f_shrunk : case;
+  f_shrunk_error : string;
+}
+
+let sweep ?bound_factor ?max_p ?max_size ?(should_stop = fun () -> false)
+    ?(on_case = fun _ _ -> ()) ~seeds () =
+  let run = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun seed ->
+      if not (should_stop ()) then begin
+        let c = case_of_seed ?max_p ?max_size seed in
+        on_case seed c;
+        incr run;
+        match run_case ?bound_factor c with
+        | Ok () -> ()
+        | Error e ->
+            let small = shrink ?bound_factor c in
+            let small_err =
+              match run_case ?bound_factor small with
+              | Error e' -> e'
+              | Ok () -> e (* unreachable: shrink preserves failure *)
+            in
+            failures :=
+              { f_case = c; f_error = e; f_shrunk = small; f_shrunk_error = small_err }
+              :: !failures
+      end)
+    seeds;
+  (!run, List.rev !failures)

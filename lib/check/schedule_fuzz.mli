@@ -1,0 +1,110 @@
+(** Schedule fuzzing: sweep random scheduler configurations over random
+    core DAGs and verify every run against the paper's protocol rules.
+
+    A fuzz {!case} packs everything that determines one simulated run:
+    a workload family and size, a structure cost model, worker count,
+    seeds, and the full ablation surface of {!Sim.Batcher.config}
+    (steal policy, launch threshold, batch cap, overhead model,
+    flat-combining mode). {!run_case} executes the run with the
+    simulator's own invariant assertions enabled and then re-checks it
+    from the outside:
+
+    - the event trace replays cleanly through {!Sim.Trace.validate}
+      (Invariants 1-2, the suspension protocol, Lemma 2) — applied only
+      to immediate-launch, full-cap configurations, the regime the
+      validator's Lemma-2 accounting assumes;
+    - conservation: every data-structure node lands in exactly one
+      batch, no batch exceeds the cap, and total executed work fits in
+      [P · makespan];
+    - for paper-default-shaped configurations, the makespan respects the
+      Theorem-1 expression via {!Bound.check}.
+
+    A failing [(seed, config)] pair is {!shrink}-ed to a minimal still-
+    failing case and rendered by {!to_ocaml} as a ready-to-paste test. *)
+
+type model_kind =
+  | Counter
+  | Skiplist
+  | Stack
+  | Fifo
+  | Pqueue
+  | Hashtable
+  | Two_three
+  | Ostree
+  | Sp_order
+
+type family =
+  | Parallel_ops  (** the paper's Figure-1 parallel loop *)
+  | Chained  (** parallel chains exercising the m·s(n) term *)
+  | Pthreaded  (** statically threaded chains (Section 8) *)
+  | Random_sp  (** random series-parallel core DAGs *)
+  | Interleaved  (** two structures batched side by side *)
+
+type case = {
+  family : family;
+  model : model_kind;
+  size : int;  (** target number of data-structure nodes *)
+  records_per_node : int;
+  wl_seed : int;  (** workload-shape seed (random DAGs, pop mixes) *)
+  p : int;
+  sim_seed : int;  (** scheduler (steal-victim) seed *)
+  steal_policy : Sim.Batcher.steal_policy;
+  launch_threshold : int;
+  batch_cap : int;
+  overhead : Sim.Batcher.overhead_model;
+  sequential_batches : bool;
+}
+
+val workload_of : case -> Sim.Workload.t
+val config_of : case -> Sim.Batcher.config
+
+val is_paper_default : case -> bool
+(** Alternating steals, threshold 1, cap [p], tree setup, parallel
+    batches — the configuration Theorem 1 is stated for. *)
+
+val run_case : ?bound_factor:float -> case -> (unit, string) result
+(** Execute and cross-check one case. [bound_factor] is forwarded to
+    {!Bound.check} (paper-default cases only). *)
+
+val case_of_seed : ?max_p:int -> ?max_size:int -> int -> case
+(** Deterministic case from a single fuzz seed. *)
+
+val shrink_steps : case -> case list
+(** Candidate reductions, most aggressive first. Every candidate is
+    strictly smaller in the (size, p, records, ablation-distance)
+    order, so greedy shrinking terminates. *)
+
+val shrink : ?bound_factor:float -> case -> case
+(** Greedily minimize a failing case: repeatedly replace it by its
+    first still-failing reduction. Returns the input unchanged if it
+    does not fail. *)
+
+val to_ocaml : case -> string
+(** A self-contained OCaml test snippet reproducing the case. *)
+
+val pp_case : Format.formatter -> case -> unit
+val show_case : case -> string
+
+val policy_name : Sim.Batcher.steal_policy -> string
+val overhead_name : Sim.Batcher.overhead_model -> string
+(** Constructor names, for printers and CLI output. *)
+
+type failure = {
+  f_case : case;  (** as generated *)
+  f_error : string;
+  f_shrunk : case;  (** minimal reproducer *)
+  f_shrunk_error : string;
+}
+
+val sweep :
+  ?bound_factor:float ->
+  ?max_p:int ->
+  ?max_size:int ->
+  ?should_stop:(unit -> bool) ->
+  ?on_case:(int -> case -> unit) ->
+  seeds:int list ->
+  unit ->
+  int * failure list
+(** Run {!run_case} on {!case_of_seed} of every seed, shrinking each
+    failure. Returns [(cases_run, failures)]. [should_stop] is polled
+    between cases (soak-run time budgets); [on_case] observes progress. *)

@@ -1,0 +1,180 @@
+(* Tests for the lib/check conformance + fuzzing subsystem, and the
+   conformance of every batched structure against its sequential
+   oracle. These are the cheap, always-on slices of what bin/fuzz.exe
+   runs at scale. *)
+
+let check_ok = function Ok _ -> () | Error e -> Alcotest.fail e
+
+(* ---------- conformance: every structure vs its oracle ---------- *)
+
+let conformance_cases =
+  List.map
+    (fun s ->
+      let name = Check.Conformance.subject_name s in
+      Alcotest.test_case name `Quick (fun () ->
+          check_ok (Check.Conformance.run ~n_ops:48 s)))
+    Check.Conformance.subjects
+
+(* A second seed and pool shape, so the CAS race carves different
+   batches than the default run. *)
+let test_conformance_reseeded () =
+  List.iter
+    (fun s ->
+      check_ok (Check.Conformance.run ~n_ops:32 ~seed:42 ~workers:2 ~sim_p:3 s))
+    Check.Conformance.subjects
+
+let test_order_list_conformance () =
+  check_ok (Check.Conformance.order_list_check ())
+
+(* ---------- schedule fuzzing ---------- *)
+
+let test_sweep_small () =
+  let cases_run, failures =
+    Check.Schedule_fuzz.sweep ~seeds:(List.init 25 (fun i -> 1000 + i)) ()
+  in
+  Alcotest.(check int) "all cases run" 25 cases_run;
+  match failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.fail
+        (Printf.sprintf "%s\n%s" f.Check.Schedule_fuzz.f_shrunk_error
+           (Check.Schedule_fuzz.to_ocaml f.Check.Schedule_fuzz.f_shrunk))
+
+let test_shrink_is_identity_on_passing () =
+  let case = Check.Schedule_fuzz.case_of_seed 5 in
+  let shrunk = Check.Schedule_fuzz.shrink case in
+  Alcotest.(check bool) "unchanged" true (case = shrunk)
+
+let test_bound_smoke () =
+  let model = Batched.Counter.sim_model () in
+  let workload =
+    Sim.Workload.parallel_ops ~model ~records_per_node:1 ~n_nodes:64 ()
+  in
+  let metrics = Sim.Batcher.run (Sim.Batcher.default ~p:4) workload in
+  check_ok (Check.Bound.check ~workload ~metrics ());
+  let r = Check.Bound.ratio ~workload ~metrics in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.2f positive and sane" r)
+    true
+    (r > 0.0 && r < 16.0)
+
+(* ---------- determinism: byte-identical metrics ---------- *)
+
+let test_metrics_deterministic () =
+  List.iter
+    (fun seed ->
+      let case = Check.Schedule_fuzz.case_of_seed seed in
+      let run () =
+        let workload = Check.Schedule_fuzz.workload_of case in
+        Sim.Batcher.run (Check.Schedule_fuzz.config_of case) workload
+      in
+      let a = Marshal.to_string (run ()) [] in
+      let b = Marshal.to_string (run ()) [] in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d byte-identical" seed)
+        true (String.equal a b))
+    [ 3; 17; 99; 2024 ]
+
+(* ---------- qcheck properties ---------- *)
+
+(* Any generated case passes every check run_case applies (trace
+   validation, conservation, the Theorem-1 bound on default shapes). *)
+let prop_random_cases_pass =
+  QCheck.Test.make ~name:"fuzz cases pass on the current scheduler" ~count:150
+    (Check.Gen.arb_case ~max_p:6 ~max_size:40 ())
+    (fun case ->
+      match Check.Schedule_fuzz.run_case case with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_report e)
+
+(* Trace.validate never rejects a paper-default run, whatever the
+   workload, worker count or scheduler seed. *)
+let prop_default_traces_validate =
+  QCheck.Test.make ~name:"Trace.validate holds on paper defaults" ~count:100
+    QCheck.(0 -- 1_000_000)
+    (fun seed ->
+      let c = Check.Schedule_fuzz.case_of_seed ~max_p:6 ~max_size:40 seed in
+      let c =
+        {
+          c with
+          Check.Schedule_fuzz.steal_policy = Sim.Batcher.Alternating;
+          launch_threshold = 1;
+          batch_cap = c.Check.Schedule_fuzz.p;
+          overhead = Sim.Batcher.Tree_setup;
+          sequential_batches = false;
+        }
+      in
+      let workload = Check.Schedule_fuzz.workload_of c in
+      let cfg = Check.Schedule_fuzz.config_of c in
+      let _, events = Sim.Batcher.run_traced cfg workload in
+      match
+        Sim.Trace.validate ~p:c.Check.Schedule_fuzz.p
+          ~batch_cap:c.Check.Schedule_fuzz.batch_cap events
+      with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_report e)
+
+(* With real per-op work to amortize (a big skip list), batching at
+   p >= 2 never loses to the same schedule at p = 1. *)
+let prop_batched_beats_sequential =
+  QCheck.Test.make ~name:"sim makespan <= sequential makespan" ~count:60
+    QCheck.(pair (2 -- 6) (8 -- 48))
+    (fun (p, size) ->
+      let run p =
+        let model =
+          Batched.Skiplist.sim_model ~initial_size:1_000_000
+            ~records_per_node:4 ()
+        in
+        let workload =
+          Sim.Workload.parallel_ops ~model ~records_per_node:4 ~n_nodes:size ()
+        in
+        (Sim.Batcher.run (Sim.Batcher.default ~p) workload).Sim.Metrics.makespan
+      in
+      run p <= run 1)
+
+(* Random configs over the whole ablation surface still complete and
+   conserve operations. *)
+let prop_random_configs_complete =
+  QCheck.Test.make ~name:"random configs complete and conserve ops" ~count:100
+    QCheck.(pair (Check.Gen.arb_config ~max_p:6 ()) (8 -- 40))
+    (fun (cfg, n_nodes) ->
+      let model = Batched.Counter.sim_model () in
+      let workload =
+        Sim.Workload.parallel_ops ~model ~records_per_node:1 ~n_nodes ()
+      in
+      let metrics = Sim.Batcher.run cfg workload in
+      metrics.Sim.Metrics.batch_size_total = n_nodes
+      && metrics.Sim.Metrics.max_batch_size <= cfg.Sim.Batcher.batch_cap)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_random_cases_pass;
+      prop_default_traces_validate;
+      prop_batched_beats_sequential;
+      prop_random_configs_complete;
+    ]
+
+let () =
+  Alcotest.run "check"
+    [
+      ("conformance", conformance_cases);
+      ( "conformance-extra",
+        [
+          Alcotest.test_case "reseeded" `Quick test_conformance_reseeded;
+          Alcotest.test_case "order_list" `Quick test_order_list_conformance;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "small sweep" `Quick test_sweep_small;
+          Alcotest.test_case "shrink keeps passing cases" `Quick
+            test_shrink_is_identity_on_passing;
+          Alcotest.test_case "bound smoke" `Quick test_bound_smoke;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "metrics byte-identical" `Quick
+            test_metrics_deterministic;
+        ] );
+      ("properties", qcheck_cases);
+    ]

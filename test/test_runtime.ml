@@ -391,6 +391,30 @@ let test_batcher_rt_randomized_stress () =
           (Batched.Stack.size st))
   done
 
+(* [with_pool] guards every test above with Fun.protect; this pins down
+   that the guard actually works — teardown runs when the computation
+   raises, the exception still propagates, and the runtime stays healthy
+   enough to spin up and use a fresh pool afterwards (the domains of the
+   failed pool were joined, not leaked). *)
+let test_pool_teardown_under_exception () =
+  (match
+     with_pool 3 (fun pool ->
+         Runtime.Pool.run pool (fun () ->
+             ignore (Runtime.Pool.num_workers pool);
+             failwith "boom"))
+   with
+  | () -> Alcotest.fail "expected the exception to propagate"
+  | exception Failure msg -> Alcotest.(check string) "reraised" "boom" msg);
+  let total =
+    with_pool 2 (fun pool ->
+        Runtime.Pool.run pool (fun () ->
+            let acc = Atomic.make 0 in
+            Runtime.Pool.parallel_for pool ~lo:0 ~hi:100 (fun i ->
+                ignore (Atomic.fetch_and_add acc i));
+            Atomic.get acc))
+  in
+  Alcotest.(check int) "fresh pool still works" 4950 total
+
 let () =
   Alcotest.run "runtime"
     [
@@ -415,6 +439,8 @@ let () =
           Alcotest.test_case "map_reduce" `Quick test_pool_map_reduce;
           Alcotest.test_case "single worker" `Quick test_pool_single_worker;
           Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "teardown under exception" `Quick
+            test_pool_teardown_under_exception;
         ] );
       ( "batcher_rt",
         [
