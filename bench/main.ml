@@ -1,17 +1,26 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (per DESIGN.md's experiment index) and runs Bechamel
    micro-benchmarks of the underlying kernels — one Test.make per
-   experiment id.
+   experiment id. Alongside the printed tables it writes a stable
+   machine-readable BENCH_results.json (schema in EXPERIMENTS.md) with
+   one record per experiment id, numbers identical to the tables.
 
    Environment:
      QUICK=1   reduce simulation scales (CI-friendly)
-     ONLY=E1   run a single experiment id (E1 E2 E3 E4 E5 E6 E7 A1 A2 A3 MICRO)
+     ONLY=E1   run a single experiment id, case-insensitive
+               (E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 A1 A2 A3 A4 A5 MICRO)
+     OUT=path  where to write the JSON results (default BENCH_results.json)
 *)
 
 let quick = Sys.getenv_opt "QUICK" <> None
 let only = Sys.getenv_opt "ONLY"
+let out_path =
+  match Sys.getenv_opt "OUT" with Some p -> p | None -> "BENCH_results.json"
 
-let want id = match only with None -> true | Some o -> String.uppercase_ascii o = id
+let want id =
+  match only with
+  | None -> true
+  | Some o -> String.uppercase_ascii o = String.uppercase_ascii id
 
 let fmt = Format.std_formatter
 
@@ -20,94 +29,127 @@ let section title =
   Format.fprintf fmt "%s@." title;
   Format.fprintf fmt "==============================================================================@."
 
+(* JSON records accumulate in run order; flushed to [out_path] at exit. *)
+let records : (string * string * Obs.Json.t) list ref = ref []
+let record id title json = records := (id, title, json) :: !records
+
 (* ---------- the tables ---------- *)
 
 let fig5_params () =
   if quick then
-    Batcher_core.Experiments.fig5 ~n_records:10_000 ~records_per_node:100
-      ~sizes:[ 20_000; 1_000_000; 100_000_000 ] ()
+    (* Keep the paper's full five-point size sweep so the table shape
+       matches the non-quick run; shrink the per-point work instead. *)
+    Batcher_core.Experiments.fig5 ~n_records:4_000 ~records_per_node:100 ()
   else Batcher_core.Experiments.fig5 ()
 
 let run_tables () =
+  let module E = Batcher_core.Experiments in
+  let module R = Batcher_core.Report in
+  let module J = Batcher_core.Report_json in
   if want "E1" then begin
-    section "E1 — Figure 5: BATCHER vs sequential skip list";
-    Batcher_core.Report.fig5 fmt (fig5_params ())
+    let title = "E1 — Figure 5: BATCHER vs sequential skip list" in
+    section title;
+    let rows = fig5_params () in
+    R.fig5 fmt rows;
+    record "E1" title (J.fig5 rows)
   end;
   if want "E2" then begin
-    section "E2 — Flat combining comparison (Section 7 discussion)";
-    let rows =
-      if quick then Batcher_core.Experiments.flatcomb ~n_records:10_000 ()
-      else Batcher_core.Experiments.flatcomb ()
-    in
-    Batcher_core.Report.flatcomb fmt rows
+    let title = "E2 — Flat combining comparison (Section 7 discussion)" in
+    section title;
+    let rows = if quick then E.flatcomb ~n_records:10_000 () else E.flatcomb () in
+    R.flatcomb fmt rows;
+    record "E2" title (J.flatcomb rows)
   end;
   if want "E3" then begin
-    section "E3 — Batched counter vs lock-serialized counter (Section 3)";
-    let rows =
-      if quick then Batcher_core.Experiments.counter_example ~n:4_000 ()
-      else Batcher_core.Experiments.counter_example ()
-    in
-    Batcher_core.Report.example ~name:"E3 counter" fmt rows
+    let title = "E3 — Batched counter vs lock-serialized counter (Section 3)" in
+    section title;
+    let rows = if quick then E.counter_example ~n:4_000 () else E.counter_example () in
+    R.example ~name:"E3 counter" fmt rows;
+    record "E3" title (J.example rows)
   end;
   if want "E4" then begin
-    section "E4 — Batched 2-3 tree (Section 3 search-tree example)";
-    let rows =
-      if quick then Batcher_core.Experiments.tree_example ~n:1_000 ()
-      else Batcher_core.Experiments.tree_example ()
-    in
-    Batcher_core.Report.example ~name:"E4 search tree" fmt rows
+    let title = "E4 — Batched 2-3 tree (Section 3 search-tree example)" in
+    section title;
+    let rows = if quick then E.tree_example ~n:1_000 () else E.tree_example () in
+    R.example ~name:"E4 search tree" fmt rows;
+    record "E4" title (J.example rows)
   end;
   if want "E5" then begin
-    section "E5 — Amortized LIFO stack (Section 3 table-doubling example)";
-    let rows =
-      if quick then Batcher_core.Experiments.stack_example ~n:4_000 ()
-      else Batcher_core.Experiments.stack_example ()
-    in
-    Batcher_core.Report.example ~name:"E5 stack" fmt rows
+    let title = "E5 — Amortized LIFO stack (Section 3 table-doubling example)" in
+    section title;
+    let rows = if quick then E.stack_example ~n:4_000 () else E.stack_example () in
+    R.example ~name:"E5 stack" fmt rows;
+    record "E5" title (J.example rows)
   end;
   if want "E6" then begin
-    section "E6 — Theorem 1 validation sweep";
-    Batcher_core.Report.theory fmt (Batcher_core.Experiments.theory_table ())
+    let title = "E6 — Theorem 1 validation sweep" in
+    section title;
+    let rows = E.theory_table () in
+    R.theory fmt rows;
+    record "E6" title (J.theory rows)
   end;
   if want "E8" then begin
-    section "E8 — Theorem 3 validation (τ-trimmed span)";
-    Batcher_core.Report.theorem3 fmt (Batcher_core.Experiments.theorem3 ())
+    let title = "E8 — Theorem 3 validation (τ-trimmed span)" in
+    section title;
+    let rows = E.theorem3 () in
+    R.theorem3 fmt rows;
+    record "E8" title (J.theorem3 rows)
   end;
   if want "E7" then begin
-    section "E7 — Lemma 2: batches executing while an op is pending";
-    Batcher_core.Report.lemma2 fmt (Batcher_core.Experiments.lemma2 ())
+    let title = "E7 — Lemma 2: batches executing while an op is pending" in
+    section title;
+    let rows = E.lemma2 () in
+    R.lemma2 fmt rows;
+    record "E7" title (J.lemma2 rows)
   end;
   if want "A1" then begin
-    section "A1 — Ablation: steal policy";
-    Batcher_core.Report.ablation ~name:"A1 steal policy" fmt
-      (Batcher_core.Experiments.ablate_steal ())
+    let title = "A1 — Ablation: steal policy" in
+    section title;
+    let rows = E.ablate_steal () in
+    R.ablation ~name:"A1 steal policy" fmt rows;
+    record "A1" title (J.ablation rows)
   end;
   if want "A2" then begin
-    section "A2 — Ablation: launch threshold (immediate vs accumulate-k)";
-    Batcher_core.Report.ablation ~name:"A2 launch threshold" fmt
-      (Batcher_core.Experiments.ablate_launch ())
+    let title = "A2 — Ablation: launch threshold (immediate vs accumulate-k)" in
+    section title;
+    let rows = E.ablate_launch () in
+    R.ablation ~name:"A2 launch threshold" fmt rows;
+    record "A2" title (J.ablation rows)
   end;
   if want "A4" then begin
-    section "A4 — Ablation: LAUNCHBATCH overhead model (paper's open question)";
-    Batcher_core.Report.ablation ~name:"A4 overhead model" fmt
-      (Batcher_core.Experiments.ablate_overhead ())
+    let title = "A4 — Ablation: LAUNCHBATCH overhead model (paper's open question)" in
+    section title;
+    let rows = E.ablate_overhead () in
+    R.ablation ~name:"A4 overhead model" fmt rows;
+    record "A4" title (J.ablation rows)
   end;
   if want "E9" then begin
-    section "E9 — Pthreaded programs (paper's conclusion)";
-    Batcher_core.Report.pthreaded fmt (Batcher_core.Experiments.pthreaded ())
+    let title = "E9 — Pthreaded programs (paper's conclusion)" in
+    section title;
+    let rows = E.pthreaded () in
+    R.pthreaded fmt rows;
+    record "E9" title (J.pthreaded rows)
   end;
   if want "E10" then begin
-    section "E10 — Multiple implicitly batched structures in one program";
-    Batcher_core.Report.multi fmt (Batcher_core.Experiments.multi_structure ())
+    let title = "E10 — Multiple implicitly batched structures in one program" in
+    section title;
+    let rows = E.multi_structure () in
+    R.multi fmt rows;
+    record "E10" title (J.multi rows)
   end;
   if want "A5" then begin
-    section "A5 — Ablation: batching granularity (records per BATCHIFY)";
-    Batcher_core.Report.granularity fmt (Batcher_core.Experiments.ablate_granularity ())
+    let title = "A5 — Ablation: batching granularity (records per BATCHIFY)" in
+    section title;
+    let rows = E.ablate_granularity () in
+    R.granularity fmt rows;
+    record "A5" title (J.granularity rows)
   end;
   if want "A3" then begin
-    section "A3 — Ablation: batch-size cap";
-    Batcher_core.Report.ablation ~name:"A3 batch cap" fmt
-      (Batcher_core.Experiments.ablate_cap ())
+    let title = "A3 — Ablation: batch-size cap" in
+    section title;
+    let rows = E.ablate_cap () in
+    R.ablation ~name:"A3 batch cap" fmt rows;
+    record "A3" title (J.ablation rows)
   end
 
 (* ---------- Bechamel micro-benchmarks ---------- *)
@@ -215,6 +257,7 @@ let real_runtime_tests pool =
             ignore (Runtime.Pool.parallel_prefix_sums pool a)));
   ]
 
+(* Runs the tests and returns sorted (name, ns/run) estimate rows. *)
 let run_bechamel tests =
   let open Bechamel in
   let open Toolkit in
@@ -232,34 +275,49 @@ let run_bechamel tests =
     List.map (fun instance -> Analyze.all ols instance raw) instances
   in
   let merged = Analyze.merge ols instances results in
+  match Hashtbl.find_opt merged (Measure.label Instance.monotonic_clock) with
+  | None -> []
+  | Some tbl ->
+      Hashtbl.fold
+        (fun name ols acc ->
+          let est =
+            match Analyze.OLS.estimates ols with
+            | Some (e :: _) -> e
+            | _ -> nan
+          in
+          (name, est) :: acc)
+        tbl []
+      |> List.sort compare
+
+let print_bechamel rows =
   Format.fprintf fmt "@.%-45s %16s@." "benchmark" "ns/run";
   Format.fprintf fmt "%s@." (String.make 62 '-');
-  (match Hashtbl.find_opt merged (Measure.label Instance.monotonic_clock) with
-  | None -> Format.fprintf fmt "(no results)@."
-  | Some tbl ->
-      let rows =
-        Hashtbl.fold
-          (fun name ols acc ->
-            let est =
-              match Analyze.OLS.estimates ols with
-              | Some (e :: _) -> e
-              | _ -> nan
-            in
-            (name, est) :: acc)
-          tbl []
-        |> List.sort compare
-      in
-      List.iter
-        (fun (name, est) -> Format.fprintf fmt "%-45s %16.1f@." name est)
-        rows)
+  if rows = [] then Format.fprintf fmt "(no results)@."
+  else
+    List.iter
+      (fun (name, est) -> Format.fprintf fmt "%-45s %16.1f@." name est)
+      rows
 
 let () =
   run_tables ();
   if want "MICRO" then begin
-    section "MICRO — Bechamel kernels (one per experiment id) + real runtime (R1)";
+    let title =
+      "MICRO — Bechamel kernels (one per experiment id) + real runtime (R1)"
+    in
+    section title;
     let workers = if quick then 2 else 4 in
-    let pool = Runtime.Pool.create ~num_workers:workers in
-    run_bechamel (bechamel_tests () @ real_runtime_tests pool);
-    Runtime.Pool.teardown pool
+    let pool = Runtime.Pool.create ~num_workers:workers () in
+    let rows = run_bechamel (bechamel_tests () @ real_runtime_tests pool) in
+    Runtime.Pool.teardown pool;
+    print_bechamel rows;
+    record "MICRO" title (Batcher_core.Report_json.micro rows)
   end;
+  let json =
+    Batcher_core.Report_json.results_file ~quick ~only
+      (List.rev !records)
+  in
+  Batcher_core.Report_json.write_file ~path:out_path json;
+  Format.fprintf fmt "@.[bench] wrote %s (%d experiment record%s)@." out_path
+    (List.length !records)
+    (if List.length !records = 1 then "" else "s");
   Format.pp_print_flush fmt ()

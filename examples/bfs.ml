@@ -81,7 +81,7 @@ let () =
   let degree = try int_of_string Sys.argv.(3) with _ -> 3 in
   let rng = Util.Rng.create ~seed:77 in
   let graph = build_graph ~rng ~vertices ~degree in
-  let pool = Runtime.Pool.create ~num_workers:workers in
+  let pool = Runtime.Pool.create ~num_workers:workers () in
   let reference = sequential_bfs graph 0 in
   let parallel, stats = batched_bfs pool graph 0 in
   let agree = reference = parallel in

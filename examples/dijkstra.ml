@@ -92,7 +92,7 @@ let () =
   let degree = try int_of_string Sys.argv.(3) with _ -> 4 in
   let rng = Util.Rng.create ~seed:2014 in
   let graph = build_graph ~rng ~vertices ~degree in
-  let pool = Runtime.Pool.create ~num_workers:workers in
+  let pool = Runtime.Pool.create ~num_workers:workers () in
   let reference = sequential_dijkstra graph 0 in
   let parallel = batched_dijkstra pool graph 0 in
   let stats =

@@ -39,7 +39,7 @@ let () =
   let reference = Array.make vocab 0 in
   Array.iter (fun w -> reference.(w) <- reference.(w) + 1) words;
 
-  let pool = Runtime.Pool.create ~num_workers:workers in
+  let pool = Runtime.Pool.create ~num_workers:workers () in
   let table = H.create () in
   let table_b =
     Runtime.Batcher_rt.create ~pool ~state:table

@@ -18,7 +18,7 @@ let () =
   let rng = Util.Rng.create ~seed:99 in
   let keys = Array.init n (fun _ -> Util.Rng.int rng (4 * n)) in
 
-  let pool = Runtime.Pool.create ~num_workers:workers in
+  let pool = Runtime.Pool.create ~num_workers:workers () in
   (* The 2-3 tree is functional; the batcher's state is a mutable root. *)
   let root = ref T23.empty in
   let batcher =

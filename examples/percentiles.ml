@@ -30,7 +30,7 @@ let () =
   in
   let latency_of s = s / n in
 
-  let pool = Runtime.Pool.create ~num_workers:workers in
+  let pool = Runtime.Pool.create ~num_workers:workers () in
   let root = ref Os.empty in
   let batcher =
     Runtime.Batcher_rt.create ~pool ~state:root

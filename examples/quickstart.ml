@@ -11,7 +11,7 @@
 let () =
   let workers = try int_of_string Sys.argv.(1) with _ -> 4 in
   let n = try int_of_string Sys.argv.(2) with _ -> 10_000 in
-  let pool = Runtime.Pool.create ~num_workers:workers in
+  let pool = Runtime.Pool.create ~num_workers:workers () in
   let counter = Batched.Counter.create () in
 
   (* The batched implementation (BOP): prefix sums over the operation

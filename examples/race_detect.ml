@@ -79,7 +79,7 @@ let () =
   let workers = try int_of_string Sys.argv.(1) with _ -> 4 in
   let depth = try int_of_string Sys.argv.(2) with _ -> 8 in
   let cells = 1 lsl depth in
-  let pool = Runtime.Pool.create ~num_workers:workers in
+  let pool = Runtime.Pool.create ~num_workers:workers () in
   let sp, root = Sp.create () in
   let d =
     {

@@ -44,7 +44,7 @@ let () =
   for i = 0 to initial - 1 do
     ignore (Batched.Skiplist.insert_seq bat_list i)
   done;
-  let pool = Runtime.Pool.create ~num_workers:workers in
+  let pool = Runtime.Pool.create ~num_workers:workers () in
   let batcher =
     (* The paper's BOP: the search phase of each batch runs in parallel
        on the pool; build and splice are sequential. *)

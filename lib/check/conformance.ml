@@ -589,7 +589,7 @@ let run ?(n_ops = 96) ?(seed = 1) ?(workers = 3) ?(sim_p = 4) (Subject s) =
     let h = s.fresh ~n:n_ops in
     let script = Gen.script ~gen:h.gen ~n:n_ops ~seed in
     let rt_batches = ref [] in
-    let pool = Runtime.Pool.create ~num_workers:workers in
+    let pool = Runtime.Pool.create ~num_workers:workers () in
     let stats =
       Fun.protect
         ~finally:(fun () -> Runtime.Pool.teardown pool)

@@ -1,0 +1,234 @@
+type track = {
+  pid : int;
+  name : string;
+  recording : Recorder.t;
+}
+
+let batch_tid_base = 1000
+
+let ts_of recorder time =
+  match Recorder.clock recorder with
+  | Recorder.Timesteps -> float_of_int time  (* 1 timestep = 1 us *)
+  | Recorder.Nanoseconds -> float_of_int time /. 1000.0
+
+let status_name = function
+  | Recorder.Free -> "free"
+  | Recorder.Pending -> "pending"
+  | Recorder.Executing -> "executing"
+  | Recorder.Done -> "done"
+
+(* One rendered trace event, before sorting. *)
+type ev = { e_tid : int; e_ts : float; e_json : float -> Json.t }
+
+let obj ~name ~cat ~ph ~ts ~pid ~tid extra =
+  Json.Obj
+    ([
+       ("name", Json.Str name);
+       ("cat", Json.Str cat);
+       ("ph", Json.Str ph);
+       ("ts", Json.Float ts);
+       ("pid", Json.Int pid);
+       ("tid", Json.Int tid);
+     ]
+    @ extra)
+
+let instant ~name ~cat ~pid ~tid args =
+  fun ts ->
+    obj ~name ~cat ~ph:"i" ~ts ~pid ~tid
+      [ ("s", Json.Str "t"); ("args", Json.Obj args) ]
+
+let span ~name ~cat ~pid ~tid ~dur args =
+  fun ts -> obj ~name ~cat ~ph:"X" ~ts ~pid ~tid
+      [ ("dur", Json.Float dur); ("args", Json.Obj args) ]
+
+(* Worker-track events: status spans + instants, in event order. *)
+let worker_events t w acc =
+  let r = t.recording in
+  let pid = t.pid in
+  let acc = ref acc in
+  let push tid time mk = acc := { e_tid = tid; e_ts = ts_of r time; e_json = mk } :: !acc in
+  let cur_status = ref Recorder.Free in
+  let since = ref 0 in
+  let last = ref 0 in
+  let close_span time =
+    if !cur_status <> Recorder.Free && time > !since then
+      push w !since
+        (span
+           ~name:(status_name !cur_status)
+           ~cat:"status" ~pid ~tid:w
+           ~dur:(ts_of r time -. ts_of r !since)
+           [])
+  in
+  List.iter
+    (fun (e : Recorder.event) ->
+      last := e.time;
+      match e.kind with
+      | Recorder.Status s ->
+          close_span e.time;
+          cur_status := s;
+          since := e.time
+      | Recorder.Steal { victim; success; batch_deque } ->
+          push w e.time
+            (instant
+               ~name:(if success then "steal hit" else "steal miss")
+               ~cat:"steal" ~pid ~tid:w
+               [
+                 ("victim", Json.Int victim);
+                 ("deque", Json.Str (if batch_deque then "batch" else "core"));
+               ])
+      | Recorder.Op_issue { sid } ->
+          push w e.time
+            (instant ~name:"op issue" ~cat:"op" ~pid ~tid:w [ ("sid", Json.Int sid) ])
+      | Recorder.Op_done { sid; batches_seen; latency } ->
+          push w e.time
+            (instant ~name:"op done" ~cat:"op" ~pid ~tid:w
+               [
+                 ("sid", Json.Int sid);
+                 ("batches_seen", Json.Int batches_seen);
+                 ("latency", Json.Int latency);
+               ])
+      | Recorder.Batch_start _ | Recorder.Batch_end _ -> ())
+    (Recorder.events_of_worker r w);
+  close_span !last;
+  !acc
+
+(* Batch-track events from the merged stream: one span per batch, on
+   the synthetic per-structure thread. At most one batch per structure
+   is in flight (Invariant 1), so a simple open-slot table suffices. *)
+let batch_events t acc =
+  let r = t.recording in
+  let pid = t.pid in
+  let open_batches = Hashtbl.create 8 in
+  let acc = ref acc in
+  let last = ref 0 in
+  List.iter
+    (fun (e : Recorder.event) ->
+      last := e.time;
+      match e.kind with
+      | Recorder.Batch_start { sid; size; setup } ->
+          Hashtbl.replace open_batches sid (e.time, size, setup, e.worker)
+      | Recorder.Batch_end { sid; size = _ } -> begin
+          match Hashtbl.find_opt open_batches sid with
+          | None -> ()
+          | Some (t0, size, setup, launcher) ->
+              Hashtbl.remove open_batches sid;
+              acc :=
+                {
+                  e_tid = batch_tid_base + sid;
+                  e_ts = ts_of r t0;
+                  e_json =
+                    span
+                      ~name:(Printf.sprintf "batch n=%d" size)
+                      ~cat:"batch" ~pid ~tid:(batch_tid_base + sid)
+                      ~dur:(ts_of r e.time -. ts_of r t0)
+                      [
+                        ("sid", Json.Int sid);
+                        ("size", Json.Int size);
+                        ("setup_work", Json.Int setup);
+                        ("launched_by", Json.Int launcher);
+                      ];
+                }
+                :: !acc
+        end
+      | _ -> ())
+    (Recorder.all_events r);
+  (* Close any batch left open at the end of the recording. *)
+  Hashtbl.iter
+    (fun sid (t0, size, setup, launcher) ->
+      acc :=
+        {
+          e_tid = batch_tid_base + sid;
+          e_ts = ts_of r t0;
+          e_json =
+            span
+              ~name:(Printf.sprintf "batch n=%d (unfinished)" size)
+              ~cat:"batch" ~pid ~tid:(batch_tid_base + sid)
+              ~dur:(ts_of r !last -. ts_of r t0)
+              [
+                ("sid", Json.Int sid);
+                ("size", Json.Int size);
+                ("setup_work", Json.Int setup);
+                ("launched_by", Json.Int launcher);
+              ];
+        }
+        :: !acc)
+    open_batches;
+  !acc
+
+let metadata t =
+  let meta ~name ~tid args =
+    Json.Obj
+      ([
+         ("name", Json.Str name);
+         ("ph", Json.Str "M");
+         ("ts", Json.Float 0.0);
+         ("pid", Json.Int t.pid);
+       ]
+      @ (match tid with None -> [] | Some tid -> [ ("tid", Json.Int tid) ])
+      @ [ ("args", Json.Obj args) ])
+  in
+  let procs = [ meta ~name:"process_name" ~tid:(Some 0) [ ("name", Json.Str t.name) ] ] in
+  if not (Recorder.enabled t.recording) then procs
+  else begin
+    let sids = Hashtbl.create 8 in
+    List.iter
+      (fun (e : Recorder.event) ->
+        match e.kind with
+        | Recorder.Batch_start { sid; _ } | Recorder.Batch_end { sid; _ } ->
+            Hashtbl.replace sids sid ()
+        | _ -> ())
+      (Recorder.all_events t.recording);
+    let workers =
+      List.init (Recorder.workers t.recording) (fun w ->
+          meta ~name:"thread_name" ~tid:(Some w)
+            [ ("name", Json.Str (Printf.sprintf "worker %d" w)) ])
+    in
+    let batches =
+      Hashtbl.fold
+        (fun sid () acc ->
+          meta ~name:"thread_name"
+            ~tid:(Some (batch_tid_base + sid))
+            [ ("name", Json.Str (Printf.sprintf "structure %d batches" sid)) ]
+          :: acc)
+        sids []
+    in
+    procs @ workers @ batches
+  end
+
+let track_events t =
+  if not (Recorder.enabled t.recording) then []
+  else begin
+    let acc =
+      List.fold_left
+        (fun acc w -> worker_events t w acc)
+        []
+        (List.init (Recorder.workers t.recording) Fun.id)
+    in
+    let acc = batch_events t acc in
+    (* Sort so ts is monotone within each (pid, tid) track; stable to
+       keep emission order for equal timestamps. *)
+    List.stable_sort
+      (fun a b ->
+        match compare a.e_tid b.e_tid with 0 -> compare a.e_ts b.e_ts | c -> c)
+      (List.rev acc)
+    |> List.map (fun e -> e.e_json e.e_ts)
+  end
+
+let to_json tracks =
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List (List.concat_map (fun t -> metadata t @ track_events t) tracks) );
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let to_string tracks = Json.to_string (to_json tracks)
+
+let write_file ~path tracks =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      Json.write buf (to_json tracks);
+      Buffer.output_buffer oc buf)

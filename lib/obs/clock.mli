@@ -1,0 +1,9 @@
+(** Monotonic time source for real-runtime recordings.
+
+    Wraps [clock_gettime(CLOCK_MONOTONIC)] (via bechamel's noalloc stub)
+    and converts to an OCaml [int] — nanoseconds since an arbitrary
+    epoch, which fits 63 bits for ~292 years of uptime. The simulator
+    never calls this; its clock is the discrete timestep counter. *)
+
+val now_ns : unit -> int
+(** Nanoseconds on the monotonic clock. *)

@@ -1,0 +1,87 @@
+(** Low-overhead per-worker event recorder.
+
+    One preallocated ring buffer of flat integer slots per worker; a
+    single writer per ring (each worker emits only its own events), so
+    the hot path is five [int array] stores and an index bump — no
+    allocation, no synchronization. When the ring fills, the oldest
+    events are overwritten and counted in {!dropped}. The {!null}
+    recorder is disabled: every [emit_*] returns after one field load,
+    allocating nothing, so instrumented code can keep its hooks
+    unconditionally.
+
+    The same event vocabulary describes both substrates. The simulator
+    stamps events with its discrete timestep counter
+    ([clock = Timesteps]); the real runtime stamps them with monotonic
+    nanoseconds relative to the recorder's creation
+    ([clock = Nanoseconds], see {!now}). Sinks ({!Chrome}, {!Summary})
+    read the clock kind from the recording. *)
+
+type clock = Timesteps | Nanoseconds
+
+(** The paper's worker-status machine (Section 4 / Figure 3). *)
+type status = Free | Pending | Executing | Done
+
+type kind =
+  | Status of status  (** worker status transition *)
+  | Steal of { victim : int; success : bool; batch_deque : bool }
+      (** one steal attempt; [victim = -1] when no victim was available *)
+  | Batch_start of { sid : int; size : int; setup : int }
+      (** LAUNCHBATCH by this worker: structure, working-set size, and
+          modeled setup/cleanup work ([0] when unknown, as in the real
+          runtime) *)
+  | Batch_end of { sid : int; size : int }
+  | Op_issue of { sid : int }  (** a data-structure op parked (BATCHIFY) *)
+  | Op_done of { sid : int; batches_seen : int; latency : int }
+      (** the op's batch completed: latency in clock units since issue,
+          and how many batches of its structure were launched while it
+          was pending (Lemma 2 bounds this by 2 under the paper's
+          scheduler) *)
+
+type event = { worker : int; time : int; kind : kind }
+
+type t
+
+val null : t
+(** The disabled recorder: [enabled null = false], all emitters no-ops. *)
+
+val create : ?capacity:int -> clock:clock -> workers:int -> unit -> t
+(** [capacity] is per worker, rounded up to a power of two (default
+    [65536] events ≈ 2.5 MB per worker). For [Nanoseconds] the epoch is
+    the creation instant. *)
+
+val enabled : t -> bool
+val clock : t -> clock
+val workers : t -> int
+
+val now : t -> int
+(** Nanoseconds since the recorder was created ([Nanoseconds] clock
+    only; raises [Invalid_argument] on a [Timesteps] recorder — the
+    simulator supplies its own times). *)
+
+(* ---- hot-path emitters (scalar arguments only; no allocation) ---- *)
+
+val emit_status : t -> worker:int -> time:int -> status -> unit
+val emit_steal :
+  t -> worker:int -> time:int -> victim:int -> success:bool -> batch_deque:bool -> unit
+val emit_batch_start :
+  t -> worker:int -> time:int -> sid:int -> size:int -> setup:int -> unit
+val emit_batch_end : t -> worker:int -> time:int -> sid:int -> size:int -> unit
+val emit_op_issue : t -> worker:int -> time:int -> sid:int -> unit
+val emit_op_done :
+  t -> worker:int -> time:int -> sid:int -> batches_seen:int -> latency:int -> unit
+
+(* ---- read-out (after the run; not concurrency-safe during one) ---- *)
+
+val length : t -> worker:int -> int
+(** Events currently held for the worker (≤ capacity). *)
+
+val dropped : t -> worker:int -> int
+(** Events overwritten by ring wraparound for the worker. *)
+
+val total_dropped : t -> int
+
+val events_of_worker : t -> int -> event list
+(** Chronological (oldest surviving first). *)
+
+val all_events : t -> event list
+(** All workers merged, sorted by time (stable within a worker). *)

@@ -1,0 +1,229 @@
+module Histo = struct
+  type t = {
+    counts : int array;  (* bucket k: 0, then [2^(k-1), 2^k) *)
+    mutable n : int;
+    mutable sum : int;
+    mutable mn : int;
+    mutable mx : int;
+  }
+
+  let buckets_len = 63
+
+  let create () =
+    { counts = Array.make buckets_len 0; n = 0; sum = 0; mn = max_int; mx = 0 }
+
+  let bucket_of v =
+    if v <= 0 then 0
+    else begin
+      let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+      min (buckets_len - 1) (bits 0 v)
+    end
+
+  let add t v =
+    let v = max 0 v in
+    t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+    t.n <- t.n + 1;
+    t.sum <- t.sum + v;
+    if v < t.mn then t.mn <- v;
+    if v > t.mx then t.mx <- v
+
+  let count t = t.n
+  let total t = t.sum
+  let mean t = if t.n = 0 then 0.0 else float_of_int t.sum /. float_of_int t.n
+  let min_v t = if t.n = 0 then 0 else t.mn
+  let max_v t = t.mx
+
+  let buckets t =
+    let out = ref [] in
+    for k = buckets_len - 1 downto 0 do
+      if t.counts.(k) > 0 then begin
+        let lo = if k = 0 then 0 else 1 lsl (k - 1) in
+        let hi = if k = 0 then 0 else (1 lsl k) - 1 in
+        out := (lo, hi, t.counts.(k)) :: !out
+      end
+    done;
+    !out
+end
+
+type t = {
+  clock : Recorder.clock;
+  workers : int;
+  events : int;
+  dropped : int;
+  batches : int;
+  batch_size : Histo.t;
+  setup_total : int;
+  ops : int;
+  op_latency : Histo.t;
+  batches_seen : int array;
+  max_batches_seen : int;
+  steal_attempts : int;
+  steal_successes : int;
+  status_time : int array;
+}
+
+let of_recorder r =
+  let t =
+    {
+      clock = Recorder.clock r;
+      workers = (if Recorder.enabled r then Recorder.workers r else 0);
+      events = 0;
+      dropped = Recorder.total_dropped r;
+      batches = 0;
+      batch_size = Histo.create ();
+      setup_total = 0;
+      ops = 0;
+      op_latency = Histo.create ();
+      batches_seen = Array.make 9 0;
+      max_batches_seen = 0;
+      steal_attempts = 0;
+      steal_successes = 0;
+      status_time = Array.make 4 0;
+    }
+  in
+  if not (Recorder.enabled r) then t
+  else begin
+    let events = ref 0 in
+    let batches = ref 0 in
+    let setup_total = ref 0 in
+    let ops = ref 0 in
+    let max_seen = ref 0 in
+    let attempts = ref 0 in
+    let hits = ref 0 in
+    let status_idx = function
+      | Recorder.Free -> 0
+      | Recorder.Pending -> 1
+      | Recorder.Executing -> 2
+      | Recorder.Done -> 3
+    in
+    for w = 0 to Recorder.workers r - 1 do
+      let cur = ref Recorder.Free in
+      let since = ref 0 in
+      let last = ref 0 in
+      List.iter
+        (fun (e : Recorder.event) ->
+          incr events;
+          last := e.time;
+          match e.kind with
+          | Recorder.Status s ->
+              t.status_time.(status_idx !cur) <-
+                t.status_time.(status_idx !cur) + (e.time - !since);
+              cur := s;
+              since := e.time
+          | Recorder.Steal { success; _ } ->
+              incr attempts;
+              if success then incr hits
+          | Recorder.Batch_start { size; setup; _ } ->
+              incr batches;
+              Histo.add t.batch_size size;
+              setup_total := !setup_total + setup
+          | Recorder.Batch_end _ -> ()
+          | Recorder.Op_issue _ -> ()
+          | Recorder.Op_done { batches_seen; latency; _ } ->
+              incr ops;
+              Histo.add t.op_latency latency;
+              let k = min 8 (max 0 batches_seen) in
+              t.batches_seen.(k) <- t.batches_seen.(k) + 1;
+              if batches_seen > !max_seen then max_seen := batches_seen)
+        (Recorder.events_of_worker r w);
+      t.status_time.(status_idx !cur) <-
+        t.status_time.(status_idx !cur) + (!last - !since)
+    done;
+    {
+      t with
+      events = !events;
+      batches = !batches;
+      setup_total = !setup_total;
+      ops = !ops;
+      max_batches_seen = !max_seen;
+      steal_attempts = !attempts;
+      steal_successes = !hits;
+    }
+  end
+
+let steal_rate t =
+  if t.steal_attempts = 0 then 0.0
+  else float_of_int t.steal_successes /. float_of_int t.steal_attempts
+
+let unit_name = function Recorder.Timesteps -> "steps" | Recorder.Nanoseconds -> "ns"
+
+let pp_histo fmt ~unit h =
+  if Histo.count h = 0 then Format.fprintf fmt "  (empty)@."
+  else begin
+    Format.fprintf fmt "  n=%d mean=%.1f min=%d max=%d %s@." (Histo.count h)
+      (Histo.mean h) (Histo.min_v h) (Histo.max_v h) unit;
+    List.iter
+      (fun (lo, hi, c) ->
+        Format.fprintf fmt "  [%10d, %10d] %8d %s@." lo hi c
+          (String.make (min 40 c) '#'))
+      (Histo.buckets h)
+  end
+
+let pp fmt t =
+  let u = unit_name t.clock in
+  Format.fprintf fmt "recording: %d workers, %d events (%d dropped), clock=%s@."
+    t.workers t.events t.dropped u;
+  Format.fprintf fmt "status time (%s): free=%d pending=%d executing=%d done=%d@." u
+    t.status_time.(0) t.status_time.(1) t.status_time.(2) t.status_time.(3);
+  Format.fprintf fmt "steals: %d attempts, %d successes (%.1f%%)@." t.steal_attempts
+    t.steal_successes (100.0 *. steal_rate t);
+  Format.fprintf fmt "batches: %d (total setup work %d)@." t.batches t.setup_total;
+  Format.fprintf fmt "batch size:@.";
+  pp_histo fmt ~unit:"ops" t.batch_size;
+  Format.fprintf fmt "op latency (issue -> batch completion):@.";
+  pp_histo fmt ~unit:u t.op_latency;
+  Format.fprintf fmt
+    "batches launched while pending (Lemma 2 bound: 2; max seen %d):@."
+    t.max_batches_seen;
+  Array.iteri
+    (fun k c ->
+      if c > 0 then
+        Format.fprintf fmt "  %s: %8d %s@."
+          (if k = 8 then "8+" else string_of_int k)
+          c
+          (String.make (min 40 c) '#'))
+    t.batches_seen
+
+let histo_json h =
+  Json.Obj
+    [
+      ("count", Json.Int (Histo.count h));
+      ("total", Json.Int (Histo.total h));
+      ("mean", Json.Float (Histo.mean h));
+      ("min", Json.Int (Histo.min_v h));
+      ("max", Json.Int (Histo.max_v h));
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (lo, hi, c) ->
+               Json.Obj
+                 [ ("lo", Json.Int lo); ("hi", Json.Int hi); ("count", Json.Int c) ])
+             (Histo.buckets h)) );
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("clock", Json.Str (unit_name t.clock));
+      ("workers", Json.Int t.workers);
+      ("events", Json.Int t.events);
+      ("dropped", Json.Int t.dropped);
+      ( "status_time",
+        Json.Obj
+          [
+            ("free", Json.Int t.status_time.(0));
+            ("pending", Json.Int t.status_time.(1));
+            ("executing", Json.Int t.status_time.(2));
+            ("done", Json.Int t.status_time.(3));
+          ] );
+      ("steal_attempts", Json.Int t.steal_attempts);
+      ("steal_successes", Json.Int t.steal_successes);
+      ("batches", Json.Int t.batches);
+      ("setup_work", Json.Int t.setup_total);
+      ("batch_size", histo_json t.batch_size);
+      ("ops", Json.Int t.ops);
+      ("op_latency", histo_json t.op_latency);
+      ( "batches_while_pending",
+        Json.List (Array.to_list (Array.map (fun c -> Json.Int c) t.batches_seen)) );
+      ("max_batches_while_pending", Json.Int t.max_batches_seen);
+    ]

@@ -1,0 +1,58 @@
+(** Aggregated view of a recording: histograms and rates.
+
+    Everything is computed from the surviving ring contents, so on a
+    wrapped recording the totals undercount by exactly {!Recorder.dropped}
+    events (reported in the summary). The interesting distributions:
+
+    - batch size — how full LAUNCHBATCH's working set runs (cap is P);
+    - op latency — BATCHIFY issue → batch completion, in clock units;
+    - batches seen while pending — the empirical Lemma-2 distribution,
+      at most 2 under the simulated scheduler, merely {e reported} for
+      the helper-lock real runtime whose proof preconditions differ;
+    - steal success rate and per-status time. *)
+
+module Histo : sig
+  (** Power-of-two-bucket histogram over non-negative ints. *)
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> unit
+  val count : t -> int
+  val total : t -> int
+  val mean : t -> float
+  val min_v : t -> int
+  (** 0 when empty *)
+
+  val max_v : t -> int
+
+  val buckets : t -> (int * int * int) list
+  (** Nonempty buckets as [(lo, hi, count)], [lo]..[hi] inclusive. *)
+end
+
+type t = {
+  clock : Recorder.clock;
+  workers : int;
+  events : int;  (** surviving events *)
+  dropped : int;  (** lost to ring wraparound *)
+  batches : int;
+  batch_size : Histo.t;
+  setup_total : int;
+  ops : int;  (** completed operations *)
+  op_latency : Histo.t;
+  batches_seen : int array;  (** index k < 8 exact; index 8 = "8 or more" *)
+  max_batches_seen : int;
+  steal_attempts : int;
+  steal_successes : int;
+  status_time : int array;  (** clock units per status, indexed free..done *)
+}
+
+val of_recorder : Recorder.t -> t
+
+val steal_rate : t -> float
+(** Successes / attempts; [0.] with no attempts. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Json.t
+(** Machine-readable form of the same aggregates (used by the bench
+    sink and [bin/trace.exe --summary]). *)

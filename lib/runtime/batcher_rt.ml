@@ -1,10 +1,28 @@
+(* A parked operation record: the op, its task's continuation, and the
+   observability stamps — issue/completion on the recorder clock and the
+   structure's launch counter at issue/completion, whose difference is
+   the op's "batches launched while pending" count (the empirical
+   Lemma-2 figure; reported, not asserted, because this helper-lock
+   runtime does not satisfy the proof's dual-deque preconditions). *)
+type 'op record = {
+  op : 'op;
+  mutable resume : unit -> unit;
+  issue_time : int;
+  issue_launches : int;
+  mutable done_time : int;
+  mutable done_launches : int;
+}
+
 type ('s, 'op) t = {
   pool : Pool.t;
   st : 's;
   run_batch : Pool.t -> 's -> 'op array -> unit;
   batch_cap : int;
-  pending : ('op * (unit -> unit)) list Atomic.t;
+  sid : int;
+  rc : Obs.Recorder.t;
+  pending : 'op record list Atomic.t;
   flag : bool Atomic.t;
+  launches : int Atomic.t;
   n_batches : int Atomic.t;
   n_ops : int Atomic.t;
   max_batch : int Atomic.t;
@@ -16,7 +34,7 @@ type stats = {
   max_batch : int;
 }
 
-let create ?batch_cap ~pool ~state ~run_batch () =
+let create ?batch_cap ?(sid = 0) ~pool ~state ~run_batch () =
   let cap =
     match batch_cap with
     | Some c ->
@@ -29,8 +47,11 @@ let create ?batch_cap ~pool ~state ~run_batch () =
     st = state;
     run_batch;
     batch_cap = cap;
+    sid;
+    rc = Pool.recorder pool;
     pending = Atomic.make [];
     flag = Atomic.make false;
+    launches = Atomic.make 0;
     n_batches = Atomic.make 0;
     n_ops = Atomic.make 0;
     max_batch = Atomic.make 0;
@@ -89,12 +110,30 @@ let rec try_launch t =
          set, run the BOP, mark records done (resume their tasks), clear
          the flag, and relaunch if operations accrued meanwhile. *)
       Pool.async t.pool (fun () ->
-          let arr = Array.of_list (List.map fst batch) in
+          let arr = Array.of_list (List.map (fun r -> r.op) batch) in
+          let observed = Obs.Recorder.enabled t.rc in
+          Atomic.incr t.launches;
+          let me = match Pool.worker_index () with Some w -> w | None -> 0 in
+          if observed then
+            Obs.Recorder.emit_batch_start t.rc ~worker:me
+              ~time:(Obs.Recorder.now t.rc) ~sid:t.sid ~size:(Array.length arr)
+              ~setup:0;
           t.run_batch t.pool t.st arr;
+          if observed then begin
+            let done_time = Obs.Recorder.now t.rc in
+            let done_launches = Atomic.get t.launches in
+            List.iter
+              (fun r ->
+                r.done_time <- done_time;
+                r.done_launches <- done_launches)
+              batch;
+            Obs.Recorder.emit_batch_end t.rc ~worker:me ~time:done_time ~sid:t.sid
+              ~size:(Array.length arr)
+          end;
           Atomic.incr t.n_batches;
           ignore (Atomic.fetch_and_add t.n_ops (Array.length arr));
           atomic_max t.max_batch (Array.length arr);
-          List.iter (fun (_, resume) -> resume ()) batch;
+          List.iter (fun r -> r.resume ()) batch;
           Atomic.set t.flag false;
           try_launch t)
       |> ignore
@@ -102,6 +141,33 @@ let rec try_launch t =
   end
 
 let batchify t op =
+  let observed = Obs.Recorder.enabled t.rc in
+  let r =
+    {
+      op;
+      resume = ignore;
+      issue_time = (if observed then Obs.Recorder.now t.rc else 0);
+      issue_launches = Atomic.get t.launches;
+      done_time = 0;
+      done_launches = 0;
+    }
+  in
+  (if observed then
+     match Pool.worker_index () with
+     | Some w -> Obs.Recorder.emit_op_issue t.rc ~worker:w ~time:r.issue_time ~sid:t.sid
+     | None -> ());
   Pool.suspend t.pool (fun resume ->
-      atomic_push t (op, resume);
-      try_launch t)
+      r.resume <- resume;
+      atomic_push t r;
+      try_launch t);
+  (* Control is back: the batch containing the op has completed. The
+     continuation may run on a different worker than the issuer — emit
+     on the current worker's ring to keep the single-writer rule. *)
+  if observed then
+    match Pool.worker_index () with
+    | Some w ->
+        Obs.Recorder.emit_op_done t.rc ~worker:w ~time:(Obs.Recorder.now t.rc)
+          ~sid:t.sid
+          ~batches_seen:(r.done_launches - r.issue_launches)
+          ~latency:(r.done_time - r.issue_time)
+    | None -> ()

@@ -23,12 +23,25 @@ type ('s, 'op) t
 
 val create :
   ?batch_cap:int ->
+  ?sid:int ->
   pool:Pool.t ->
   state:'s ->
   run_batch:(Pool.t -> 's -> 'op array -> unit) ->
   unit ->
   ('s, 'op) t
-(** [batch_cap] defaults to the pool's worker count (Invariant 2). *)
+(** [batch_cap] defaults to the pool's worker count (Invariant 2).
+
+    [sid] (default 0) labels this structure in observability events
+    when the pool carries a recorder ({!Pool.create}); give each
+    structure of a multi-structure program a distinct id so its batch
+    track is separate in the Chrome trace. When recording, every
+    BATCHIFY emits op-issue/op-done events with the operation's
+    issue→batch-completion latency in nanoseconds and its "batches
+    launched while pending" count — the empirical Lemma-2 figure, which
+    is {e reported} here rather than asserted: the helper-lock runtime
+    (single deque per worker) does not satisfy the dual-deque
+    preconditions of the paper's proof, and an op that overflows
+    [batch_cap] can legitimately wait through several launches. *)
 
 val batchify : ('s, 'op) t -> 'op -> unit
 (** Submit one operation and block (suspending the task, not the worker)

@@ -14,6 +14,7 @@ type t = {
   stop : bool Atomic.t;
   n : int;
   seed : int;
+  rc : Obs.Recorder.t;  (* per-worker rings; each domain writes only its own *)
 }
 
 (* Which worker (index) the current domain is acting as. *)
@@ -23,6 +24,8 @@ let worker_key : int option ref Domain.DLS.key =
 let worker_index () = !(Domain.DLS.get worker_key)
 
 let num_workers t = t.n
+
+let recorder t = t.rc
 
 type _ Effect.t +=
   | Suspend : (('a, unit) Effect.Deep.continuation -> unit) -> 'a Effect.t
@@ -55,14 +58,25 @@ let find_task t my_id rng =
   | None ->
       if t.n <= 1 then None
       else begin
+        let observed = Obs.Recorder.enabled t.rc in
         (* A handful of random steal attempts per call. *)
         let rec attempt tries =
           if tries = 0 then None
           else begin
             let victim = (my_id + 1 + Util.Rng.int rng (t.n - 1)) mod t.n in
             match Wsdeque.steal t.deques.(victim) with
-            | Some task -> Some task
-            | None -> attempt (tries - 1)
+            | Some task ->
+                if observed then
+                  Obs.Recorder.emit_steal t.rc ~worker:my_id
+                    ~time:(Obs.Recorder.now t.rc) ~victim ~success:true
+                    ~batch_deque:false;
+                Some task
+            | None ->
+                if observed then
+                  Obs.Recorder.emit_steal t.rc ~worker:my_id
+                    ~time:(Obs.Recorder.now t.rc) ~victim ~success:false
+                    ~batch_deque:false;
+                attempt (tries - 1)
           end
         in
         attempt (2 * t.n)
@@ -94,8 +108,15 @@ let worker_loop t my_id =
   done;
   r := None
 
-let create ~num_workers =
+let create ?(recorder = Obs.Recorder.null) ~num_workers () =
   if num_workers < 1 then invalid_arg "Pool.create: num_workers >= 1";
+  if
+    Obs.Recorder.enabled recorder
+    && (Obs.Recorder.clock recorder <> Obs.Recorder.Nanoseconds
+       || Obs.Recorder.workers recorder < num_workers)
+  then
+    invalid_arg
+      "Pool.create: recorder must use the Nanoseconds clock and cover all workers";
   let t =
     {
       deques = Array.init num_workers (fun _ -> Wsdeque.create ());
@@ -103,6 +124,7 @@ let create ~num_workers =
       stop = Atomic.make false;
       n = num_workers;
       seed = 0x600D5EED;
+      rc = recorder;
     }
   in
   t.domains <-

@@ -9,10 +9,22 @@
 
 type t
 
-val create : num_workers:int -> t
-(** Spawns [num_workers - 1] domains. [num_workers >= 1]. *)
+val create : ?recorder:Obs.Recorder.t -> num_workers:int -> unit -> t
+(** Spawns [num_workers - 1] domains. [num_workers >= 1].
+
+    [recorder] (default {!Obs.Recorder.null}, i.e. off) captures
+    steal-attempt events from the workers' task-finding loop, and is
+    shared with any {!Batcher_rt} built over this pool (batch spans and
+    per-operation latency). It must use the [Nanoseconds] clock and
+    cover all workers; each domain writes only its own worker's ring,
+    so recording needs no synchronization. Read it out only after
+    {!run} returns (and, for spawned workers' rings, ideally after
+    {!teardown}). *)
 
 val num_workers : t -> int
+
+val recorder : t -> Obs.Recorder.t
+(** The recorder passed at creation, or {!Obs.Recorder.null}. *)
 
 val teardown : t -> unit
 (** Stops and joins the spawned domains. The pool must be idle. *)

@@ -61,6 +61,7 @@ type worker = {
   mutable steal_count : int;
   mutable suspended : int option;  (* core-dag ds node awaiting its batch *)
   mutable seen_batches : int;  (* batches executing since becoming pending *)
+  mutable suspend_time : int;  (* timestep the pending op was parked *)
   rng : Util.Rng.t;
 }
 
@@ -98,6 +99,7 @@ type state = {
   mutable batch_details : Metrics.batch_detail list;
   tracing : bool;
   mutable trace : Trace.event list;  (* reverse chronological *)
+  rc : Obs.Recorder.t;  (* observability recorder; Obs.Recorder.null = off *)
 }
 
 let make_inst ?(bop_lo = 0) ?(bop_hi = 0) ?(sid = -1) ~origin dag =
@@ -142,7 +144,7 @@ let enable_successors _st w (task : task) =
       assign w { inst; node = first };
       List.iter (fun s -> Deque.push_bottom (deque_for w inst.origin) { inst; node = s }) rest)
 
-let complete_batch st sid =
+let complete_batch st ~finisher sid =
   match st.active.(sid) with
   | None -> assert false
   | Some b ->
@@ -152,12 +154,15 @@ let complete_batch st sid =
           if st.cfg.check_invariants && wm.status <> Executing then
             failwith "Batcher sim: member not executing at batch completion";
           wm.status <- Done;
+          Obs.Recorder.emit_status st.rc ~worker:m ~time:st.time Obs.Recorder.Done;
           if wm.seen_batches > st.max_seen_batches then
             st.max_seen_batches <- wm.seen_batches;
           st.pending.(m) <- None;
           st.pending_count <- st.pending_count - 1;
           st.pending_per.(sid) <- st.pending_per.(sid) - 1)
         b.members;
+      Obs.Recorder.emit_batch_end st.rc ~worker:finisher ~time:st.time ~sid
+        ~size:(Array.length b.members);
       if st.tracing then
         st.trace <-
           Trace.Batch_completed { time = st.time; sid; members = b.members } :: st.trace;
@@ -179,7 +184,10 @@ let complete st w (task : task) =
       st.pending_per.(sid) <- st.pending_per.(sid) + 1;
       w.status <- Pending;
       w.suspended <- Some task.node;
+      w.suspend_time <- st.time;
       w.seen_batches <- (match st.active.(sid) with Some _ -> 1 | None -> 0);
+      Obs.Recorder.emit_status st.rc ~worker:w.id ~time:st.time Obs.Recorder.Pending;
+      Obs.Recorder.emit_op_issue st.rc ~worker:w.id ~time:st.time ~sid;
       if st.tracing then
         st.trace <-
           Trace.Suspended { time = st.time; worker = w.id; node = task.node; sid }
@@ -188,7 +196,7 @@ let complete st w (task : task) =
       enable_successors st w task;
       if task.node = inst.dag.Dag.sink then begin
         match inst.origin with
-        | OBatch -> complete_batch st inst.sid
+        | OBatch -> complete_batch st ~finisher:w.id inst.sid
         | OCore -> st.finished <- true
       end
 
@@ -272,13 +280,27 @@ let launch st w =
   let inst = make_inst ~origin:OBatch ~bop_lo:lo ~bop_hi:hi ~sid dag in
   if st.tracing then
     st.trace <- Trace.Launched { time = st.time; worker = w.id; sid; members } :: st.trace;
+  (* Report the setup cost actually charged by the dag: the balanced
+     tree's internal nodes count too, so this is Par.work, not p. *)
+  let setup_work =
+    match cfg.overhead with
+    | Tree_setup -> 2 * Par.work (overhead ())
+    | Fused_setup -> Par.work (overhead ())
+    | No_setup -> 0
+  in
+  Obs.Recorder.emit_batch_start st.rc ~worker:w.id ~time:st.time ~sid
+    ~size:(Array.length members) ~setup:setup_work;
   st.active.(sid) <- Some { b_sid = sid; members };
   st.active_count <- st.active_count + 1;
   st.batches <- st.batches + 1;
   st.batch_size_total <- st.batch_size_total + Array.length members;
   if Array.length members > st.max_batch_size then
     st.max_batch_size <- Array.length members;
-  Array.iter (fun m -> st.workers.(m).status <- Executing) members;
+  Array.iter
+    (fun m ->
+      st.workers.(m).status <- Executing;
+      Obs.Recorder.emit_status st.rc ~worker:m ~time:st.time Obs.Recorder.Executing)
+    members;
   (* Every trapped worker with an outstanding operation on THIS structure
      observes one more batch execution (per-structure Lemma 2). *)
   Array.iter
@@ -299,6 +321,12 @@ let resume st w =
   | Some node ->
       if st.tracing then
         st.trace <- Trace.Resumed { time = st.time; worker = w.id; node } :: st.trace;
+      if Obs.Recorder.enabled st.rc then begin
+        Obs.Recorder.emit_op_done st.rc ~worker:w.id ~time:st.time
+          ~sid:(struct_of st node) ~batches_seen:w.seen_batches
+          ~latency:(st.time - w.suspend_time);
+        Obs.Recorder.emit_status st.rc ~worker:w.id ~time:st.time Obs.Recorder.Free
+      end;
       w.status <- Free;
       w.suspended <- None;
       enable_successors st w { inst = st.core_inst; node };
@@ -322,13 +350,19 @@ let steal_attempt st w ~target_batch =
     st.free_steal_attempts <- st.free_steal_attempts + 1
   else st.trapped_steal_attempts <- st.trapped_steal_attempts + 1;
   match victim st w with
-  | None -> ()
+  | None ->
+      Obs.Recorder.emit_steal st.rc ~worker:w.id ~time:st.time ~victim:(-1)
+        ~success:false ~batch_deque:target_batch
   | Some v -> begin
       let dq = if target_batch then v.batch_dq else v.core_dq in
       match Deque.steal_top dq with
-      | None -> ()
+      | None ->
+          Obs.Recorder.emit_steal st.rc ~worker:w.id ~time:st.time ~victim:v.id
+            ~success:false ~batch_deque:target_batch
       | Some task ->
           st.steal_successes <- st.steal_successes + 1;
+          Obs.Recorder.emit_steal st.rc ~worker:w.id ~time:st.time ~victim:v.id
+            ~success:true ~batch_deque:target_batch;
           assign w task;
           exec_unit st w
     end
@@ -390,9 +424,15 @@ let step_worker st w =
   | Some _ -> exec_unit st w
   | None -> if w.status = Free then acquire_free st w else acquire_trapped st w
 
-let run_internal ~tracing cfg workload =
+let run_internal ~tracing ~recorder cfg workload =
   if cfg.p < 1 then invalid_arg "Batcher.run: p >= 1";
   if cfg.batch_cap < 1 then invalid_arg "Batcher.run: batch_cap >= 1";
+  if
+    Obs.Recorder.enabled recorder
+    && (Obs.Recorder.clock recorder <> Obs.Recorder.Timesteps
+       || Obs.Recorder.workers recorder < cfg.p)
+  then
+    invalid_arg "Batcher.run: recorder must use the Timesteps clock and cover p workers";
   Workload.reset_models workload;
   let core_inst = make_inst ~origin:OCore workload.Workload.core in
   let n_structs = Array.length workload.Workload.models in
@@ -408,6 +448,7 @@ let run_internal ~tracing cfg workload =
           steal_count = 0;
           suspended = None;
           seen_batches = 0;
+          suspend_time = 0;
           rng = Util.Rng.stream ~seed:cfg.seed ~index:id;
         })
   in
@@ -440,6 +481,7 @@ let run_internal ~tracing cfg workload =
       batch_details = [];
       tracing;
       trace = [];
+      rc = recorder;
     }
   in
   assign workers.(0) { inst = core_inst; node = core_inst.dag.Dag.source };
@@ -477,6 +519,8 @@ let run_internal ~tracing cfg workload =
   },
   List.rev st.trace
 
-let run cfg workload = fst (run_internal ~tracing:false cfg workload)
+let run ?(recorder = Obs.Recorder.null) cfg workload =
+  fst (run_internal ~tracing:false ~recorder cfg workload)
 
-let run_traced cfg workload = run_internal ~tracing:true cfg workload
+let run_traced ?(recorder = Obs.Recorder.null) cfg workload =
+  run_internal ~tracing:true ~recorder cfg workload

@@ -57,12 +57,21 @@ val default : p:int -> config
 (** Paper parameters: alternating steals, threshold 1, cap [p], parallel
     batches, invariant checks on, seed 1. *)
 
-val run : config -> Workload.t -> Metrics.t
+val run : ?recorder:Obs.Recorder.t -> config -> Workload.t -> Metrics.t
 (** Simulate the workload to completion. The workload's models are
     [reset] before the run. Raises [Failure] on invariant violation or
-    if [max_steps] is exceeded. *)
+    if [max_steps] is exceeded.
 
-val run_traced : config -> Workload.t -> Metrics.t * Trace.event list
+    [recorder] (default {!Obs.Recorder.null}, i.e. off) captures the
+    observability event stream — worker status transitions, steal
+    attempts, batch launch/completion with size and setup work, and
+    per-operation issue/completion with latency in timesteps and the
+    Lemma-2 batches-seen count — stamped with the simulator's timestep
+    clock. It must be a [Timesteps] recorder covering at least [p]
+    workers. *)
+
+val run_traced :
+  ?recorder:Obs.Recorder.t -> config -> Workload.t -> Metrics.t * Trace.event list
 (** Like {!run}, additionally returning the chronological scheduler
     event trace for {!Trace.validate}. (The validator assumes the
     default immediate-launch, full-cap configuration; traces from the

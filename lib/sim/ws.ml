@@ -26,6 +26,7 @@ type state = {
   mutable work_done : int;
   mutable steal_attempts : int;
   mutable steal_successes : int;
+  rc : Obs.Recorder.t;
 }
 
 let assign w node ~(dag : Dag.t) =
@@ -69,15 +70,22 @@ let step st w =
             let offset = 1 + Util.Rng.int w.rng (st.cfg.p - 1) in
             let v = st.workers.((w.id + offset) mod st.cfg.p) in
             match Deque.steal_top v.dq with
-            | None -> ()
+            | None ->
+                Obs.Recorder.emit_steal st.rc ~worker:w.id ~time:st.time ~victim:v.id
+                  ~success:false ~batch_deque:false
             | Some node ->
                 st.steal_successes <- st.steal_successes + 1;
+                Obs.Recorder.emit_steal st.rc ~worker:w.id ~time:st.time ~victim:v.id
+                  ~success:true ~batch_deque:false;
                 assign w node ~dag:st.dag;
                 exec_unit st w
           end
+          else
+            Obs.Recorder.emit_steal st.rc ~worker:w.id ~time:st.time ~victim:(-1)
+              ~success:false ~batch_deque:false
     end
 
-let run cfg dag =
+let run ?(recorder = Obs.Recorder.null) cfg dag =
   if Dag.ds_count dag > 0 then
     invalid_arg "Ws.run: dag contains data-structure nodes; use Batcher";
   let workers =
@@ -101,6 +109,7 @@ let run cfg dag =
       work_done = 0;
       steal_attempts = 0;
       steal_successes = 0;
+      rc = recorder;
     }
   in
   assign workers.(0) dag.Dag.source ~dag;

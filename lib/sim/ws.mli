@@ -11,5 +11,8 @@ type config = {
 
 val default : p:int -> config
 
-val run : config -> Dag.t -> Metrics.t
-(** Raises [Invalid_argument] if the DAG contains [Ds] nodes. *)
+val run : ?recorder:Obs.Recorder.t -> config -> Dag.t -> Metrics.t
+(** Raises [Invalid_argument] if the DAG contains [Ds] nodes.
+    [recorder] (default off) captures steal-attempt events with the
+    timestep clock — the classic scheduler has no batches or statuses
+    to record. *)

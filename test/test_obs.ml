@@ -1,0 +1,310 @@
+(* Observability subsystem: ring recorder semantics, Chrome trace-event
+   output, JSON round-trips, and summary-vs-metrics cross-checks. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- JSON writer / parser ---- *)
+
+let roundtrip j =
+  match Obs.Json.parse (Obs.Json.to_string j) with
+  | Ok j' -> j'
+  | Error e -> Alcotest.failf "JSON did not round-trip: %s" e
+
+let test_json_roundtrip () =
+  let open Obs.Json in
+  let j =
+    Obj
+      [
+        ("i", Int 42);
+        ("neg", Int (-7));
+        ("f", Float 1.5);
+        ("s", Str "a \"quote\" and \\ and \n control \x01");
+        ("unicode", Str "µs — naïve");
+        ("l", List [ Null; Bool true; Bool false; Int 0 ]);
+        ("empty_l", List []);
+        ("empty_o", Obj []);
+      ]
+  in
+  Alcotest.(check bool) "round-trip equal" true (roundtrip j = j);
+  (* Non-finite floats must degrade to null, not emit invalid JSON. *)
+  (match roundtrip (List [ Float nan; Float infinity ]) with
+  | List [ Null; Null ] -> ()
+  | _ -> Alcotest.fail "non-finite floats should serialize as null");
+  (* The parser must reject trailing garbage and bare words. *)
+  (match Obs.Json.parse "{\"a\":1} x" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match Obs.Json.parse "nul" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bare word accepted"
+
+(* ---- ring recorder ---- *)
+
+let test_ring_wraparound () =
+  (* Capacity rounds up to a power of two; overflow drops the oldest. *)
+  let rc = Obs.Recorder.create ~capacity:10 ~clock:Obs.Recorder.Timesteps ~workers:1 () in
+  let n = 100 in
+  for t = 0 to n - 1 do
+    Obs.Recorder.emit_op_issue rc ~worker:0 ~time:t ~sid:0
+  done;
+  let cap = 16 in
+  check "length is capacity" cap (Obs.Recorder.length rc ~worker:0);
+  check "dropped counts overflow" (n - cap) (Obs.Recorder.dropped rc ~worker:0);
+  check "total_dropped" (n - cap) (Obs.Recorder.total_dropped rc);
+  (* Survivors are exactly the most recent [cap] events, in order. *)
+  let evs = Obs.Recorder.events_of_worker rc 0 in
+  check "survivor count" cap (List.length evs);
+  List.iteri
+    (fun i (e : Obs.Recorder.event) ->
+      check "survivor time" (n - cap + i) e.Obs.Recorder.time)
+    evs
+
+let test_disabled_recorder_no_op () =
+  let rc = Obs.Recorder.null in
+  check_bool "null is disabled" false (Obs.Recorder.enabled rc);
+  (* Emitting into the disabled recorder must not allocate: the hot
+     path in the sim and runtime stays free when tracing is off. All
+     emitter arguments here are immediate ints/bools, so any minor-heap
+     growth would come from the recorder itself. *)
+  let words_before = Gc.minor_words () in
+  for i = 0 to 9_999 do
+    Obs.Recorder.emit_status rc ~worker:0 ~time:i Obs.Recorder.Executing;
+    Obs.Recorder.emit_steal rc ~worker:0 ~time:i ~victim:1 ~success:true
+      ~batch_deque:false;
+    Obs.Recorder.emit_batch_start rc ~worker:0 ~time:i ~sid:0 ~size:4 ~setup:8;
+    Obs.Recorder.emit_batch_end rc ~worker:0 ~time:i ~sid:0 ~size:4;
+    Obs.Recorder.emit_op_issue rc ~worker:0 ~time:i ~sid:0;
+    Obs.Recorder.emit_op_done rc ~worker:0 ~time:i ~sid:0 ~batches_seen:1
+      ~latency:5
+  done;
+  let words_after = Gc.minor_words () in
+  let delta = words_after -. words_before in
+  (* Gc.minor_words itself boxes a float per call; allow that slack but
+     nothing proportional to the 60k emits. *)
+  if delta > 256. then
+    Alcotest.failf "disabled recorder allocated %.0f minor words" delta;
+  check "null length" 0 (Obs.Recorder.length rc ~worker:0)
+
+let test_recorder_event_readback () =
+  let rc = Obs.Recorder.create ~clock:Obs.Recorder.Timesteps ~workers:2 () in
+  Obs.Recorder.emit_status rc ~worker:0 ~time:1 Obs.Recorder.Pending;
+  Obs.Recorder.emit_steal rc ~worker:1 ~time:2 ~victim:0 ~success:false ~batch_deque:true;
+  Obs.Recorder.emit_batch_start rc ~worker:0 ~time:3 ~sid:7 ~size:5 ~setup:16;
+  Obs.Recorder.emit_op_done rc ~worker:1 ~time:4 ~sid:7 ~batches_seen:2 ~latency:3;
+  (match Obs.Recorder.all_events rc with
+  | [ e1; e2; e3; e4 ] ->
+      (match e1.Obs.Recorder.kind with
+      | Obs.Recorder.Status Obs.Recorder.Pending -> ()
+      | _ -> Alcotest.fail "event 1 kind");
+      (match e2.Obs.Recorder.kind with
+      | Obs.Recorder.Steal { victim = 0; success = false; batch_deque = true } -> ()
+      | _ -> Alcotest.fail "event 2 kind");
+      (match e3.Obs.Recorder.kind with
+      | Obs.Recorder.Batch_start { sid = 7; size = 5; setup = 16 } -> ()
+      | _ -> Alcotest.fail "event 3 kind");
+      (match e4.Obs.Recorder.kind with
+      | Obs.Recorder.Op_done { sid = 7; batches_seen = 2; latency = 3 } -> ()
+      | _ -> Alcotest.fail "event 4 kind");
+      check "merged order" 1 e1.Obs.Recorder.time;
+      check "merged order last" 4 e4.Obs.Recorder.time
+  | evs -> Alcotest.failf "expected 4 events, got %d" (List.length evs))
+
+(* ---- instrumented simulator runs ---- *)
+
+let sim_workload ?(n = 200) () =
+  Sim.Workload.parallel_ops
+    ~model:(Batched.Skiplist.sim_model ~initial_size:100_000 ~records_per_node:10 ())
+    ~records_per_node:10 ~n_nodes:n ()
+
+let run_recorded ?(p = 4) () =
+  let rc = Obs.Recorder.create ~clock:Obs.Recorder.Timesteps ~workers:p () in
+  let m = Sim.Batcher.run ~recorder:rc (Sim.Batcher.default ~p) (sim_workload ()) in
+  (rc, m)
+
+let test_sim_recording_matches_metrics () =
+  let rc, m = run_recorded () in
+  let s = Obs.Summary.of_recorder rc in
+  check "batches" m.Sim.Metrics.batches s.Obs.Summary.batches;
+  check "batch size total" m.Sim.Metrics.batch_size_total
+    (Obs.Summary.Histo.total s.Obs.Summary.batch_size);
+  check "max batch size" m.Sim.Metrics.max_batch_size
+    (Obs.Summary.Histo.max_v s.Obs.Summary.batch_size);
+  check "ops" 200 s.Obs.Summary.ops;
+  check "steal attempts" m.Sim.Metrics.steal_attempts s.Obs.Summary.steal_attempts;
+  check "steal successes" m.Sim.Metrics.steal_successes s.Obs.Summary.steal_successes;
+  check "setup work" m.Sim.Metrics.setup_work s.Obs.Summary.setup_total;
+  check "lemma2 max" m.Sim.Metrics.max_batches_while_pending
+    s.Obs.Summary.max_batches_seen;
+  (* The empirical Lemma-2 statement under the paper's scheduler. *)
+  check_bool "lemma2 bound" true (s.Obs.Summary.max_batches_seen <= 2);
+  check "no drops at default capacity" 0 s.Obs.Summary.dropped
+
+let test_sim_unrecorded_run_unchanged () =
+  (* The recorder must be purely observational: metrics with and
+     without it are identical. *)
+  let _, m_rec = run_recorded () in
+  let m_plain = Sim.Batcher.run (Sim.Batcher.default ~p:4) (sim_workload ()) in
+  check "makespan" m_plain.Sim.Metrics.makespan m_rec.Sim.Metrics.makespan;
+  check "batches" m_plain.Sim.Metrics.batches m_rec.Sim.Metrics.batches;
+  check "steals" m_plain.Sim.Metrics.steal_attempts m_rec.Sim.Metrics.steal_attempts
+
+let test_sim_trace_deterministic () =
+  let chrome () =
+    let rc, _ = run_recorded () in
+    Obs.Chrome.to_string [ { Obs.Chrome.pid = 1; name = "sim"; recording = rc } ]
+  in
+  let a = chrome () and b = chrome () in
+  check_bool "same seed, byte-identical trace" true (String.equal a b)
+
+(* ---- Chrome trace-event output ---- *)
+
+let field name j =
+  match Obs.Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "trace event missing %S: %s" name (Obs.Json.to_string j)
+
+let as_int name j =
+  match field name j with
+  | Obs.Json.Int i -> i
+  | Obs.Json.Float f -> int_of_float f
+  | _ -> Alcotest.failf "field %S not a number" name
+
+let test_chrome_json_valid () =
+  let rc, _ = run_recorded () in
+  let s = Obs.Chrome.to_string [ { Obs.Chrome.pid = 1; name = "sim"; recording = rc } ] in
+  let j =
+    match Obs.Json.parse s with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "chrome output is not valid JSON: %s" e
+  in
+  let events =
+    match Obs.Json.member "traceEvents" j with
+    | Some l -> (
+        match Obs.Json.to_list_opt l with
+        | Some evs -> evs
+        | None -> Alcotest.fail "traceEvents is not a list")
+    | None -> Alcotest.fail "no traceEvents key"
+  in
+  check_bool "has events" true (List.length events > 100);
+  (* Every event has the required trace-event fields; durations are
+     non-negative; per-(pid,tid) timestamps are monotone. *)
+  let last : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let phases = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      let ph =
+        match field "ph" ev with
+        | Obs.Json.Str s -> s
+        | _ -> Alcotest.fail "ph not a string"
+      in
+      Hashtbl.replace phases ph ();
+      let pid = as_int "pid" ev and tid = as_int "tid" ev in
+      check "pid" 1 pid;
+      if ph <> "M" then begin
+        let ts = as_int "ts" ev in
+        check_bool "ts >= 0" true (ts >= 0);
+        if ph = "X" then
+          check_bool "dur >= 0" true (as_int "dur" ev >= 0);
+        let key = (pid, tid) in
+        (match Hashtbl.find_opt last key with
+        | Some prev -> check_bool "monotone ts per track" true (ts >= prev)
+        | None -> ());
+        Hashtbl.replace last key ts
+      end)
+    events;
+  check_bool "has complete spans" true (Hashtbl.mem phases "X");
+  check_bool "has instants" true (Hashtbl.mem phases "i");
+  check_bool "has metadata" true (Hashtbl.mem phases "M");
+  (* Batch spans live on their synthetic per-structure track. *)
+  check_bool "batch track present" true
+    (Hashtbl.fold (fun (_, tid) _ acc -> acc || tid = Obs.Chrome.batch_tid_base) last false)
+
+(* ---- summary JSON ---- *)
+
+let test_summary_json () =
+  let rc, m = run_recorded () in
+  let s = Obs.Summary.of_recorder rc in
+  let j = roundtrip (Obs.Summary.to_json s) in
+  (match Obs.Json.member "batches" j with
+  | Some (Obs.Json.Int b) -> check "json batches" m.Sim.Metrics.batches b
+  | _ -> Alcotest.fail "summary json missing batches");
+  match Obs.Json.member "max_batches_while_pending" j with
+  | Some (Obs.Json.Int v) ->
+      check "json lemma2" m.Sim.Metrics.max_batches_while_pending v
+  | _ -> Alcotest.fail "summary json missing max_batches_while_pending"
+
+(* ---- real runtime ---- *)
+
+let test_runtime_recording_smoke () =
+  let p = 3 in
+  let n = 200 in
+  let rc = Obs.Recorder.create ~clock:Obs.Recorder.Nanoseconds ~workers:p () in
+  let pool = Runtime.Pool.create ~recorder:rc ~num_workers:p () in
+  let counter = Batched.Counter.create () in
+  let b =
+    Runtime.Batcher_rt.create ~pool ~state:counter
+      ~run_batch:(fun _pool st ops -> Batched.Counter.run_batch st ops)
+      ()
+  in
+  Runtime.Pool.run pool (fun () ->
+      Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:n (fun _ ->
+          Runtime.Batcher_rt.batchify b (Batched.Counter.op 1)));
+  Runtime.Pool.teardown pool;
+  check "counter value" n (Batched.Counter.value counter);
+  let s = Obs.Summary.of_recorder rc in
+  check "every op completed" n s.Obs.Summary.ops;
+  check "batch sizes sum to ops" n (Obs.Summary.Histo.total s.Obs.Summary.batch_size);
+  let st = Runtime.Batcher_rt.stats b in
+  check "batch events match stats" st.Runtime.Batcher_rt.batches s.Obs.Summary.batches;
+  check_bool "latencies positive" true
+    (Obs.Summary.Histo.min_v s.Obs.Summary.op_latency > 0);
+  (* And the combined two-process trace is valid JSON. *)
+  let trace =
+    Obs.Chrome.to_string [ { Obs.Chrome.pid = 2; name = "runtime"; recording = rc } ]
+  in
+  match Obs.Json.parse trace with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "runtime chrome trace invalid: %s" e
+
+let test_recorder_clock_mismatch_rejected () =
+  let rc = Obs.Recorder.create ~clock:Obs.Recorder.Timesteps ~workers:4 () in
+  (match Runtime.Pool.create ~recorder:rc ~num_workers:4 () with
+  | exception Invalid_argument _ -> ()
+  | pool ->
+      Runtime.Pool.teardown pool;
+      Alcotest.fail "pool accepted a Timesteps recorder");
+  let rc_ns = Obs.Recorder.create ~clock:Obs.Recorder.Nanoseconds ~workers:2 () in
+  match Sim.Batcher.run ~recorder:rc_ns (Sim.Batcher.default ~p:2) (sim_workload ~n:4 ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "sim accepted a Nanoseconds recorder"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [ Alcotest.test_case "round-trip and edge cases" `Quick test_json_roundtrip ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "disabled is a free no-op" `Quick
+            test_disabled_recorder_no_op;
+          Alcotest.test_case "event readback" `Quick test_recorder_event_readback;
+          Alcotest.test_case "clock mismatch rejected" `Quick
+            test_recorder_clock_mismatch_rejected;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "summary matches metrics" `Quick
+            test_sim_recording_matches_metrics;
+          Alcotest.test_case "recording is observational" `Quick
+            test_sim_unrecorded_run_unchanged;
+          Alcotest.test_case "deterministic trace" `Quick test_sim_trace_deterministic;
+        ] );
+      ( "chrome",
+        [ Alcotest.test_case "valid trace-event JSON" `Quick test_chrome_json_valid ] );
+      ( "summary",
+        [ Alcotest.test_case "summary to_json" `Quick test_summary_json ] );
+      ( "runtime",
+        [ Alcotest.test_case "recording smoke" `Quick test_runtime_recording_smoke ] );
+    ]

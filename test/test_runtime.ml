@@ -4,7 +4,7 @@
    what these tests establish. *)
 
 let with_pool n f =
-  let pool = Runtime.Pool.create ~num_workers:n in
+  let pool = Runtime.Pool.create ~num_workers:n () in
   Fun.protect ~finally:(fun () -> Runtime.Pool.teardown pool) (fun () -> f pool)
 
 (* ---------- Wsdeque ---------- *)
