@@ -1,0 +1,130 @@
+(* Compare two BENCH_results.json files and print throughput deltas.
+
+   Usage: bench_diff.exe OLD.json NEW.json
+
+   Experiments are matched by id; rows are matched by the signature of
+   their non-metric fields (every field except the recognized metric
+   keys), so the tool needs no per-experiment schema knowledge. For
+   each matched row it prints old vs. new for the metric fields it
+   knows ("ops_per_sec" and "throughput" count up, "ns", "ns_per_run"
+   and "makespan" count down) with a percent delta. Rows present on
+   only one side are listed, not diffed. Exits 0 always — this is a
+   reporting tool, not a gate. *)
+
+let metric_keys =
+  (* key, higher_is_better *)
+  [
+    ("ops_per_sec", true);
+    ("throughput", true);
+    ("ns", false);
+    ("ns_per_run", false);
+    ("makespan", false);
+    ("minor_words_per_op", false);
+  ]
+
+let is_metric k = List.mem_assoc k metric_keys
+
+let die msg =
+  prerr_endline msg;
+  exit 2
+
+let load path =
+  let ic = try open_in_bin path with Sys_error e -> die e in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Obs.Json.parse s with
+  | Ok j -> j
+  | Error e -> die (Printf.sprintf "%s: parse error: %s" path e)
+
+let experiments j =
+  match Obs.Json.member "experiments" j with
+  | Some (Obs.Json.List l) ->
+      List.filter_map
+        (fun e ->
+          match (Obs.Json.member "id" e, Obs.Json.member "rows" e) with
+          | Some (Obs.Json.Str id), Some (Obs.Json.List rows) -> Some (id, rows)
+          | _ -> None)
+        l
+  | _ -> die "no \"experiments\" array found"
+
+(* A row's identity: its non-metric scalar fields, rendered in order. *)
+let signature row =
+  match row with
+  | Obs.Json.Obj fields ->
+      fields
+      |> List.filter (fun (k, _) -> not (is_metric k))
+      |> List.map (fun (k, v) ->
+             Printf.sprintf "%s=%s" k (Obs.Json.to_string v))
+      |> String.concat " "
+  | _ -> Obs.Json.to_string row
+
+let metrics row =
+  match row with
+  | Obs.Json.Obj fields ->
+      List.filter_map
+        (fun (k, v) ->
+          if is_metric k then
+            Option.map (fun f -> (k, f)) (Obs.Json.to_float_opt v)
+          else None)
+        fields
+  | _ -> []
+
+let pct_delta ~old_v ~new_v =
+  if old_v = 0.0 then nan else 100.0 *. (new_v -. old_v) /. old_v
+
+let diff_rows id old_rows new_rows =
+  let old_tbl = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace old_tbl (signature r) r) old_rows;
+  let matched = ref 0 in
+  List.iter
+    (fun nr ->
+      let sg = signature nr in
+      match Hashtbl.find_opt old_tbl sg with
+      | None -> Printf.printf "  %s | %-40s  (new row)\n" id sg
+      | Some orow ->
+          incr matched;
+          Hashtbl.remove old_tbl sg;
+          let om = metrics orow and nm = metrics nr in
+          List.iter
+            (fun (k, new_v) ->
+              match List.assoc_opt k om with
+              | None -> ()
+              | Some old_v ->
+                  let up = List.assoc k metric_keys in
+                  let d = pct_delta ~old_v ~new_v in
+                  let better = if up then d >= 0.0 else d <= 0.0 in
+                  Printf.printf
+                    "  %s | %-40s  %s: %14.1f -> %14.1f  %+7.1f%% %s\n" id sg
+                    k old_v new_v d
+                    (if Float.is_nan d || d = 0.0 then ""
+                     else if better then "(better)"
+                     else "(worse)"))
+            nm)
+    new_rows;
+  Hashtbl.iter
+    (fun sg _ -> Printf.printf "  %s | %-40s  (row removed)\n" id sg)
+    old_tbl;
+  !matched
+
+let () =
+  if Array.length Sys.argv <> 3 then
+    die "usage: bench_diff.exe OLD.json NEW.json";
+  let old_j = load Sys.argv.(1) and new_j = load Sys.argv.(2) in
+  let old_exps = experiments old_j and new_exps = experiments new_j in
+  Printf.printf "bench diff: %s -> %s\n" Sys.argv.(1) Sys.argv.(2);
+  let total = ref 0 in
+  List.iter
+    (fun (id, new_rows) ->
+      match List.assoc_opt id old_exps with
+      | None -> Printf.printf "  %s: only in %s\n" id Sys.argv.(2)
+      | Some old_rows -> total := !total + diff_rows id old_rows new_rows)
+    new_exps;
+  List.iter
+    (fun (id, _) ->
+      if not (List.mem_assoc id new_exps) then
+        Printf.printf "  %s: only in %s\n" id Sys.argv.(1))
+    old_exps;
+  Printf.printf "%d row(s) compared\n" !total

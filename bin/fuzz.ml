@@ -8,23 +8,52 @@
 
 open Cmdliner
 
+(* Runtime-side ablations rotated across the conformance subjects: the
+   default pending-array path under the default and two extreme backoff
+   policies (all-spin, sleep-almost-immediately with a single steal try
+   per round), plus the legacy atomic-list submission path. Extreme
+   idle policies change steal/launch interleavings, not results — any
+   divergence is a real runtime bug. *)
+let conf_ablations =
+  let open Runtime.Pool in
+  [
+    ("", None, Runtime.Batcher_rt.Pending_array);
+    ( " [spin]",
+      Some { default_backoff with spin_limit = 1_000_000; burst_limit = 1_000_000 },
+      Runtime.Batcher_rt.Pending_array );
+    ( " [sleepy]",
+      Some
+        {
+          default_backoff with
+          spin_limit = 1;
+          burst_limit = 2;
+          sleep_min = 0.000_01;
+          steal_tries = 1;
+        },
+      Runtime.Batcher_rt.Pending_array );
+    (" [list]", None, Runtime.Batcher_rt.Atomic_list);
+  ]
+
 let run_conformance ~n_ops ~seed ~verbose =
   let failures = ref 0 in
-  List.iter
-    (fun subject ->
+  List.iteri
+    (fun i subject ->
       let name = Check.Conformance.subject_name subject in
-      match Check.Conformance.run ~n_ops ~seed subject with
+      let tag, backoff, impl =
+        List.nth conf_ablations (i mod List.length conf_ablations)
+      in
+      match Check.Conformance.run ~n_ops ~seed ?backoff ~impl subject with
       | Ok r ->
           if verbose then
             Printf.printf
-              "conformance %-10s ok  (runtime: %d batches, max %d; sim: %d \
+              "conformance %-10s%s ok  (runtime: %d batches, max %d; sim: %d \
                batches, makespan %d)\n\
                %!"
-              name r.Check.Conformance.rt_batches r.rt_max_batch r.sim_batches
-              r.sim_makespan
+              name tag r.Check.Conformance.rt_batches r.rt_max_batch
+              r.sim_batches r.sim_makespan
       | Error e ->
           incr failures;
-          Printf.printf "conformance %-10s FAIL: %s\n%!" name e)
+          Printf.printf "conformance %-10s%s FAIL: %s\n%!" name tag e)
     Check.Conformance.subjects;
   (match Check.Conformance.order_list_check ~n:n_ops ~seed () with
   | Ok () -> if verbose then Printf.printf "conformance order_list ok\n%!"

@@ -582,20 +582,21 @@ let spin iters =
   done;
   ignore (Sys.opaque_identity !x)
 
-let run ?(n_ops = 96) ?(seed = 1) ?(workers = 3) ?(sim_p = 4) (Subject s) =
+let run ?(n_ops = 96) ?(seed = 1) ?(workers = 3) ?(sim_p = 4) ?backoff
+    ?(impl = Runtime.Batcher_rt.Pending_array) (Subject s) =
   try
     (* Path 1: the real runtime. Ops submitted from a parallel loop at
        grain 1; run_batch logs the batches the CAS race produced. *)
     let h = s.fresh ~n:n_ops in
     let script = Gen.script ~gen:h.gen ~n:n_ops ~seed in
     let rt_batches = ref [] in
-    let pool = Runtime.Pool.create ~num_workers:workers () in
+    let pool = Runtime.Pool.create ?backoff ~num_workers:workers () in
     let stats =
       Fun.protect
         ~finally:(fun () -> Runtime.Pool.teardown pool)
         (fun () ->
           let b =
-            Runtime.Batcher_rt.create ~pool ~state:()
+            Runtime.Batcher_rt.create ~impl ~pool ~state:()
               ~run_batch:(fun _pool () ops ->
                 rt_batches := Array.copy ops :: !rt_batches;
                 spin 200_000;

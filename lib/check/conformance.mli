@@ -50,12 +50,20 @@ val run :
   ?seed:int ->
   ?workers:int ->
   ?sim_p:int ->
+  ?backoff:Runtime.Pool.backoff ->
+  ?impl:Runtime.Batcher_rt.impl ->
   subject ->
   (report, string) result
 (** [run subject] executes both paths with a fresh structure and oracle
     each. Defaults: 96 ops, seed 1, a 3-worker pool, a 4-worker
     simulation. [Error] carries the first divergence (path, batch index,
-    op) or invariant failure. *)
+    op) or invariant failure.
+
+    [backoff] sets the real pool's idle-worker policy (the fuzz driver
+    sweeps a small ablation list so extreme spin/sleep settings get
+    conformance coverage too); [impl] selects the runtime submission
+    path (default {!Runtime.Batcher_rt.Pending_array}; the legacy
+    [Atomic_list] path stays covered through the sweep). *)
 
 val order_list_check : ?n:int -> ?seed:int -> unit -> (unit, string) result
 (** Random [insert_after] script against the naive list oracle, then a

@@ -76,6 +76,10 @@ let worker_events t w acc =
                  ("victim", Json.Int victim);
                  ("deque", Json.Str (if batch_deque then "batch" else "core"));
                ])
+      | Recorder.Steals_suppressed { count } ->
+          push w e.time
+            (instant ~name:"steals suppressed" ~cat:"steal" ~pid ~tid:w
+               [ ("count", Json.Int count) ])
       | Recorder.Op_issue { sid } ->
           push w e.time
             (instant ~name:"op issue" ~cat:"op" ~pid ~tid:w [ ("sid", Json.Int sid) ])

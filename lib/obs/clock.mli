@@ -1,9 +1,12 @@
 (** Monotonic time source for real-runtime recordings.
 
-    Wraps [clock_gettime(CLOCK_MONOTONIC)] (via bechamel's noalloc stub)
-    and converts to an OCaml [int] — nanoseconds since an arbitrary
-    epoch, which fits 63 bits for ~292 years of uptime. The simulator
-    never calls this; its clock is the discrete timestep counter. *)
+    Binds [clock_gettime(CLOCK_MONOTONIC)] (bechamel's C stub) as a
+    [[@@noalloc]] external with an unboxed [int64] result and converts
+    to an OCaml [int] — nanoseconds since an arbitrary epoch, which
+    fits 63 bits for ~292 years of uptime. In native code the whole
+    call is allocation-free (no [Int64] boxing), so it is safe on the
+    recorder's hot path. The simulator never calls this; its clock is
+    the discrete timestep counter. *)
 
 val now_ns : unit -> int
-(** Nanoseconds on the monotonic clock. *)
+(** Nanoseconds on the monotonic clock. Does not allocate (native). *)

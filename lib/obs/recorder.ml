@@ -9,12 +9,13 @@ type kind =
   | Batch_end of { sid : int; size : int }
   | Op_issue of { sid : int }
   | Op_done of { sid : int; batches_seen : int; latency : int }
+  | Steals_suppressed of { count : int }
 
 type event = { worker : int; time : int; kind : kind }
 
 (* Flat storage: one slot = (tag, time, a, b, c), all ints, in five
    parallel arrays. Tags: 0 status, 1 steal, 2 batch_start, 3 batch_end,
-   4 op_issue, 5 op_done. *)
+   4 op_issue, 5 op_done, 6 steals_suppressed. *)
 type ring = {
   tag : int array;
   tm : int array;
@@ -106,6 +107,9 @@ let emit_op_issue t ~worker ~time ~sid = emit t ~worker ~time 4 sid 0 0
 let emit_op_done t ~worker ~time ~sid ~batches_seen ~latency =
   emit t ~worker ~time 5 sid batches_seen latency
 
+let emit_steals_suppressed t ~worker ~time ~count =
+  emit t ~worker ~time 6 count 0 0
+
 let length t ~worker =
   if not t.enabled then 0 else min t.rings.(worker).next t.cap
 
@@ -123,6 +127,7 @@ let kind_of_slot r i =
   | 2 -> Batch_start { sid = r.a.(i); size = r.b.(i); setup = r.c.(i) }
   | 3 -> Batch_end { sid = r.a.(i); size = r.b.(i) }
   | 4 -> Op_issue { sid = r.a.(i) }
+  | 6 -> Steals_suppressed { count = r.a.(i) }
   | _ -> Op_done { sid = r.a.(i); batches_seen = r.b.(i); latency = r.c.(i) }
 
 let events_of_worker t worker =

@@ -36,6 +36,11 @@ type kind =
           and how many batches of its structure were launched while it
           was pending (Lemma 2 bounds this by 2 under the paper's
           scheduler) *)
+  | Steals_suppressed of { count : int }
+      (** [count] failed steal attempts made by this worker while it was
+          in backoff, not individually recorded; flushed on its next
+          successful steal so attempt totals stay truthful without idle
+          workers flooding their rings *)
 
 type event = { worker : int; time : int; kind : kind }
 
@@ -69,6 +74,7 @@ val emit_batch_end : t -> worker:int -> time:int -> sid:int -> size:int -> unit
 val emit_op_issue : t -> worker:int -> time:int -> sid:int -> unit
 val emit_op_done :
   t -> worker:int -> time:int -> sid:int -> batches_seen:int -> latency:int -> unit
+val emit_steals_suppressed : t -> worker:int -> time:int -> count:int -> unit
 
 (* ---- read-out (after the run; not concurrency-safe during one) ---- *)
 

@@ -113,6 +113,10 @@ let of_recorder r =
           | Recorder.Steal { success; _ } ->
               incr attempts;
               if success then incr hits
+          | Recorder.Steals_suppressed { count } ->
+              (* Failed attempts batched while the worker was in backoff:
+                 fold them back in so the attempt total stays truthful. *)
+              attempts := !attempts + count
           | Recorder.Batch_start { size; setup; _ } ->
               incr batches;
               Histo.add t.batch_size size;

@@ -13,14 +13,55 @@ type 'op record = {
   mutable done_launches : int;
 }
 
+type impl = Pending_array | Atomic_list
+
+(* Submission state for the two implementations (DESIGN.md §8).
+
+   [Pending_array] is the paper's BATCHER scheme: a preallocated array
+   of [batch_cap] slots (size P by default) that submitters claim with
+   one fetch-and-add on [claims] — O(1) non-retrying work per op on the
+   common path — plus a two-list FIFO overflow queue for ops that claim
+   an index past the array ([ovf_back] is a CAS-consed LIFO stack;
+   the launcher reverses it onto the launcher-private [ovf_front], so
+   admission across batches is oldest-first). [n_pending] counts
+   published-but-uncollected records and is the launch guard.
+
+   Publication protocol: claim index [i] by FAA; if [i < batch_cap],
+   [Atomic.exchange slots.(i) (Some r)] — if the exchange displaces an
+   older record (a straggler from a previous drain epoch that published
+   after the launcher reset [claims]), the *displacing* submitter moves
+   it to the overflow queue, so no record is ever lost; if
+   [i >= batch_cap], go to overflow directly. Only after the record is
+   reachable (slot or overflow) is [n_pending] incremented, and every
+   submitter calls [try_launch] after its increment, so there are no
+   lost wakeups and the launcher never has to spin on a slot: it just
+   drains front queue, all [batch_cap] slots, and back queue — Θ(P)
+   work per launch, the paper's LAUNCHBATCH setup bound.
+
+   [Atomic_list] is the seed's implementation — a single CAS-retry
+   ['op record list Atomic.t] cons stack (allocating, contended, and
+   LIFO: under sustained over-cap load its newest-first admission
+   starved parked ops to 41 batches-while-pending where FIFO gives
+   ≈ 2). Kept verbatim behind the flag for before/after benchmarking
+   (bench/micro.ml). *)
 type ('s, 'op) t = {
   pool : Pool.t;
   st : 's;
   run_batch : Pool.t -> 's -> 'op array -> unit;
   batch_cap : int;
+  impl : impl;
   sid : int;
   rc : Obs.Recorder.t;
+  (* -- Pending_array state -- *)
+  slots : 'op record option Atomic.t array;  (* size [batch_cap] *)
+  claims : int Atomic.t;  (* FAA ticket; reset to 0 by each launcher *)
+  ovf_front : 'op record list Atomic.t;  (* oldest first; launcher-only *)
+  ovf_back : 'op record list Atomic.t;  (* newest first; CAS-consed *)
+  n_pending : int Atomic.t;  (* published and not yet collected *)
+  mutable batch_buf : 'op record array;  (* reused by every launch *)
+  (* -- Atomic_list (legacy) state -- *)
   pending : 'op record list Atomic.t;
+  (* -- shared -- *)
   flag : bool Atomic.t;
   launches : int Atomic.t;
   n_batches : int Atomic.t;
@@ -34,7 +75,8 @@ type stats = {
   max_batch : int;
 }
 
-let create ?batch_cap ?(sid = 0) ~pool ~state ~run_batch () =
+let create ?batch_cap ?(impl = Pending_array) ?(sid = 0) ~pool ~state
+    ~run_batch () =
   let cap =
     match batch_cap with
     | Some c ->
@@ -47,8 +89,15 @@ let create ?batch_cap ?(sid = 0) ~pool ~state ~run_batch () =
     st = state;
     run_batch;
     batch_cap = cap;
+    impl;
     sid;
     rc = Pool.recorder pool;
+    slots = Array.init cap (fun _ -> Atomic.make None);
+    claims = Atomic.make 0;
+    ovf_front = Atomic.make [];
+    ovf_back = Atomic.make [];
+    n_pending = Atomic.make 0;
+    batch_buf = [||];
     pending = Atomic.make [];
     flag = Atomic.make false;
     launches = Atomic.make 0;
@@ -65,6 +114,124 @@ let stats t =
     ops = Atomic.get t.n_ops;
     max_batch = Atomic.get t.max_batch;
   }
+
+let rec atomic_max a v =
+  let old = Atomic.get a in
+  if v > old && not (Atomic.compare_and_set a old v) then atomic_max a v
+
+(* LAUNCHBATCH bookkeeping shared by both submission paths: count the
+   launch, run the BOP with batch spans recorded, stamp the records,
+   resume their tasks, then release the flag and run [relaunch] to pick
+   up operations that accrued meanwhile. [get] indexes the [len] batch
+   records (an array for the pending-array path, a list for legacy). *)
+let run_launched t ~len ~get ~relaunch () =
+  let arr = Array.init len (fun i -> (get i).op) in
+  let observed = Obs.Recorder.enabled t.rc in
+  Atomic.incr t.launches;
+  let me = match Pool.worker_index () with Some w -> w | None -> 0 in
+  if observed then
+    Obs.Recorder.emit_batch_start t.rc ~worker:me ~time:(Obs.Recorder.now t.rc)
+      ~sid:t.sid ~size:len ~setup:0;
+  t.run_batch t.pool t.st arr;
+  if observed then begin
+    let done_time = Obs.Recorder.now t.rc in
+    let done_launches = Atomic.get t.launches in
+    for i = 0 to len - 1 do
+      let r = get i in
+      r.done_time <- done_time;
+      r.done_launches <- done_launches
+    done;
+    Obs.Recorder.emit_batch_end t.rc ~worker:me ~time:done_time ~sid:t.sid
+      ~size:len
+  end;
+  Atomic.incr t.n_batches;
+  ignore (Atomic.fetch_and_add t.n_ops len);
+  atomic_max t.max_batch len;
+  for i = 0 to len - 1 do
+    (get i).resume ()
+  done;
+  Atomic.set t.flag false;
+  relaunch t
+
+(* ---- Pending_array submission path ---- *)
+
+let rec overflow_push t r =
+  let old = Atomic.get t.ovf_back in
+  if not (Atomic.compare_and_set t.ovf_back old (r :: old)) then
+    overflow_push t r
+
+(* One FAA, one exchange, one increment — no retry loop unless the op
+   overflows the array. Order matters: the record must be reachable
+   (slot or overflow) before [n_pending] goes up, because the launcher
+   treats [n_pending > 0] as "a drain of the queues will find work". *)
+let submit_array t r =
+  let i = Atomic.fetch_and_add t.claims 1 in
+  (if i < t.batch_cap then begin
+     match Atomic.exchange t.slots.(i) (Some r) with
+     | None -> ()
+     | Some stale ->
+         (* A previous epoch's claimant published after the launcher
+            reset [claims]; keep its (older) record pending. *)
+         overflow_push t stale
+   end
+   else overflow_push t r);
+  Atomic.incr t.n_pending
+
+let rec try_launch_array t =
+  if Atomic.get t.n_pending > 0 && Atomic.compare_and_set t.flag false true
+  then begin
+    (* Drain epoch: reset the ticket counter first so concurrent
+       submitters start filling slots for the *next* batch while we
+       collect this one. *)
+    ignore (Atomic.exchange t.claims 0);
+    let len = ref 0 in
+    let excess = ref [] in
+    let add r =
+      if !len < t.batch_cap then begin
+        if Array.length t.batch_buf = 0 then
+          t.batch_buf <- Array.make t.batch_cap r;
+        t.batch_buf.(!len) <- r;
+        incr len
+      end
+      else excess := r :: !excess
+    in
+    (* Admission order: overflow front (oldest), then the slot array,
+       then the reversed back stack — FIFO across batches. *)
+    List.iter add (Atomic.exchange t.ovf_front []);
+    for i = 0 to t.batch_cap - 1 do
+      match Atomic.exchange t.slots.(i) None with
+      | None -> ()
+      | Some r -> add r
+    done;
+    List.iter add (List.rev (Atomic.exchange t.ovf_back []));
+    (match List.rev !excess with
+    | [] -> ()
+    | l -> Atomic.set t.ovf_front l);
+    let len = !len in
+    if len = 0 then begin
+      (* [n_pending > 0] raced a record that is transiently in a
+         displacing submitter's hands; back off and retry. *)
+      Atomic.set t.flag false;
+      if Atomic.get t.n_pending > 0 then begin
+        Domain.cpu_relax ();
+        try_launch_array t
+      end
+    end
+    else begin
+      ignore (Atomic.fetch_and_add t.n_pending (-len));
+      (* The batch buffer is safely reused: the flag stays held until
+         the launched task finishes reading it, and the next launcher
+         can only assemble after winning the flag. *)
+      let buf = t.batch_buf in
+      Pool.async t.pool
+        (run_launched t ~len
+           ~get:(fun i -> buf.(i))
+           ~relaunch:try_launch_array)
+      |> ignore
+    end
+  end
+
+(* ---- Atomic_list (legacy) submission path, as in the seed ---- *)
 
 let rec atomic_push t record =
   let old = Atomic.get t.pending in
@@ -85,18 +252,14 @@ let rec atomic_put_back t records =
       if not (Atomic.compare_and_set t.pending old (records @ old)) then
         atomic_put_back t records
 
-let rec atomic_max a v =
-  let old = Atomic.get a in
-  if v > old && not (Atomic.compare_and_set a old v) then atomic_max a v
-
-let rec try_launch t =
+let rec try_launch_list t =
   if Atomic.get t.pending <> [] && Atomic.compare_and_set t.flag false true
   then begin
     let all = atomic_take_all t in
     if all = [] then begin
       (* Lost a race with a concurrent launch drain; retry. *)
       Atomic.set t.flag false;
-      try_launch t
+      try_launch_list t
     end
     else begin
       let rec split k acc = function
@@ -106,39 +269,19 @@ let rec try_launch t =
       in
       let batch, overflow = split t.batch_cap [] all in
       atomic_put_back t overflow;
-      (* LAUNCHBATCH, as a pool task: compact records into the working
-         set, run the BOP, mark records done (resume their tasks), clear
-         the flag, and relaunch if operations accrued meanwhile. *)
-      Pool.async t.pool (fun () ->
-          let arr = Array.of_list (List.map (fun r -> r.op) batch) in
-          let observed = Obs.Recorder.enabled t.rc in
-          Atomic.incr t.launches;
-          let me = match Pool.worker_index () with Some w -> w | None -> 0 in
-          if observed then
-            Obs.Recorder.emit_batch_start t.rc ~worker:me
-              ~time:(Obs.Recorder.now t.rc) ~sid:t.sid ~size:(Array.length arr)
-              ~setup:0;
-          t.run_batch t.pool t.st arr;
-          if observed then begin
-            let done_time = Obs.Recorder.now t.rc in
-            let done_launches = Atomic.get t.launches in
-            List.iter
-              (fun r ->
-                r.done_time <- done_time;
-                r.done_launches <- done_launches)
-              batch;
-            Obs.Recorder.emit_batch_end t.rc ~worker:me ~time:done_time ~sid:t.sid
-              ~size:(Array.length arr)
-          end;
-          Atomic.incr t.n_batches;
-          ignore (Atomic.fetch_and_add t.n_ops (Array.length arr));
-          atomic_max t.max_batch (Array.length arr);
-          List.iter (fun r -> r.resume ()) batch;
-          Atomic.set t.flag false;
-          try_launch t)
+      let batch = Array.of_list batch in
+      Pool.async t.pool
+        (run_launched t ~len:(Array.length batch)
+           ~get:(fun i -> batch.(i))
+           ~relaunch:try_launch_list)
       |> ignore
     end
   end
+
+let try_launch t =
+  match t.impl with
+  | Pending_array -> try_launch_array t
+  | Atomic_list -> try_launch_list t
 
 let batchify t op =
   let observed = Obs.Recorder.enabled t.rc in
@@ -158,7 +301,9 @@ let batchify t op =
      | None -> ());
   Pool.suspend t.pool (fun resume ->
       r.resume <- resume;
-      atomic_push t r;
+      (match t.impl with
+      | Pending_array -> submit_array t r
+      | Atomic_list -> atomic_push t r);
       try_launch t);
   (* Control is back: the batch containing the op has completed. The
      continuation may run on a different worker than the issuer — emit

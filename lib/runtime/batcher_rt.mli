@@ -21,15 +21,33 @@
 
 type ('s, 'op) t
 
+type impl =
+  | Pending_array
+      (** The paper's submission scheme (default): a preallocated array
+          of [batch_cap] slots claimed with one fetch-and-add per op —
+          constant non-retrying work on the common path — plus a
+          two-list FIFO overflow queue, so admission across batches is
+          oldest-first and a parked op's batches-while-pending stays
+          O(1) under sustained over-cap load. The launcher drains the
+          queues in Θ(batch_cap) = Θ(P), the paper's LAUNCHBATCH setup
+          bound, into a batch buffer reused across launches. *)
+  | Atomic_list
+      (** The seed's submission path, kept for before/after
+          benchmarking: a single CAS-retry cons stack — allocating,
+          contended, and LIFO (newest-first admission starves parked
+          ops under over-cap load). *)
+
 val create :
   ?batch_cap:int ->
+  ?impl:impl ->
   ?sid:int ->
   pool:Pool.t ->
   state:'s ->
   run_batch:(Pool.t -> 's -> 'op array -> unit) ->
   unit ->
   ('s, 'op) t
-(** [batch_cap] defaults to the pool's worker count (Invariant 2).
+(** [batch_cap] defaults to the pool's worker count (Invariant 2);
+    [impl] defaults to {!Pending_array}.
 
     [sid] (default 0) labels this structure in observability events
     when the pool carries a recorder ({!Pool.create}); give each

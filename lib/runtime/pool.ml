@@ -8,12 +8,34 @@ type 'a promise_state =
 
 type 'a promise = 'a promise_state Atomic.t
 
+(* Idle-worker policy, sweepable by lib/check's config ablations. All
+   thresholds are in consecutive failed scheduling rounds ("misses"). *)
+type backoff = {
+  spin_limit : int;  (* misses served by a single [cpu_relax] *)
+  spin_burst : int;  (* relax iterations per miss while bursting *)
+  burst_limit : int;  (* misses before the worker starts sleeping *)
+  sleep_min : float;  (* first sleep, seconds *)
+  sleep_max : float;  (* cap of the exponential sleep ramp, seconds *)
+  steal_tries : int;  (* steal attempts per round; 0 = 2 x workers *)
+}
+
+let default_backoff =
+  {
+    spin_limit = 16;
+    spin_burst = 32;
+    burst_limit = 64;
+    sleep_min = 0.000_05;
+    sleep_max = 0.002;
+    steal_tries = 0;
+  }
+
 type t = {
   deques : task Wsdeque.t array;
   mutable domains : unit Domain.t array;
   stop : bool Atomic.t;
   n : int;
   seed : int;
+  bo : backoff;
   rc : Obs.Recorder.t;  (* per-worker rings; each domain writes only its own *)
 }
 
@@ -52,63 +74,87 @@ let handler : (unit, unit) Effect.Deep.handler =
 
 let exec (task : task) = Effect.Deep.match_with task () handler
 
-let find_task t my_id rng =
+(* [misses] is the caller's consecutive-failure count: once the worker is
+   past the first spin phase it is "in backoff", and failed steal probes
+   are no longer emitted one-by-one — they are counted in [suppressed]
+   and flushed as a single Steals_suppressed event on the next successful
+   steal (so the steal-attempt histogram stays truthful without an idle
+   pool flooding its ring at ~2n events per backoff round). *)
+let find_task t my_id rng ~misses ~suppressed =
   match Wsdeque.pop t.deques.(my_id) with
   | Some task -> Some task
   | None ->
       if t.n <= 1 then None
       else begin
         let observed = Obs.Recorder.enabled t.rc in
-        (* A handful of random steal attempts per call. *)
+        let in_backoff = misses >= t.bo.spin_limit in
+        (* A bounded sample of random steal attempts per call. *)
+        let tries0 = if t.bo.steal_tries > 0 then t.bo.steal_tries else 2 * t.n in
         let rec attempt tries =
           if tries = 0 then None
           else begin
             let victim = (my_id + 1 + Util.Rng.int rng (t.n - 1)) mod t.n in
             match Wsdeque.steal t.deques.(victim) with
             | Some task ->
-                if observed then
+                if observed then begin
+                  (if !suppressed > 0 then begin
+                     Obs.Recorder.emit_steals_suppressed t.rc ~worker:my_id
+                       ~time:(Obs.Recorder.now t.rc) ~count:!suppressed;
+                     suppressed := 0
+                   end);
                   Obs.Recorder.emit_steal t.rc ~worker:my_id
                     ~time:(Obs.Recorder.now t.rc) ~victim ~success:true
-                    ~batch_deque:false;
+                    ~batch_deque:false
+                end;
                 Some task
             | None ->
-                if observed then
-                  Obs.Recorder.emit_steal t.rc ~worker:my_id
-                    ~time:(Obs.Recorder.now t.rc) ~victim ~success:false
-                    ~batch_deque:false;
+                if observed then begin
+                  if in_backoff then incr suppressed
+                  else
+                    Obs.Recorder.emit_steal t.rc ~worker:my_id
+                      ~time:(Obs.Recorder.now t.rc) ~victim ~success:false
+                      ~batch_deque:false
+                end;
                 attempt (tries - 1)
           end
         in
-        attempt (2 * t.n)
+        attempt tries0
       end
 
-(* Failed-steal backoff: spin briefly, then sleep — essential on machines
-   with fewer cores than workers. *)
-let backoff misses =
-  if misses < 16 then Domain.cpu_relax ()
-  else if misses < 64 then
-    for _ = 1 to 32 do
+(* Failed-steal backoff: spin briefly, then burst-spin, then sleep on an
+   exponential ramp — essential on machines with fewer cores than
+   workers, and the reason an idle pool costs ~0 CPU after a few ms. *)
+let backoff bo misses =
+  if misses < bo.spin_limit then Domain.cpu_relax ()
+  else if misses < bo.burst_limit then
+    for _ = 1 to bo.spin_burst do
       Domain.cpu_relax ()
     done
-  else Unix.sleepf 0.000_2
+  else begin
+    (* sleep_min * 2^k, capped; [ldexp] keeps this allocation-free. *)
+    let k = min 16 (misses - bo.burst_limit) in
+    Unix.sleepf (Float.min bo.sleep_max (ldexp bo.sleep_min k))
+  end
 
 let worker_loop t my_id =
   let r = Domain.DLS.get worker_key in
   r := Some my_id;
   let rng = Util.Rng.stream ~seed:t.seed ~index:my_id in
   let misses = ref 0 in
+  let suppressed = ref 0 in
   while not (Atomic.get t.stop) do
-    match find_task t my_id rng with
+    match find_task t my_id rng ~misses:!misses ~suppressed with
     | Some task ->
         misses := 0;
         exec task
     | None ->
         incr misses;
-        backoff !misses
+        backoff t.bo !misses
   done;
   r := None
 
-let create ?(recorder = Obs.Recorder.null) ~num_workers () =
+let create ?(recorder = Obs.Recorder.null) ?(backoff = default_backoff)
+    ~num_workers () =
   if num_workers < 1 then invalid_arg "Pool.create: num_workers >= 1";
   if
     Obs.Recorder.enabled recorder
@@ -124,6 +170,7 @@ let create ?(recorder = Obs.Recorder.null) ~num_workers () =
       stop = Atomic.make false;
       n = num_workers;
       seed = 0x600D5EED;
+      bo = backoff;
       rc = recorder;
     }
   in
@@ -193,6 +240,7 @@ let run t f =
   push_on t 0 root;
   let rng = Util.Rng.stream ~seed:t.seed ~index:0 in
   let misses = ref 0 in
+  let suppressed = ref 0 in
   let rec drive () =
     match Atomic.get p with
     | Done (Ok v) ->
@@ -202,13 +250,13 @@ let run t f =
         slot := saved;
         raise e
     | Waiting _ -> begin
-        (match find_task t 0 rng with
+        (match find_task t 0 rng ~misses:!misses ~suppressed with
         | Some task ->
             misses := 0;
             exec task
         | None ->
             incr misses;
-            backoff !misses);
+            backoff t.bo !misses);
         drive ()
       end
   in

@@ -9,8 +9,31 @@
 
 type t
 
-val create : ?recorder:Obs.Recorder.t -> num_workers:int -> unit -> t
+type backoff = {
+  spin_limit : int;  (** misses served by a single [Domain.cpu_relax] *)
+  spin_burst : int;  (** relax iterations per miss while bursting *)
+  burst_limit : int;  (** misses before the worker starts sleeping *)
+  sleep_min : float;  (** first sleep, seconds *)
+  sleep_max : float;  (** cap of the exponential sleep ramp, seconds *)
+  steal_tries : int;  (** steal attempts per round; 0 means 2 x workers *)
+}
+(** Idle-worker policy. A worker that finds no task counts consecutive
+    "misses": below [spin_limit] it relaxes once per miss; below
+    [burst_limit] it relaxes [spin_burst] times per miss; past that it
+    sleeps [sleep_min * 2^k] capped at [sleep_max]. Exposed so
+    [lib/check]'s config ablations can sweep the thresholds. *)
+
+val default_backoff : backoff
+
+val create :
+  ?recorder:Obs.Recorder.t -> ?backoff:backoff -> num_workers:int -> unit -> t
 (** Spawns [num_workers - 1] domains. [num_workers >= 1].
+
+    [backoff] (default {!default_backoff}) sets the idle-worker policy.
+    While a worker is past its spin phase, individual failed-steal
+    events are not emitted; they are counted and flushed as one
+    [Steals_suppressed] event on the next successful steal, so summary
+    attempt counts stay truthful without idle pools flooding the rings.
 
     [recorder] (default {!Obs.Recorder.null}, i.e. off) captures
     steal-attempt events from the workers' task-finding loop, and is

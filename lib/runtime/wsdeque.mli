@@ -1,10 +1,20 @@
-(** Lock-free Chase-Lev work-stealing deque.
+(** Lock-free Chase-Lev work-stealing deque (Lê-Pop-Cohen-Zappa Nardelli
+    C11 protocol over OCaml 5's sequentially consistent [Atomic]).
 
     The owner pushes and pops at the bottom without contention; thieves
-    [steal] from the top with a CAS. The circular buffer grows on demand
-    (owner-side only); elements are never overwritten in a retired
-    buffer, so a thief racing a grow still reads a valid element iff its
-    CAS on [top] succeeds.
+    [steal] from the top with a CAS. Elements live directly in a flat
+    buffer (no per-[push] option boxing), and the owner tracks a cached
+    lower bound on [top] so the common [push] touches [top] not at all.
+    The circular buffer grows on demand (owner-side only); elements are
+    never overwritten in a retired buffer, so a thief racing a grow
+    still reads a valid element iff its CAS on [top] succeeds.
+
+    Ordering: every [Atomic] access is SC, which subsumes the release
+    store of [bottom] in [push], the seq_cst fence in [pop], and the
+    acquire loads in [steal] of the C11 formulation. [steal] reads [top]
+    before [bottom]; that order is load-bearing — it is what lets [pop]
+    take a non-last element without a CAS and immediately clear its
+    slot (see the protocol comment in the implementation).
 
     Single-owner: [push] and [pop] must only be called from one domain at
     a time; [steal] may be called from any domain. *)
@@ -14,14 +24,17 @@ type 'a t
 val create : unit -> 'a t
 
 val push : 'a t -> 'a -> unit
-(** Owner only. *)
+(** Owner only. Amortized one SC load + one SC store; no allocation
+    outside buffer growth. *)
 
 val pop : 'a t -> 'a option
-(** Owner only. *)
+(** Owner only. A popped element's slot is cleared, so the deque does
+    not retain it. *)
 
 val steal : 'a t -> 'a option
 (** Any domain. Returns [None] if the deque looked empty or the race was
-    lost. *)
+    lost. A stolen element's slot is reclaimed lazily by the owner (at
+    most [capacity] stale references persist). *)
 
 val size : 'a t -> int
 (** Snapshot; racy, only a hint. *)

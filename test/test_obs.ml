@@ -86,6 +86,62 @@ let test_disabled_recorder_no_op () =
     Alcotest.failf "disabled recorder allocated %.0f minor words" delta;
   check "null length" 0 (Obs.Recorder.length rc ~worker:0)
 
+let test_enabled_recorder_no_alloc () =
+  (* The ENABLED hot path must also be allocation-free: [Clock.now_ns]
+     is a [@@noalloc] external with an unboxed int64 result (the boxed
+     wrapper it replaced cost one minor allocation per timestamp), and
+     each emitter is five int-array stores. Native-code only guarantee,
+     which is how the tests are built. *)
+  let rc = Obs.Recorder.create ~capacity:64 ~clock:Obs.Recorder.Nanoseconds ~workers:1 () in
+  Alcotest.(check bool) "enabled" true (Obs.Recorder.enabled rc);
+  (* Warm up so any one-time allocation is out of the way. *)
+  for _ = 1 to 3 do
+    Obs.Recorder.emit_steal rc ~worker:0 ~time:(Obs.Recorder.now rc) ~victim:0
+      ~success:false ~batch_deque:false
+  done;
+  let words_before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    let t = Obs.Recorder.now rc in
+    Obs.Recorder.emit_status rc ~worker:0 ~time:t Obs.Recorder.Executing;
+    Obs.Recorder.emit_steal rc ~worker:0 ~time:t ~victim:1 ~success:true
+      ~batch_deque:false;
+    Obs.Recorder.emit_steals_suppressed rc ~worker:0 ~time:t ~count:17;
+    Obs.Recorder.emit_batch_start rc ~worker:0 ~time:t ~sid:0 ~size:4 ~setup:8;
+    Obs.Recorder.emit_batch_end rc ~worker:0 ~time:t ~sid:0 ~size:4;
+    Obs.Recorder.emit_op_issue rc ~worker:0 ~time:t ~sid:0;
+    Obs.Recorder.emit_op_done rc ~worker:0 ~time:t ~sid:0 ~batches_seen:1
+      ~latency:5
+  done;
+  let delta = Gc.minor_words () -. words_before in
+  if delta > 256. then
+    Alcotest.failf "enabled recorder hot path allocated %.0f minor words" delta
+
+let test_steals_suppressed_summary () =
+  (* A Steals_suppressed event stands for [count] failed attempts that
+     were not individually recorded; the summary must fold them back
+     into the attempt total (and nothing else). *)
+  let rc = Obs.Recorder.create ~clock:Obs.Recorder.Timesteps ~workers:2 () in
+  Obs.Recorder.emit_steal rc ~worker:0 ~time:1 ~victim:1 ~success:false
+    ~batch_deque:false;
+  Obs.Recorder.emit_steals_suppressed rc ~worker:0 ~time:5 ~count:40;
+  Obs.Recorder.emit_steal rc ~worker:0 ~time:6 ~victim:1 ~success:true
+    ~batch_deque:false;
+  Obs.Recorder.emit_steal rc ~worker:1 ~time:7 ~victim:0 ~success:true
+    ~batch_deque:false;
+  (match Obs.Recorder.events_of_worker rc 0 with
+  | [ _; { kind = Obs.Recorder.Steals_suppressed { count = 40 }; _ }; _ ] -> ()
+  | _ -> Alcotest.fail "suppressed event readback");
+  let s = Obs.Summary.of_recorder rc in
+  check "attempts include suppressed" 43 s.Obs.Summary.steal_attempts;
+  check "successes unchanged" 2 s.Obs.Summary.steal_successes;
+  (* And the event renders in the Chrome sink without breaking JSON. *)
+  let trace =
+    Obs.Chrome.to_string [ { Obs.Chrome.pid = 1; name = "t"; recording = rc } ]
+  in
+  match Obs.Json.parse trace with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "trace with suppressed event invalid: %s" e
+
 let test_recorder_event_readback () =
   let rc = Obs.Recorder.create ~clock:Obs.Recorder.Timesteps ~workers:2 () in
   Obs.Recorder.emit_status rc ~worker:0 ~time:1 Obs.Recorder.Pending;
@@ -289,6 +345,10 @@ let () =
           Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
           Alcotest.test_case "disabled is a free no-op" `Quick
             test_disabled_recorder_no_op;
+          Alcotest.test_case "enabled hot path allocation-free" `Quick
+            test_enabled_recorder_no_alloc;
+          Alcotest.test_case "steals-suppressed stays truthful" `Quick
+            test_steals_suppressed_summary;
           Alcotest.test_case "event readback" `Quick test_recorder_event_readback;
           Alcotest.test_case "clock mismatch rejected" `Quick
             test_recorder_clock_mismatch_rejected;

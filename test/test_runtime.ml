@@ -81,6 +81,64 @@ let test_wsdeque_concurrent_steals () =
   Array.iter (fun a -> if Atomic.get a <> 1 then incr bad) taken;
   Alcotest.(check int) "each element taken exactly once" 0 !bad
 
+let test_wsdeque_bursty_stress () =
+  (* Bursty push/pop cycles force buffer growth AND index wraparound
+     while two thieves steal continuously; every element must be taken
+     exactly once across pop and steal. *)
+  let d = Runtime.Wsdeque.create () in
+  let rounds = 100 and burst = 300 in
+  let n = rounds * burst in
+  let taken = Array.init n (fun _ -> Atomic.make 0) in
+  let mark = function
+    | Some i -> ignore (Atomic.fetch_and_add taken.(i) 1)
+    | None -> Domain.cpu_relax ()
+  in
+  let stop = Atomic.make false in
+  let thief () =
+    while not (Atomic.get stop) do
+      mark (Runtime.Wsdeque.steal d)
+    done;
+    let rec go () =
+      match Runtime.Wsdeque.steal d with
+      | Some i ->
+          mark (Some i);
+          go ()
+      | None -> ()
+    in
+    go ()
+  in
+  let t1 = Domain.spawn thief in
+  let t2 = Domain.spawn thief in
+  let next = ref 0 in
+  for _ = 1 to rounds do
+    for _ = 1 to burst do
+      Runtime.Wsdeque.push d !next;
+      incr next
+    done;
+    (* Drain about half back so the bottom index keeps wrapping. *)
+    for _ = 1 to burst / 2 do
+      mark (Runtime.Wsdeque.pop d)
+    done
+  done;
+  (* Owner drains to empty: a pop returning [None] means either empty
+     or the last element lost to a thief — in both cases nothing is
+     left for the owner. *)
+  let rec drain () =
+    match Runtime.Wsdeque.pop d with
+    | Some i ->
+        mark (Some i);
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  Domain.join t1;
+  Domain.join t2;
+  let bad = ref 0 in
+  Array.iter (fun a -> if Atomic.get a <> 1 then incr bad) taken;
+  Alcotest.(check int) "each element taken exactly once" 0 !bad;
+  Alcotest.(check int) "deque empty" 0 (Runtime.Wsdeque.size d)
+
 (* ---------- Pool ---------- *)
 
 let test_pool_run_returns () =
@@ -391,6 +449,111 @@ let test_batcher_rt_randomized_stress () =
           (Batched.Stack.size st))
   done
 
+let test_batcher_rt_atomic_list_legacy () =
+  (* The seed's CAS-list submission path stays behind the [impl] flag
+     for before/after benchmarking; it must remain correct. *)
+  with_pool 3 (fun pool ->
+      let counter = Batched.Counter.create () in
+      let b =
+        Runtime.Batcher_rt.create ~impl:Runtime.Batcher_rt.Atomic_list ~pool
+          ~state:counter
+          ~run_batch:(fun _pool st ops -> Batched.Counter.run_batch st ops)
+          ()
+      in
+      let n = 300 in
+      let results = Array.make n 0 in
+      Runtime.Pool.run pool (fun () ->
+          Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:n (fun i ->
+              let op = Batched.Counter.op 1 in
+              Runtime.Batcher_rt.batchify b op;
+              results.(i) <- op.Batched.Counter.result));
+      Alcotest.(check int) "final value" n (Batched.Counter.value counter);
+      let sorted = Array.copy results in
+      Array.sort compare sorted;
+      Alcotest.(check (array int)) "results are 1..n"
+        (Array.init n (fun i -> i + 1))
+        sorted;
+      let st = Runtime.Batcher_rt.stats b in
+      Alcotest.(check int) "all ops batched" n st.Runtime.Batcher_rt.ops)
+
+let test_batcher_rt_fifo_fairness () =
+  (* Regression for the ROADMAP starvation finding: under sustained
+     over-cap load the seed's LIFO list admitted newest-first and a
+     parked op sat through up to 41 launches. The pending-array path
+     admits oldest-first, so with [tasks] concurrent submitters and cap
+     2, no op can be overtaken by more than the ops already pending —
+     batches-while-pending stays bounded by a small constant. *)
+  let workers = 3 in
+  let rc = Obs.Recorder.create ~clock:Obs.Recorder.Nanoseconds ~workers () in
+  let pool = Runtime.Pool.create ~recorder:rc ~num_workers:workers () in
+  Fun.protect
+    ~finally:(fun () -> Runtime.Pool.teardown pool)
+    (fun () ->
+      let counter = Batched.Counter.create () in
+      let b =
+        Runtime.Batcher_rt.create ~batch_cap:2 ~pool ~state:counter
+          ~run_batch:(fun _pool st ops -> Batched.Counter.run_batch st ops)
+          ()
+      in
+      let tasks = 12 and rounds = 25 in
+      Runtime.Pool.run pool (fun () ->
+          Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:tasks (fun _ ->
+              for _ = 1 to rounds do
+                Runtime.Batcher_rt.batchify b (Batched.Counter.op 1)
+              done));
+      Alcotest.(check int) "value" (tasks * rounds)
+        (Batched.Counter.value counter));
+  let s = Obs.Summary.of_recorder rc in
+  Alcotest.(check int) "ops recorded" 300 s.Obs.Summary.ops;
+  (* At most [tasks = 12] ops are ever pending (each task submits
+     sequentially); FIFO admission at cap 2 clears all of them within
+     ceil(12/2) = 6 launches, so with slack for stragglers displaced
+     across a drain epoch the bound stays far below the LIFO figure. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "max batches-while-pending O(1), got %d"
+       s.Obs.Summary.max_batches_seen)
+    true
+    (s.Obs.Summary.max_batches_seen <= 10)
+
+let test_pool_backoff_config () =
+  (* Extreme idle policies — pure spin and sleep-almost-immediately
+     with one steal probe per round — must not affect results. *)
+  let open Runtime.Pool in
+  let configs =
+    [
+      { default_backoff with spin_limit = 1_000_000; burst_limit = 1_000_000 };
+      {
+        default_backoff with
+        spin_limit = 1;
+        burst_limit = 2;
+        sleep_min = 0.000_01;
+        steal_tries = 1;
+      };
+    ]
+  in
+  List.iter
+    (fun backoff ->
+      let pool = create ~backoff ~num_workers:3 () in
+      Fun.protect
+        ~finally:(fun () -> teardown pool)
+        (fun () ->
+          let counter = Batched.Counter.create () in
+          let b =
+            Runtime.Batcher_rt.create ~pool ~state:counter
+              ~run_batch:(fun _pool st ops -> Batched.Counter.run_batch st ops)
+              ()
+          in
+          let n = 120 in
+          let acc = Atomic.make 0 in
+          run pool (fun () ->
+              parallel_for pool ~grain:1 ~lo:0 ~hi:n (fun i ->
+                  ignore (Atomic.fetch_and_add acc i);
+                  Runtime.Batcher_rt.batchify b (Batched.Counter.op 1)));
+          Alcotest.(check int) "parallel_for sum" (n * (n - 1) / 2)
+            (Atomic.get acc);
+          Alcotest.(check int) "batched value" n (Batched.Counter.value counter)))
+    configs
+
 (* [with_pool] guards every test above with Fun.protect; this pins down
    that the guard actually works — teardown runs when the computation
    raises, the exception still propagates, and the runtime stays healthy
@@ -423,6 +586,7 @@ let () =
           Alcotest.test_case "owner lifo" `Quick test_wsdeque_owner_lifo;
           Alcotest.test_case "growth" `Quick test_wsdeque_growth;
           Alcotest.test_case "concurrent steals" `Slow test_wsdeque_concurrent_steals;
+          Alcotest.test_case "bursty stress" `Slow test_wsdeque_bursty_stress;
         ] );
       ( "pool",
         [
@@ -439,12 +603,17 @@ let () =
           Alcotest.test_case "map_reduce" `Quick test_pool_map_reduce;
           Alcotest.test_case "single worker" `Quick test_pool_single_worker;
           Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "backoff config" `Quick test_pool_backoff_config;
           Alcotest.test_case "teardown under exception" `Quick
             test_pool_teardown_under_exception;
         ] );
       ( "batcher_rt",
         [
           Alcotest.test_case "counter linearizable" `Quick test_batcher_rt_counter;
+          Alcotest.test_case "legacy atomic-list path" `Quick
+            test_batcher_rt_atomic_list_legacy;
+          Alcotest.test_case "fifo fairness under over-cap load" `Quick
+            test_batcher_rt_fifo_fairness;
           Alcotest.test_case "skiplist" `Quick test_batcher_rt_skiplist;
           Alcotest.test_case "batch cap" `Quick test_batcher_rt_batch_cap_option;
           Alcotest.test_case "parallel BOP" `Quick test_batcher_rt_parallel_bop;
