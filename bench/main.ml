@@ -8,7 +8,7 @@
    Environment:
      QUICK=1   reduce simulation scales (CI-friendly)
      ONLY=E1   run a single experiment id, case-insensitive
-               (E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 A1 A2 A3 A4 A5 MICRO)
+               (E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 A1 A2 A3 A4 A5 ATTRIB MICRO)
      OUT=path  where to write the JSON results (default BENCH_results.json)
 *)
 
@@ -151,6 +151,99 @@ let run_tables () =
     R.ablation ~name:"A3 batch cap" fmt rows;
     record "A3" title (J.ablation rows)
   end
+
+(* ---------- ATTRIB: Theorem-1 bucket decomposition ---------- *)
+
+(* Recorded simulator runs folded through Obs.Attrib: one row per
+   (workload, P) with every bound bucket as its own JSON field, so
+   bench_diff can flag a regression in a single bucket (say, wait time
+   growing while the makespan hides it behind shrinking idle). The
+   conservation invariant (buckets sum to P x makespan) is asserted
+   here too — a violation means the recorder or the attribution folder
+   miscounted, and the numbers below it would be garbage. *)
+
+let attrib_workloads () =
+  let n = if quick then 60 else 200 in
+  let initial = if quick then 10_000 else 100_000 in
+  [
+    ( "fig5",
+      n,
+      fun () ->
+        Sim.Workload.parallel_ops
+          ~model:
+            (Batched.Skiplist.sim_model ~initial_size:initial
+               ~records_per_node:100 ())
+          ~records_per_node:100 ~n_nodes:n () );
+    ( "counter",
+      n,
+      fun () ->
+        Sim.Workload.parallel_ops
+          ~model:(Batched.Counter.sim_model ())
+          ~records_per_node:1 ~n_nodes:n () );
+    ( "multi",
+      n,
+      fun () ->
+        Sim.Workload.interleaved_ops
+          ~models:
+            [
+              Batched.Counter.sim_model ();
+              Batched.Skiplist.sim_model ~initial_size:initial
+                ~records_per_node:10 ();
+            ]
+          ~records_per_node:10 ~n_nodes:n () );
+  ]
+
+let attrib_row ~name ~p ~n workload =
+  let rc = Obs.Recorder.create ~clock:Obs.Recorder.Timesteps ~workers:p () in
+  let m = Sim.Batcher.run ~recorder:rc (Sim.Batcher.default ~p) workload in
+  let a = Obs.Attrib.of_recorder rc in
+  (match Obs.Attrib.check ~expected:(p * m.Sim.Metrics.makespan) a with
+  | Ok () -> ()
+  | Error e ->
+      failwith (Printf.sprintf "ATTRIB conservation (%s p=%d): %s" name p e));
+  let b = a.Obs.Attrib.total in
+  (name, p, n, m, b)
+
+let run_attrib () =
+  let title = "ATTRIB — Theorem-1 bucket decomposition (sim, per workload x P)"
+  in
+  section title;
+  let ps = if quick then [ 2; 4 ] else [ 2; 4; 8 ] in
+  let rows =
+    List.concat_map
+      (fun (name, n, mk) ->
+        List.map (fun p -> attrib_row ~name ~p ~n (mk ())) ps)
+      (attrib_workloads ())
+  in
+  Format.fprintf fmt "%-8s %3s %6s %9s %9s %9s %9s %9s %9s %9s %6s@."
+    "workload" "P" "n" "makespan" "core" "batch" "setup" "sched" "idle" "wait"
+    "span";
+  List.iter
+    (fun (name, p, n, (m : Sim.Metrics.t), (b : Obs.Attrib.buckets)) ->
+      Format.fprintf fmt "%-8s %3d %6d %9d %9d %9d %9d %9d %9d %9d %6d@." name
+        p n m.Sim.Metrics.makespan b.Obs.Attrib.core b.Obs.Attrib.batch
+        b.Obs.Attrib.setup b.Obs.Attrib.sched b.Obs.Attrib.idle
+        b.Obs.Attrib.wait m.Sim.Metrics.span_realized)
+    rows;
+  record "ATTRIB" title
+    (Obs.Json.List
+       (List.map
+          (fun (name, p, n, (m : Sim.Metrics.t), (b : Obs.Attrib.buckets)) ->
+            Obs.Json.Obj
+              [
+                ("workload", Obs.Json.Str name);
+                ("p", Obs.Json.Int p);
+                ("n", Obs.Json.Int n);
+                ("makespan", Obs.Json.Int m.Sim.Metrics.makespan);
+                ("span_realized", Obs.Json.Int m.Sim.Metrics.span_realized);
+                ("attrib_core", Obs.Json.Int b.Obs.Attrib.core);
+                ("attrib_batch", Obs.Json.Int b.Obs.Attrib.batch);
+                ("attrib_setup", Obs.Json.Int b.Obs.Attrib.setup);
+                ("attrib_sched", Obs.Json.Int b.Obs.Attrib.sched);
+                ("attrib_idle", Obs.Json.Int b.Obs.Attrib.idle);
+                ("attrib_wait", Obs.Json.Int b.Obs.Attrib.wait);
+              ])
+          rows))
 
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
@@ -300,6 +393,7 @@ let print_bechamel rows =
 
 let () =
   run_tables ();
+  if want "ATTRIB" then run_attrib ();
   if want "MICRO" then begin
     let title =
       "MICRO — Bechamel kernels (one per experiment id) + real runtime (R1)"

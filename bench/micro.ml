@@ -26,24 +26,36 @@ let out_path =
 
 (* Best-of-N repetitions. Scheduler noise is one-sided (preemption only
    ever adds time), so on oversubscribed machines the best-of over more
-   reps converges to the true mechanism cost; REPS= raises it. *)
-let reps =
+   reps converges to the true mechanism cost; REPS= overrides. Rows
+   whose measured section runs more than one domain (M1 workers>1, the
+   M2 steal drain) default to 8 reps — on the 1-CPU container the extra
+   domains guarantee preemption mid-measurement, and fewer reps make
+   best-of itself a noise source (ROADMAP PR-4 note). *)
+let reps ~multi =
   match Sys.getenv_opt "REPS" with
   | Some s -> int_of_string s
-  | None -> if quick then 2 else 5
+  | None -> if quick then 2 else if multi then 8 else 5
 
 let time_ns f =
   let t0 = Obs.Clock.now_ns () in
   f ();
   Obs.Clock.now_ns () - t0
 
-let best_of n f =
-  let best = ref max_int in
-  for _ = 1 to n do
-    let t = time_ns f in
-    if t < !best then best := t
-  done;
-  !best
+(* Best over [n] runs, warning on [label] when the run-to-run spread
+   (stddev/mean) exceeds 5% — the threshold beyond which a best-of
+   estimate on this container should be read as a bound, not a value. *)
+let best_of ~label n f =
+  let samples = Array.init n (fun _ -> float_of_int (time_ns f)) in
+  let s = Util.Stats.summarize samples in
+  if s.Util.Stats.n > 1 && s.Util.Stats.mean > 0.0 then begin
+    let cv = s.Util.Stats.stddev /. s.Util.Stats.mean in
+    if cv > 0.05 then
+      Printf.printf
+        "[micro] noise warning: %s stddev/mean = %.1f%% over %d reps (best-of \
+         is a lower bound)\n"
+        label (100.0 *. cv) n
+  end;
+  int_of_float s.Util.Stats.min
 
 let ops_per_sec ~ops ~ns =
   if ns <= 0 then 0.0 else float_of_int ops *. 1e9 /. float_of_int ns
@@ -106,7 +118,9 @@ let contended_submit ~impl ~workers ~n_ops =
           Some ((Gc.minor_words () -. w0) /. float_of_int n_ops)
         end
       in
-      (best_of reps (fun () -> submit_all n_ops), words_per_op))
+      let label = Printf.sprintf "M1 %s workers=%d" (impl_name impl) workers in
+      ( best_of ~label (reps ~multi:(workers > 1)) (fun () -> submit_all n_ops),
+        words_per_op ))
 
 let m1_rows () =
   let n_ops =
@@ -134,7 +148,7 @@ let m1_rows () =
 (* Owner-only throughput: fill/drain bursts through a warm deque. *)
 let deque_push_pop ~n =
   let q : int Runtime.Wsdeque.t = Runtime.Wsdeque.create () in
-  best_of reps (fun () ->
+  best_of ~label:"M2 push_pop" (reps ~multi:false) (fun () ->
       let burst = 512 in
       let rounds = n / burst in
       for _ = 1 to rounds do
@@ -148,7 +162,7 @@ let deque_push_pop ~n =
 
 (* One thief domain drains everything the owner pushed. *)
 let deque_steal_drain ~n =
-  best_of reps (fun () ->
+  best_of ~label:"M2 steal_drain" (reps ~multi:true) (fun () ->
       let q : int Runtime.Wsdeque.t = Runtime.Wsdeque.create () in
       for i = 1 to n do
         Runtime.Wsdeque.push q i

@@ -20,6 +20,17 @@ let metric_keys =
     ("ns_per_run", false);
     ("makespan", false);
     ("minor_words_per_op", false);
+    (* Theorem-1 bucket decomposition (bench ATTRIB rows): lower is
+       better for every bucket — core/batch/setup growth means more
+       work executed for the same workload, idle/wait/sched growth
+       means the same work scheduled worse. *)
+    ("span_realized", false);
+    ("attrib_core", false);
+    ("attrib_batch", false);
+    ("attrib_setup", false);
+    ("attrib_sched", false);
+    ("attrib_idle", false);
+    ("attrib_wait", false);
   ]
 
 let is_metric k = List.mem_assoc k metric_keys

@@ -1,0 +1,347 @@
+(* schedview: measured-vs-predicted Theorem-1 bound tables, per-worker
+   utilization, and critical-path breakdown for one workload, plus a
+   tabular viewer for snapshot JSONL streams.
+
+   Default mode runs the workload deterministically through the
+   simulator (and, with --runtime, through the OCaml-domains runtime),
+   folds the recording into Obs.Attrib / Obs.Critpath, and prints:
+
+   - the bound table: each Theorem-1 term next to the measured bucket
+     that realizes it, with the makespan/bound ratio;
+   - per-worker utilization rows (percentage of time per bucket);
+   - the serialization chains and top critical-path segments.
+
+   Conservation is a gate, not a report: if the attribution buckets do
+   not sum to P x makespan (sim) or fail to tile each worker's observed
+   span (runtime), schedview exits 1. CI runs this on every push.
+
+     dune exec bin/schedview.exe -- --workload fig5 --p 4 --n 300
+     dune exec bin/schedview.exe -- --workload multi --runtime --json sv.json
+     dune exec bin/schedview.exe -- --snapshot-file live.jsonl *)
+
+let pct ~of_ v =
+  if of_ = 0 then 0.0 else 100.0 *. float_of_int v /. float_of_int of_
+
+(* ---- per-worker utilization table ---- *)
+
+let print_utilization (a : Obs.Attrib.t) =
+  Printf.printf
+    "  worker   core%%  batch%%  setup%%  sched%%   idle%%   wait%%   covered/span\n";
+  Array.iter
+    (fun (wa : Obs.Attrib.worker_account) ->
+      let span = wa.wa_last - wa.wa_first in
+      let b = wa.wa_buckets in
+      Printf.printf
+        "  %6d  %5.1f  %6.1f  %6.1f  %6.1f  %6.1f  %6.1f   %d/%d\n"
+        wa.wa_worker
+        (pct ~of_:span b.Obs.Attrib.core)
+        (pct ~of_:span b.Obs.Attrib.batch)
+        (pct ~of_:span b.Obs.Attrib.setup)
+        (pct ~of_:span b.Obs.Attrib.sched)
+        (pct ~of_:span b.Obs.Attrib.idle)
+        (pct ~of_:span b.Obs.Attrib.wait)
+        wa.wa_covered span)
+    a.Obs.Attrib.per_worker
+
+let print_critpath (cp : Obs.Critpath.t) ~makespan =
+  Printf.printf "  T_inf witness: %d (%.1f%% of makespan), max op latency %d\n"
+    cp.Obs.Critpath.t_inf_witness
+    (pct ~of_:makespan cp.Obs.Critpath.t_inf_witness)
+    cp.Obs.Critpath.max_op_latency;
+  Array.iter
+    (fun (c : Obs.Critpath.chain) ->
+      if c.Obs.Critpath.ch_batches > 0 then
+        Printf.printf
+          "  structure %d: %d batches serialized over %d units (longest %d)\n"
+          c.Obs.Critpath.ch_sid c.Obs.Critpath.ch_batches
+          c.Obs.Critpath.ch_serial c.Obs.Critpath.ch_longest)
+    cp.Obs.Critpath.chains;
+  List.iteri
+    (fun i (s : Obs.Critpath.segment) ->
+      if i < 5 then
+        Printf.printf "  top[%d]: %-5s sid=%d start=%d len=%d worker=%d\n" i
+          s.Obs.Critpath.sg_kind s.Obs.Critpath.sg_sid s.Obs.Critpath.sg_start
+          s.Obs.Critpath.sg_len s.Obs.Critpath.sg_worker)
+    cp.Obs.Critpath.top
+
+(* ---- sim: measured-vs-predicted bound table ---- *)
+
+let sim_tables ~workload ~(metrics : Sim.Metrics.t) ~(a : Obs.Attrib.t)
+    ~(cp : Obs.Critpath.t) =
+  let p = metrics.Sim.Metrics.p in
+  let t1, t_inf, n_ops, m = Sim.Workload.core_metrics workload in
+  let w = metrics.Sim.Metrics.batch_work + metrics.Sim.Metrics.setup_work in
+  let batch_span =
+    List.fold_left
+      (fun acc bd -> max acc bd.Sim.Metrics.bd_span)
+      0 metrics.Sim.Metrics.batch_details
+  in
+  let setup_span = 2 * ((2 * Batcher_core.Theory.log2i p) + 1) in
+  let s = batch_span + setup_span in
+  let predicted = Check.Bound.theorem1 ~workload ~metrics in
+  let tot = a.Obs.Attrib.total in
+  let fdiv x y = if y = 0 then 0.0 else float_of_int x /. float_of_int y in
+  Printf.printf
+    "Theorem-1 decomposition (sim, %d workers, makespan %d steps):\n" p
+    metrics.Sim.Metrics.makespan;
+  Printf.printf "  %-22s %12s %12s   %s\n" "term" "predicted" "measured"
+    "measured source";
+  Printf.printf "  %-22s %12.1f %12.1f   %s\n" "T1/P" (fdiv t1 p)
+    (fdiv tot.Obs.Attrib.core p) "core bucket / P";
+  Printf.printf "  %-22s %12.1f %12.1f   %s\n" "(W(n)+n*s(n))/P"
+    (fdiv (w + (n_ops * s)) p)
+    (fdiv (tot.Obs.Attrib.batch + tot.Obs.Attrib.setup) p)
+    "(batch+setup) / P";
+  Printf.printf "  %-22s %12d %12.1f   %s\n" "m*s(n)" (m * s)
+    (fdiv tot.Obs.Attrib.wait p) "wait bucket / P";
+  Printf.printf "  %-22s %12d %12d   %s\n" "T_inf" t_inf
+    metrics.Sim.Metrics.span_realized "realized span (witness below)";
+  Printf.printf "  %-22s %12s %12.1f   %s\n" "sched+idle (unmodeled)" "-"
+    (fdiv (tot.Obs.Attrib.sched + tot.Obs.Attrib.idle) p)
+    "(sched+idle) / P";
+  Printf.printf "  %-22s %12d %12d   ratio %.2f\n" "bound vs makespan" predicted
+    metrics.Sim.Metrics.makespan
+    (Check.Bound.ratio ~workload ~metrics);
+  Printf.printf
+    "  (n=%d ops, m=%d batches, s(n)=%d = widest batch span %d + setup %d)\n"
+    n_ops m s batch_span setup_span;
+  Printf.printf "\nPer-worker utilization (sim):\n";
+  print_utilization a;
+  Printf.printf "\nCritical path (sim):\n";
+  print_critpath cp ~makespan:metrics.Sim.Metrics.makespan
+
+(* ---- runtime: measured decomposition only (no sim-step prediction) ---- *)
+
+let runtime_tables ~(a : Obs.Attrib.t) ~(cp : Obs.Critpath.t) =
+  let tot = a.Obs.Attrib.total in
+  let covered = Obs.Attrib.total_covered a in
+  Printf.printf
+    "\nRuntime decomposition (%d workers, %d ns of observed worker time):\n"
+    a.Obs.Attrib.p covered;
+  let row name v =
+    Printf.printf "  %-8s %14d ns  %5.1f%%\n" name v (pct ~of_:covered v)
+  in
+  row "core" tot.Obs.Attrib.core;
+  row "batch" tot.Obs.Attrib.batch;
+  row "setup" tot.Obs.Attrib.setup;
+  row "sched" tot.Obs.Attrib.sched;
+  let span =
+    Array.fold_left
+      (fun acc (wa : Obs.Attrib.worker_account) ->
+        max acc (wa.wa_last - wa.wa_first))
+      0 a.Obs.Attrib.per_worker
+  in
+  Printf.printf "\nPer-worker utilization (runtime, span = loop entry..exit):\n";
+  print_utilization a;
+  Printf.printf "\nCritical path (runtime, ns):\n";
+  print_critpath cp ~makespan:span
+
+(* ---- snapshot JSONL viewer ---- *)
+
+let view_snapshot_file path =
+  let ic =
+    try open_in path
+    with Sys_error e ->
+      prerr_endline ("schedview: " ^ e);
+      exit 2
+  in
+  let die fmt =
+    Printf.ksprintf
+      (fun m ->
+        close_in_noerr ic;
+        prerr_endline ("schedview: " ^ path ^ ": " ^ m);
+        exit 2)
+      fmt
+  in
+  let geti j key =
+    match Option.bind (Obs.Json.member key j) Obs.Json.to_float_opt with
+    | Some f -> int_of_float f
+    | None -> die "line missing %S" key
+  in
+  let delta j tag =
+    match Obs.Json.member "deltas" j with
+    | Some d -> (
+        match Option.bind (Obs.Json.member tag d) Obs.Json.to_float_opt with
+        | Some f -> int_of_float f
+        | None -> 0)
+    | None -> die "line missing deltas"
+  in
+  Printf.printf "  %6s %14s %8s %8s %8s %8s %8s %8s\n" "seq" "t" "dropped"
+    "d.work" "d.steal" "d.b_start" "d.b_end" "d.op_done";
+  let lines = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         match Obs.Json.parse line with
+         | Error e -> die "bad JSON line %d: %s" (!lines + 1) e
+         | Ok j ->
+             incr lines;
+             Printf.printf "  %6d %14d %8d %8d %8d %8d %8d %8d\n" (geti j "seq")
+               (geti j "t") (geti j "dropped") (delta j "work")
+               (delta j "steal") (delta j "batch_start") (delta j "batch_end")
+               (delta j "op_done")
+       end
+     done
+   with End_of_file -> ());
+  close_in_noerr ic;
+  if !lines = 0 then die "no snapshot lines";
+  Printf.printf "  (%d samples)\n" !lines;
+  0
+
+(* ---- driver ---- *)
+
+let main workload overhead p n seed runtime json =
+  let sim_rc, metrics, w = Workloads.run_sim workload ~p ~n ~seed ~overhead in
+  let a = Obs.Attrib.of_recorder sim_rc in
+  let cp = Obs.Critpath.of_recorder sim_rc in
+  sim_tables ~workload:w ~metrics ~a ~cp;
+  (* The gate: conservation must hold exactly on the sim clock, and the
+     full cross-check (attrib vs sim counters, span/witness <= makespan)
+     must pass. CI treats a non-zero exit here as a regression. *)
+  let fail who = function
+    | Ok () -> ()
+    | Error e ->
+        Printf.eprintf "schedview: %s FAILED: %s\n" who e;
+        exit 1
+  in
+  fail "sim conservation"
+    (Obs.Attrib.check ~expected:(p * metrics.Sim.Metrics.makespan) a);
+  fail "sim cross-check"
+    (Check.Bound.cross_check ~workload:w ~metrics ~recorder:sim_rc ());
+  Printf.printf "\nsim conservation: OK (buckets sum to %d x %d)\n" p
+    metrics.Sim.Metrics.makespan;
+  let rt =
+    if not runtime then None
+    else begin
+      let rt_rc = Workloads.run_runtime workload ~p ~n ~seed in
+      let ra = Obs.Attrib.of_recorder rt_rc in
+      let rcp = Obs.Critpath.of_recorder rt_rc in
+      runtime_tables ~a:ra ~cp:rcp;
+      (* Runtime gate: buckets must tile each worker's observed span
+         (segments are emitted back to back, so this is exact in
+         integer nanoseconds unless events were dropped). *)
+      fail "runtime conservation" (Obs.Attrib.check ra);
+      Printf.printf "\nruntime conservation: OK (buckets tile observed spans)\n";
+      Some (ra, rcp)
+    end
+  in
+  (match json with
+  | None -> ()
+  | Some path ->
+      let fields =
+        [
+          ("workload", Obs.Json.Str (Workloads.name workload));
+          ("p", Obs.Json.Int p);
+          ("n", Obs.Json.Int n);
+          ("seed", Obs.Json.Int seed);
+          ("makespan", Obs.Json.Int metrics.Sim.Metrics.makespan);
+          ("span_realized", Obs.Json.Int metrics.Sim.Metrics.span_realized);
+          ("bound", Obs.Json.Int (Check.Bound.theorem1 ~workload:w ~metrics));
+          ("ratio", Obs.Json.Float (Check.Bound.ratio ~workload:w ~metrics));
+          ("sim_attrib", Obs.Attrib.to_json a);
+          ("sim_critpath", Obs.Critpath.to_json cp);
+        ]
+        @
+        match rt with
+        | None -> []
+        | Some (ra, rcp) ->
+            [
+              ("runtime_attrib", Obs.Attrib.to_json ra);
+              ("runtime_critpath", Obs.Critpath.to_json rcp);
+            ]
+      in
+      let oc = open_out path in
+      output_string oc (Obs.Json.to_string (Obs.Json.Obj fields));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+  0
+
+let usage () =
+  prerr_endline
+    "usage: schedview [--workload fig5|counter|multi] [--model tree|fused|none]\n\
+    \                 [--p P] [--n N] [--seed S] [--runtime] [--json out.json]\n\
+    \       schedview --snapshot-file live.jsonl\n\n\
+     Prints the measured-vs-predicted Theorem-1 bound table, per-worker\n\
+     utilization, and critical-path chains for one workload. Exits 1 if\n\
+     bucket conservation (sum = P x makespan / per-worker tiling) fails.\n\
+    \  --workload       fig5 (default) | counter | multi\n\
+    \  --model          simulator overhead model: tree (default) | fused | none\n\
+    \  --p              worker count (default 4)\n\
+    \  --n              operation count (default 200)\n\
+    \  --seed           scheduler seed (default 1)\n\
+    \  --runtime        also run and decompose the OCaml-domains runtime\n\
+    \  --json           write the decomposition as JSON to PATH\n\
+    \  --snapshot-file  render a snapshot JSONL stream as a table instead"
+
+let () =
+  let workload = ref Workloads.Fig5 in
+  let overhead = ref Sim.Batcher.Tree_setup in
+  let p = ref 4 in
+  let n = ref 200 in
+  let seed = ref 1 in
+  let runtime = ref false in
+  let json = ref None in
+  let snapshot_file = ref None in
+  let bad fmt =
+    Printf.ksprintf
+      (fun m ->
+        prerr_endline ("schedview: " ^ m);
+        usage ();
+        exit 2)
+      fmt
+  in
+  let parse_int name v =
+    match int_of_string_opt v with
+    | Some i -> i
+    | None -> bad "%s expects an integer, got %S" name v
+  in
+  let args = Array.to_list Sys.argv in
+  let rec go = function
+    | [] -> ()
+    | arg :: rest ->
+        let key, inline_value =
+          match String.index_opt arg '=' with
+          | Some i ->
+              ( String.sub arg 0 i,
+                Some (String.sub arg (i + 1) (String.length arg - i - 1)) )
+          | None -> (arg, None)
+        in
+        let value rest k =
+          match (inline_value, rest) with
+          | Some v, _ -> k v rest
+          | None, v :: rest -> k v rest
+          | None, [] -> bad "%s expects a value" key
+        in
+        (match key with
+        | "--workload" | "-workload" ->
+            value rest (fun v rest ->
+                (match Workloads.of_string v with
+                | Some k -> workload := k
+                | None -> bad "unknown workload %S (fig5|counter|multi)" v);
+                go rest)
+        | "--model" | "-model" ->
+            value rest (fun v rest ->
+                (match v with
+                | "tree" -> overhead := Sim.Batcher.Tree_setup
+                | "fused" -> overhead := Sim.Batcher.Fused_setup
+                | "none" -> overhead := Sim.Batcher.No_setup
+                | _ -> bad "unknown overhead model %S (tree|fused|none)" v);
+                go rest)
+        | "--p" | "-p" -> value rest (fun v rest -> p := parse_int key v; go rest)
+        | "--n" | "-n" -> value rest (fun v rest -> n := parse_int key v; go rest)
+        | "--seed" -> value rest (fun v rest -> seed := parse_int key v; go rest)
+        | "--runtime" -> runtime := true; go rest
+        | "--json" -> value rest (fun v rest -> json := Some v; go rest)
+        | "--snapshot-file" ->
+            value rest (fun v rest -> snapshot_file := Some v; go rest)
+        | "--help" | "-h" -> usage (); exit 0
+        | _ -> bad "unknown option %S" arg)
+  in
+  go (List.tl args);
+  if !p < 1 then bad "--p must be >= 1";
+  if !n < 1 then bad "--n must be >= 1";
+  match !snapshot_file with
+  | Some path -> exit (view_snapshot_file path)
+  | None -> exit (main !workload !overhead !p !n !seed !runtime !json)

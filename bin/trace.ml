@@ -8,103 +8,28 @@
    The sim process renders 1 simulated timestep as 1 us; the runtime
    process is wall-clock. Worker tracks show free/pending/executing/done
    status spans plus steal instants; each structure gets a synthetic
-   batch track (tid 1000+sid) with one span per LAUNCHBATCH.
+   batch track (tid 1000+sid) with one span per LAUNCHBATCH, and each
+   worker a work track (tid 2000+w) of class-colored Work spans.
 
      dune exec bin/trace.exe -- --workload fig5 --p 4 --out trace.json
-     dune exec bin/trace.exe -- --workload multi --p 8 --summary *)
+     dune exec bin/trace.exe -- --workload multi --p 8 --summary-only
+     dune exec bin/trace.exe -- --workload fig5 --snapshot live.jsonl
 
-type workload_kind = Fig5 | Counter | Multi
-
-(* ---- simulator run ---- *)
-
-let sim_workload kind ~n ~seed:_ =
-  match kind with
-  | Fig5 ->
-      Sim.Workload.parallel_ops
-        ~model:
-          (Batched.Skiplist.sim_model ~initial_size:100_000 ~records_per_node:100
-             ())
-        ~records_per_node:100 ~n_nodes:n ()
-  | Counter ->
-      Sim.Workload.parallel_ops
-        ~model:(Batched.Counter.sim_model ())
-        ~records_per_node:1 ~n_nodes:n ()
-  | Multi ->
-      Sim.Workload.interleaved_ops
-        ~models:
-          [
-            Batched.Counter.sim_model ();
-            Batched.Skiplist.sim_model ~initial_size:100_000
-              ~records_per_node:10 ();
-          ]
-        ~records_per_node:10 ~n_nodes:n ()
-
-let run_sim kind ~p ~n ~seed ~overhead =
-  let w = sim_workload kind ~n ~seed in
-  let rc =
-    Obs.Recorder.create ~clock:Obs.Recorder.Timesteps ~workers:p ()
-  in
-  let cfg = { (Sim.Batcher.default ~p) with Sim.Batcher.seed; overhead } in
-  let m = Sim.Batcher.run ~recorder:rc cfg w in
-  (rc, m)
-
-(* ---- real-runtime run ---- *)
-
-let run_runtime kind ~p ~n ~seed =
-  let rc =
-    Obs.Recorder.create ~clock:Obs.Recorder.Nanoseconds ~workers:p ()
-  in
-  let pool = Runtime.Pool.create ~recorder:rc ~num_workers:p () in
-  let pfor pool n body =
-    Runtime.Pool.parallel_for pool ~grain:8 ~lo:0 ~hi:n body
-  in
-  let skiplist ~sid =
-    let sl = Batched.Skiplist.create ~seed () in
-    for i = 0 to 9_999 do
-      ignore (Batched.Skiplist.insert_seq sl (2 * i))
-    done;
-    Runtime.Batcher_rt.create ~sid ~pool ~state:sl
-      ~run_batch:(fun pool sl ops ->
-        Batched.Skiplist.run_batch_with ~pfor:(pfor pool) sl ops)
-      ()
-  in
-  let counter ~sid =
-    Runtime.Batcher_rt.create ~sid ~pool ~state:(Batched.Counter.create ())
-      ~run_batch:(fun _pool st ops -> Batched.Counter.run_batch st ops)
-      ()
-  in
-  (match kind with
-  | Fig5 ->
-      let b = skiplist ~sid:0 in
-      Runtime.Pool.run pool (fun () ->
-          Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:n (fun i ->
-              Runtime.Batcher_rt.batchify b (Batched.Skiplist.insert (20_000 + i))))
-  | Counter ->
-      let b = counter ~sid:0 in
-      Runtime.Pool.run pool (fun () ->
-          Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:n (fun _ ->
-              Runtime.Batcher_rt.batchify b (Batched.Counter.op 1)))
-  | Multi ->
-      let c = counter ~sid:0 and s = skiplist ~sid:1 in
-      Runtime.Pool.run pool (fun () ->
-          Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:n (fun i ->
-              if i land 1 = 0 then
-                Runtime.Batcher_rt.batchify c (Batched.Counter.op 1)
-              else
-                Runtime.Batcher_rt.batchify s
-                  (Batched.Skiplist.insert (20_000 + i)))));
-  Runtime.Pool.teardown pool;
-  rc
+   The workload plumbing lives in bin/workloads.ml, shared with
+   schedview.exe. Any malformed flag (unknown workload, non-integer
+   --p, ...) exits 2 via [bad]. *)
 
 (* ---- driver ---- *)
 
-let main workload overhead p n seed out summary =
-  if p < 1 then begin
-    prerr_endline "trace: --p must be >= 1";
-    exit 2
-  end;
-  let sim_rc, metrics = run_sim workload ~p ~n ~seed ~overhead in
-  let rt_rc = run_runtime workload ~p ~n ~seed in
+let main workload overhead p n seed out summary summary_only snapshot =
+  let snap_oc = Option.map open_out snapshot in
+  let sim_rc, metrics, _w =
+    Workloads.run_sim ?snapshot_oc:snap_oc workload ~p ~n ~seed ~overhead
+  in
+  let rt_rc =
+    Workloads.run_runtime ?snapshot_oc:snap_oc workload ~p ~n ~seed
+  in
+  Option.iter close_out snap_oc;
   let sim_sum = Obs.Summary.of_recorder sim_rc in
   let rt_sum = Obs.Summary.of_recorder rt_rc in
   Printf.printf
@@ -115,16 +40,19 @@ let main workload overhead p n seed out summary =
   Printf.printf
     "runtime: %d batches, %d events (max batches-while-pending %d — reported, not asserted)\n"
     rt_sum.Obs.Summary.batches rt_sum.Obs.Summary.events rt_sum.Obs.Summary.max_batches_seen;
-  (match out with
-  | Some path ->
+  (match (out, summary_only) with
+  | Some path, false ->
       Obs.Chrome.write_file ~path
         [
           { Obs.Chrome.pid = 1; name = "sim (1 step = 1us)"; recording = sim_rc };
           { Obs.Chrome.pid = 2; name = "runtime (wall clock)"; recording = rt_rc };
         ];
       Printf.printf "wrote %s\n" path
-  | None -> ());
-  if summary then begin
+  | Some path, true ->
+      Printf.printf "--summary-only: skipping Chrome trace %s\n" path
+  | None, _ -> ());
+  Option.iter (fun path -> Printf.printf "snapshots -> %s\n" path) snapshot;
+  if summary || summary_only then begin
     Format.printf "@.---- simulator ----@.%a" Obs.Summary.pp sim_sum;
     Format.printf "@.---- real runtime ----@.%a" Obs.Summary.pp rt_sum;
     Format.print_flush ()
@@ -138,25 +66,30 @@ let main workload overhead p n seed out summary =
 let usage () =
   prerr_endline
     "usage: trace [--workload fig5|counter|multi] [--model tree|fused|none]\n\
-    \             [--p P] [--n N] [--seed S] [--out trace.json] [--summary]\n\n\
+    \             [--p P] [--n N] [--seed S] [--out trace.json]\n\
+    \             [--summary] [--summary-only] [--snapshot live.jsonl]\n\n\
      Runs the workload through the simulator (1 timestep = 1us) and the\n\
      real runtime, and writes both as one Chrome trace-event JSON.\n\
-    \  --workload  fig5 (skip-list inserts, default) | counter | multi\n\
-    \  --model     simulator LAUNCHBATCH overhead: tree (default) | fused | none\n\
-    \  --p         worker count for both runs (default 4)\n\
-    \  --n         operation count (default 200)\n\
-    \  --seed      scheduler seed (default 1)\n\
-    \  --out       write the combined Chrome trace to PATH\n\
-    \  --summary   print aggregated histograms for both runs"
+    \  --workload      fig5 (skip-list inserts, default) | counter | multi\n\
+    \  --model         simulator LAUNCHBATCH overhead: tree (default) | fused | none\n\
+    \  --p             worker count for both runs (default 4)\n\
+    \  --n             operation count (default 200)\n\
+    \  --seed          scheduler seed (default 1)\n\
+    \  --out           write the combined Chrome trace to PATH\n\
+    \  --summary       print aggregated histograms for both runs\n\
+    \  --summary-only  print the histograms and skip Chrome JSON emission\n\
+    \  --snapshot      stream live counter-delta JSONL to PATH (tail -f it)"
 
 let () =
-  let workload = ref Fig5 in
+  let workload = ref Workloads.Fig5 in
   let overhead = ref Sim.Batcher.Tree_setup in
   let p = ref 4 in
   let n = ref 200 in
   let seed = ref 1 in
   let out = ref None in
   let summary = ref false in
+  let summary_only = ref false in
+  let snapshot = ref None in
   let bad fmt = Printf.ksprintf (fun m -> prerr_endline ("trace: " ^ m); usage (); exit 2) fmt in
   let parse_int name v =
     match int_of_string_opt v with
@@ -183,11 +116,9 @@ let () =
         (match key with
         | "--workload" | "-workload" ->
             value rest (fun v rest ->
-                (match v with
-                | "fig5" | "skiplist" -> workload := Fig5
-                | "counter" -> workload := Counter
-                | "multi" -> workload := Multi
-                | _ -> bad "unknown workload %S (fig5|counter|multi)" v);
+                (match Workloads.of_string v with
+                | Some k -> workload := k
+                | None -> bad "unknown workload %S (fig5|counter|multi)" v);
                 go rest)
         | "--model" | "-model" ->
             value rest (fun v rest ->
@@ -201,11 +132,13 @@ let () =
         | "--n" | "-n" -> value rest (fun v rest -> n := parse_int key v; go rest)
         | "--seed" -> value rest (fun v rest -> seed := parse_int key v; go rest)
         | "--out" | "-o" -> value rest (fun v rest -> out := Some v; go rest)
+        | "--snapshot" -> value rest (fun v rest -> snapshot := Some v; go rest)
         | "--summary" -> summary := true; go rest
+        | "--summary-only" -> summary_only := true; go rest
         | "--help" | "-h" -> usage (); exit 0
         | _ -> bad "unknown option %S" arg)
   in
   go (List.tl args);
   if !p < 1 then bad "--p must be >= 1";
   if !n < 1 then bad "--n must be >= 1";
-  exit (main !workload !overhead !p !n !seed !out !summary)
+  exit (main !workload !overhead !p !n !seed !out !summary !summary_only !snapshot)

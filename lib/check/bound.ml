@@ -25,3 +25,81 @@ let check ?(factor = 16.0) ~workload ~metrics () =
       (Printf.sprintf
          "Theorem 1 bound exceeded: makespan %d > %g x predicted %d (ratio %.2f)"
          metrics.Sim.Metrics.makespan factor predicted r)
+
+(* Cross-validate the recorder-derived attribution against the
+   simulator's own counters and against the bound's structure. The two
+   accountings are produced by disjoint code paths (Work/Steal events
+   folded by Obs.Attrib vs. the [attribute] counters inside the
+   scheduler loop), so agreement here certifies both. *)
+let cross_check ?ms_factor ~workload ~metrics ~recorder () =
+  let ( let* ) = Result.bind in
+  let open Sim.Metrics in
+  let* () =
+    if Obs.Recorder.enabled recorder then Ok ()
+    else Error "cross_check: recorder disabled"
+  in
+  let a = Obs.Attrib.of_recorder recorder in
+  let* () =
+    Result.map_error (fun e -> "attrib: " ^ e)
+      (Obs.Attrib.check ~expected:(metrics.p * metrics.makespan) a)
+  in
+  let eq name got want =
+    if got = want then Ok ()
+    else
+      Error
+        (Printf.sprintf "attrib %s %d disagrees with sim counter %d" name got
+           want)
+  in
+  let* () = eq "core" a.Obs.Attrib.total.Obs.Attrib.core metrics.core_work in
+  let* () = eq "batch" a.Obs.Attrib.total.Obs.Attrib.batch metrics.batch_work in
+  let* () = eq "setup" a.Obs.Attrib.total.Obs.Attrib.setup metrics.setup_work in
+  let* () =
+    if metrics.span_realized <= metrics.makespan then Ok ()
+    else
+      Error
+        (Printf.sprintf "span_realized %d exceeds makespan %d"
+           metrics.span_realized metrics.makespan)
+  in
+  let cp = Obs.Critpath.of_recorder recorder in
+  let* () =
+    if cp.Obs.Critpath.t_inf_witness <= metrics.makespan then Ok ()
+    else
+      Error
+        (Printf.sprintf "critical-path witness %d exceeds makespan %d"
+           cp.Obs.Critpath.t_inf_witness metrics.makespan)
+  in
+  match ms_factor with
+  | None -> Ok ()
+  | Some factor ->
+      (* The wait bucket is the realized serialized-batch-wait surface.
+         A worker is trapped only while some batch runs or launches, so
+         the bound pays for its waiting out of the two terms that
+         charge for batch execution: the amortized (W(n) + n·s(n))/P
+         share when throughput-bound, and m·s(n) (m = DS-depth of the
+         core program) when serialization-bound. Same in-expectation
+         caveat as [check], hence the caller-chosen factor, and an
+         additive s(n) of slack for runs straddling a single batch. *)
+      let _, _, n, m = Sim.Workload.core_metrics workload in
+      let w = metrics.batch_work + metrics.setup_work in
+      let batch_span =
+        List.fold_left (fun acc bd -> max acc bd.bd_span) 0 metrics.batch_details
+      in
+      let setup_span = 2 * (2 * Batcher_core.Theory.log2i metrics.p + 1) in
+      let s = batch_span + setup_span in
+      let per_worker_wait =
+        float_of_int a.Obs.Attrib.total.Obs.Attrib.wait
+        /. float_of_int metrics.p
+      in
+      let budget =
+        factor
+        *. ((float_of_int (w + (n * s)) /. float_of_int metrics.p)
+           +. float_of_int (m * s))
+        +. float_of_int s
+      in
+      if per_worker_wait <= budget then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "serialized wait %.0f per worker exceeds %g x ((W+n*s)/P + m*s) \
+              = %.0f (n=%d m=%d s=%d)"
+             per_worker_wait factor budget n m s)

@@ -35,3 +35,28 @@ val check :
   (unit, string) result
 (** [Error] when makespan exceeds [factor] (default 16.0) times
     {!theorem1}, with a description naming both sides. *)
+
+val cross_check :
+  ?ms_factor:float ->
+  workload:Sim.Workload.t ->
+  metrics:Sim.Metrics.t ->
+  recorder:Obs.Recorder.t ->
+  unit ->
+  (unit, string) result
+(** Cross-validate the event-derived attribution ({!Obs.Attrib}) of a
+    recorded simulator run against the scheduler's own counters —
+    disjoint code paths, so agreement certifies both. Checks, in order:
+    bucket conservation (sum = P × makespan, per-worker tiling, no
+    drops); attributed core/batch/setup equal the simulator's
+    [core_work]/[batch_work]/[setup_work]; [span_realized] ≤ makespan;
+    the {!Obs.Critpath} witness ≤ makespan. With [ms_factor], also
+    requires the per-worker serialized-wait bucket to stay within
+    [ms_factor × ((W(n)+n·s(n))/P + m·s(n)) + s(n)] — workers are
+    trapped only while batches run or launch, so their waiting is paid
+    for by the bound's two batch-execution terms (amortized batch work
+    when throughput-bound, m·s(n) when serialization-bound, [m] being
+    the DS-depth of the core program); like {!check} this holds in
+    expectation, so apply it only to paper-default configurations with
+    a generous factor.
+    The recorder must be enabled and must have recorded the run whose
+    [metrics] are passed. *)

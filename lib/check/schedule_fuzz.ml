@@ -89,8 +89,15 @@ let run_case ?(bound_factor = 16.0) c =
   let ( let* ) = Result.bind in
   let workload = workload_of c in
   let cfg = config_of c in
+  (* Small rings: enough for every fuzz-sized schedule; if a pathological
+     case wraps anyway, the exact attribution check is skipped below
+     rather than reporting a spurious conservation failure. *)
+  let recorder =
+    Obs.Recorder.create ~capacity:8192 ~clock:Obs.Recorder.Timesteps
+      ~workers:c.p ()
+  in
   let* metrics, events =
-    match Sim.Batcher.run_traced cfg workload with
+    match Sim.Batcher.run_traced ~recorder cfg workload with
     | result -> Ok result
     | exception Failure e -> Error ("sim invariant: " ^ e)
     | exception Invalid_argument e -> Error ("sim argument: " ^ e)
@@ -139,8 +146,18 @@ let run_case ?(bound_factor = 16.0) c =
     end
     else Ok ()
   in
+  (* Attribution conservation on every fuzzed schedule: buckets must
+     sum to exactly P x makespan and agree with the sim's own work
+     counters — catches recorder drops and miscounts under every
+     ablation, not just paper-default configurations. *)
+  let* () =
+    if Obs.Recorder.total_dropped recorder > 0 then Ok ()
+    else Bound.cross_check ~workload ~metrics ~recorder ()
+  in
   if is_paper_default c then
-    Bound.check ~factor:bound_factor ~workload ~metrics ()
+    let* () = Bound.check ~factor:bound_factor ~workload ~metrics () in
+    if Obs.Recorder.total_dropped recorder > 0 then Ok ()
+    else Bound.cross_check ~ms_factor:bound_factor ~workload ~metrics ~recorder ()
   else Ok ()
 
 let case_of_seed ?(max_p = 8) ?(max_size = 60) seed =

@@ -1,0 +1,75 @@
+(** Exact time attribution: fold a recording into the cost buckets of
+    the paper's Theorem-1 bound
+    [O((T1 + W(n) + n·s(n))/P + m·s(n) + T∞)].
+
+    Every clock unit a worker was observed for lands in exactly one
+    bucket, so on a lossless recording the buckets are a partition of
+    worker time: on the simulator's [Timesteps] clock the grand total is
+    {e exactly} [P × makespan] (each of the P workers performs exactly
+    one classifiable action per timestep); on the runtime's
+    [Nanoseconds] clock each worker's buckets tile its observed span
+    (loop entry to exit) with no gap, up to clock resolution. {!check}
+    enforces both, and is wired into the schedule fuzzer and CI.
+
+    Bucket meaning, by bound term:
+    - [core] — core-program work, the T1 term;
+    - [batch] — BOP execution, the W(n) term;
+    - [setup] — LAUNCHBATCH setup/cleanup, the n·s(n) term;
+    - [wait] — timesteps trapped workers spent failing to steal while a
+      batch they depend on runs (or waits to launch): the realized
+      surface of the serialized m·s(n) term. Simulator clock only;
+      runtime workers never block on batches (tasks suspend instead),
+      so the term shows up in {!Critpath}'s serialization chains;
+    - [idle] — timesteps free workers spent failing to steal: the
+      span-limited T∞ term's surface;
+    - [sched] — scheduler bookkeeping that executes no DAG unit: resume
+      handoffs in the simulator; all between-task time (deque polls,
+      steals, backoff) in the runtime. *)
+
+type buckets = {
+  core : int;
+  batch : int;
+  setup : int;
+  sched : int;
+  idle : int;
+  wait : int;
+}
+
+val zero_buckets : buckets
+val bucket_total : buckets -> int
+val add_buckets : buckets -> buckets -> buckets
+
+type worker_account = {
+  wa_worker : int;
+  wa_buckets : buckets;
+  wa_covered : int;  (** clock units attributed (= bucket sum) *)
+  wa_first : int;  (** start of the worker's observed span *)
+  wa_last : int;  (** end of the worker's observed span *)
+}
+
+type t = {
+  clock : Recorder.clock;
+  p : int;
+  per_worker : worker_account array;
+  total : buckets;
+  dropped : int;  (** ring-wraparound losses; nonzero voids {!check} *)
+}
+
+val of_recorder : Recorder.t -> t
+(** Read out after the run. A disabled recorder yields the empty
+    account ([p = 0]). *)
+
+val total_covered : t -> int
+
+val check : ?expected:int -> ?slack:int -> t -> (unit, string) result
+(** Conservation: fails on dropped events, on any worker whose bucket
+    sum differs from its covered units, on any worker whose covered
+    units differ from its observed span by more than [slack] (default
+    0), and — when [expected] is given (pass [P × makespan] on
+    simulator recordings) — on a grand total off by more than
+    [slack]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val buckets_json : buckets -> Json.t
+val to_json : t -> Json.t

@@ -5,6 +5,7 @@ type track = {
 }
 
 let batch_tid_base = 1000
+let work_tid_base = 2000
 
 let ts_of recorder time =
   match Recorder.clock recorder with
@@ -16,6 +17,12 @@ let status_name = function
   | Recorder.Pending -> "pending"
   | Recorder.Executing -> "executing"
   | Recorder.Done -> "done"
+
+let class_name = function
+  | Recorder.Wcore -> "core"
+  | Recorder.Wbatch -> "batch"
+  | Recorder.Wsetup -> "setup"
+  | Recorder.Wsched -> "sched"
 
 (* One rendered trace event, before sorting. *)
 type ev = { e_tid : int; e_ts : float; e_json : float -> Json.t }
@@ -91,6 +98,14 @@ let worker_events t w acc =
                  ("batches_seen", Json.Int batches_seen);
                  ("latency", Json.Int latency);
                ])
+      | Recorder.Work { cls; units } ->
+          (* The event marks the run's end; the span starts [units] clock
+             units earlier, on the worker's companion work track. *)
+          push (work_tid_base + w) (e.time - units)
+            (span ~name:(class_name cls) ~cat:"work" ~pid
+               ~tid:(work_tid_base + w)
+               ~dur:(ts_of r e.time -. ts_of r (e.time - units))
+               [ ("units", Json.Int units) ])
       | Recorder.Batch_start _ | Recorder.Batch_end _ -> ())
     (Recorder.events_of_worker r w);
   close_span !last;
@@ -187,6 +202,14 @@ let metadata t =
           meta ~name:"thread_name" ~tid:(Some w)
             [ ("name", Json.Str (Printf.sprintf "worker %d" w)) ])
     in
+    let work_tracks =
+      if (Recorder.tag_totals t.recording).(7) = 0 then []
+      else
+        List.init (Recorder.workers t.recording) (fun w ->
+            meta ~name:"thread_name"
+              ~tid:(Some (work_tid_base + w))
+              [ ("name", Json.Str (Printf.sprintf "worker %d work" w)) ])
+    in
     let batches =
       Hashtbl.fold
         (fun sid () acc ->
@@ -196,7 +219,7 @@ let metadata t =
           :: acc)
         sids []
     in
-    procs @ workers @ batches
+    procs @ workers @ work_tracks @ batches
   end
 
 let track_events t =

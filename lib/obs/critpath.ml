@@ -1,0 +1,172 @@
+type segment = {
+  sg_kind : string;  (* "batch" | "op" *)
+  sg_sid : int;
+  sg_start : int;
+  sg_len : int;
+  sg_worker : int;
+}
+
+type chain = {
+  ch_sid : int;
+  ch_batches : int;
+  ch_serial : int;  (* Σ batch durations; batches of one sid never overlap *)
+  ch_longest : int;  (* longest single batch *)
+}
+
+type t = {
+  clock : Recorder.clock;
+  chains : chain array;  (* indexed by sid, dense up to max sid seen *)
+  max_op_latency : int;
+  t_inf_witness : int;
+  top : segment list;  (* longest segments, descending *)
+}
+
+(* Every quantity here is a certified lower bound on the realized
+   critical path: a structure's batches are serialized (Invariant 1 /
+   the runtime's launch flag), so the sum of one structure's batch
+   durations is a dependency chain through wall-clock time; an
+   operation's issue→completion latency is likewise a realized
+   dependency (the op cannot complete before its batch does). The
+   witness is the max over all of them — always ≤ makespan, and tight
+   exactly when one serialization chain dominates the run. *)
+let of_recorder ?(k = 10) r =
+  if not (Recorder.enabled r) then
+    {
+      clock = Recorder.clock r;
+      chains = [||];
+      max_op_latency = 0;
+      t_inf_witness = 0;
+      top = [];
+    }
+  else begin
+    let open_batches = Hashtbl.create 8 in
+    let chains = Hashtbl.create 8 in
+    let segs = ref [] in
+    let max_lat = ref 0 in
+    List.iter
+      (fun (e : Recorder.event) ->
+        match e.kind with
+        | Recorder.Batch_start { sid; _ } ->
+            Hashtbl.replace open_batches sid (e.time, e.worker)
+        | Recorder.Batch_end { sid; _ } -> begin
+            match Hashtbl.find_opt open_batches sid with
+            | None -> ()
+            | Some (t0, w0) ->
+                Hashtbl.remove open_batches sid;
+                let len = e.time - t0 in
+                let b, s, l =
+                  match Hashtbl.find_opt chains sid with
+                  | Some (b, s, l) -> (b, s, l)
+                  | None -> (0, 0, 0)
+                in
+                Hashtbl.replace chains sid (b + 1, s + len, max l len);
+                segs :=
+                  {
+                    sg_kind = "batch";
+                    sg_sid = sid;
+                    sg_start = t0;
+                    sg_len = len;
+                    sg_worker = w0;
+                  }
+                  :: !segs
+          end
+        | Recorder.Op_done { sid; latency; _ } ->
+            if latency > !max_lat then max_lat := latency;
+            segs :=
+              {
+                sg_kind = "op";
+                sg_sid = sid;
+                sg_start = e.time - latency;
+                sg_len = latency;
+                sg_worker = e.worker;
+              }
+              :: !segs
+        | _ -> ())
+      (Recorder.all_events r);
+    let max_sid = Hashtbl.fold (fun sid _ acc -> max acc sid) chains (-1) in
+    let chain_arr =
+      Array.init (max_sid + 1) (fun sid ->
+          let b, s, l =
+            match Hashtbl.find_opt chains sid with
+            | Some v -> v
+            | None -> (0, 0, 0)
+          in
+          { ch_sid = sid; ch_batches = b; ch_serial = s; ch_longest = l })
+    in
+    let witness =
+      Array.fold_left
+        (fun acc c -> max acc c.ch_serial)
+        !max_lat chain_arr
+    in
+    let top =
+      let sorted =
+        List.stable_sort (fun a b -> compare b.sg_len a.sg_len) !segs
+      in
+      List.filteri (fun i _ -> i < k) sorted
+    in
+    {
+      clock = Recorder.clock r;
+      chains = chain_arr;
+      max_op_latency = !max_lat;
+      t_inf_witness = witness;
+      top;
+    }
+  end
+
+let unit_name = function Recorder.Timesteps -> "steps" | Recorder.Nanoseconds -> "ns"
+
+let pp fmt t =
+  let u = unit_name t.clock in
+  Format.fprintf fmt "critical-path witness: %d %s (max op latency %d)@."
+    t.t_inf_witness u t.max_op_latency;
+  Array.iter
+    (fun c ->
+      if c.ch_batches > 0 then
+        Format.fprintf fmt
+          "  structure %d: %d serialized batches, %d %s total (longest %d, mean s(n) %.1f)@."
+          c.ch_sid c.ch_batches c.ch_serial u c.ch_longest
+          (float_of_int c.ch_serial /. float_of_int c.ch_batches))
+    t.chains;
+  if t.top <> [] then begin
+    Format.fprintf fmt "  top path segments:@.";
+    List.iter
+      (fun s ->
+        Format.fprintf fmt "    %-5s sid=%d worker=%d [%d, %d] len=%d %s@."
+          s.sg_kind s.sg_sid s.sg_worker s.sg_start (s.sg_start + s.sg_len)
+          s.sg_len u)
+      t.top
+  end
+
+let to_json t =
+  Json.Obj
+    [
+      ("clock", Json.Str (unit_name t.clock));
+      ("t_inf_witness", Json.Int t.t_inf_witness);
+      ("max_op_latency", Json.Int t.max_op_latency);
+      ( "chains",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun c ->
+                  Json.Obj
+                    [
+                      ("sid", Json.Int c.ch_sid);
+                      ("batches", Json.Int c.ch_batches);
+                      ("serial", Json.Int c.ch_serial);
+                      ("longest", Json.Int c.ch_longest);
+                    ])
+                t.chains)) );
+      ( "top_segments",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("kind", Json.Str s.sg_kind);
+                   ("sid", Json.Int s.sg_sid);
+                   ("worker", Json.Int s.sg_worker);
+                   ("start", Json.Int s.sg_start);
+                   ("len", Json.Int s.sg_len);
+                 ])
+             t.top) );
+    ]

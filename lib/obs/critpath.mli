@@ -1,0 +1,49 @@
+(** Realized critical-path analysis from a recording.
+
+    The simulator computes the exact realized span by depth recurrence
+    over the executed DAG ([Sim.Metrics.span_realized]); this module
+    recovers what can be certified from {e events alone} — so it works
+    on runtime (nanosecond) recordings too:
+
+    - per-structure {e serialization chains}: a structure runs at most
+      one batch at a time (Invariant 1 in the simulator, the launch
+      flag in the runtime), so the sum of its batch durations is a
+      realized dependency chain — the m·s(n) term made visible;
+    - per-operation issue→completion latencies (each a realized path
+      segment: the op depends on its batch's completion).
+
+    {!t.t_inf_witness} is the max over all chains and latencies: a
+    certified lower bound on the critical path, and therefore always
+    ≤ makespan. The top-[k] longest segments tell you {e which}
+    structure or operation to attack first when the span term
+    dominates the bound. *)
+
+type segment = {
+  sg_kind : string;  (** ["batch"] or ["op"] *)
+  sg_sid : int;
+  sg_start : int;
+  sg_len : int;
+  sg_worker : int;  (** launcher (batch) / resumer (op) *)
+}
+
+type chain = {
+  ch_sid : int;
+  ch_batches : int;
+  ch_serial : int;  (** Σ batch durations of this structure *)
+  ch_longest : int;  (** longest single batch *)
+}
+
+type t = {
+  clock : Recorder.clock;
+  chains : chain array;  (** dense by sid up to the largest sid seen *)
+  max_op_latency : int;
+  t_inf_witness : int;
+  top : segment list;  (** longest segments, descending *)
+}
+
+val of_recorder : ?k:int -> Recorder.t -> t
+(** [k] caps {!t.top} (default 10). Batches missing either endpoint
+    event (ring wraparound, still in flight) are skipped. *)
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Json.t

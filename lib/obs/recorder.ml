@@ -2,6 +2,8 @@ type clock = Timesteps | Nanoseconds
 
 type status = Free | Pending | Executing | Done
 
+type work_class = Wcore | Wbatch | Wsetup | Wsched
+
 type kind =
   | Status of status
   | Steal of { victim : int; success : bool; batch_deque : bool }
@@ -10,18 +12,24 @@ type kind =
   | Op_issue of { sid : int }
   | Op_done of { sid : int; batches_seen : int; latency : int }
   | Steals_suppressed of { count : int }
+  | Work of { cls : work_class; units : int }
 
 type event = { worker : int; time : int; kind : kind }
 
+let n_tags = 8
+
 (* Flat storage: one slot = (tag, time, a, b, c), all ints, in five
    parallel arrays. Tags: 0 status, 1 steal, 2 batch_start, 3 batch_end,
-   4 op_issue, 5 op_done, 6 steals_suppressed. *)
+   4 op_issue, 5 op_done, 6 steals_suppressed, 7 work. [cnt.(tag)] counts
+   every emission of that tag, wraparound included — the snapshot
+   streamer reads these without scanning the ring. *)
 type ring = {
   tag : int array;
   tm : int array;
   a : int array;
   b : int array;
   c : int array;
+  cnt : int array;  (* length [n_tags] *)
   mutable next : int;  (* total events ever emitted on this ring *)
 }
 
@@ -58,6 +66,7 @@ let create ?(capacity = 65536) ~clock ~workers () =
             a = Array.make cap 0;
             b = Array.make cap 0;
             c = Array.make cap 0;
+            cnt = Array.make n_tags 0;
             next = 0;
           });
     epoch = (match clock with Nanoseconds -> Clock.now_ns () | Timesteps -> 0);
@@ -81,6 +90,7 @@ let[@inline] emit t ~worker ~time tag a b c =
     r.a.(i) <- a;
     r.b.(i) <- b;
     r.c.(i) <- c;
+    r.cnt.(tag) <- r.cnt.(tag) + 1;
     r.next <- r.next + 1
   end
 
@@ -91,6 +101,14 @@ let status_of_code = function
   | 1 -> Pending
   | 2 -> Executing
   | _ -> Done
+
+let class_code = function Wcore -> 0 | Wbatch -> 1 | Wsetup -> 2 | Wsched -> 3
+
+let class_of_code = function
+  | 0 -> Wcore
+  | 1 -> Wbatch
+  | 2 -> Wsetup
+  | _ -> Wsched
 
 let emit_status t ~worker ~time s = emit t ~worker ~time 0 (status_code s) 0 0
 
@@ -110,8 +128,22 @@ let emit_op_done t ~worker ~time ~sid ~batches_seen ~latency =
 let emit_steals_suppressed t ~worker ~time ~count =
   emit t ~worker ~time 6 count 0 0
 
+let emit_work t ~worker ~time ~cls ~units =
+  emit t ~worker ~time 7 (class_code cls) units 0
+
 let length t ~worker =
   if not t.enabled then 0 else min t.rings.(worker).next t.cap
+
+let tag_totals t =
+  let out = Array.make n_tags 0 in
+  if t.enabled then
+    Array.iter
+      (fun r ->
+        for k = 0 to n_tags - 1 do
+          out.(k) <- out.(k) + r.cnt.(k)
+        done)
+      t.rings;
+  out
 
 let dropped t ~worker =
   if not t.enabled then 0 else max 0 (t.rings.(worker).next - t.cap)
@@ -128,6 +160,7 @@ let kind_of_slot r i =
   | 3 -> Batch_end { sid = r.a.(i); size = r.b.(i) }
   | 4 -> Op_issue { sid = r.a.(i) }
   | 6 -> Steals_suppressed { count = r.a.(i) }
+  | 7 -> Work { cls = class_of_code r.a.(i); units = r.b.(i) }
   | _ -> Op_done { sid = r.a.(i); batches_seen = r.b.(i); latency = r.c.(i) }
 
 let events_of_worker t worker =

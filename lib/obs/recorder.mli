@@ -21,6 +21,14 @@ type clock = Timesteps | Nanoseconds
 (** The paper's worker-status machine (Section 4 / Figure 3). *)
 type status = Free | Pending | Executing | Done
 
+(** What a worker's time was spent {e doing}, bucketed by the terms of
+    the paper's Theorem-1 bound: core-program work (the [T1] term),
+    batch operation work (the [W(n)] term), LAUNCHBATCH setup/cleanup
+    (the [n·s(n)] term), and scheduler bookkeeping that executes no DAG
+    unit (resume handoffs in the simulator; steal/backoff/idle time in
+    the real runtime). See {!Attrib}. *)
+type work_class = Wcore | Wbatch | Wsetup | Wsched
+
 type kind =
   | Status of status  (** worker status transition *)
   | Steal of { victim : int; success : bool; batch_deque : bool }
@@ -41,6 +49,13 @@ type kind =
           in backoff, not individually recorded; flushed on its next
           successful steal so attempt totals stay truthful without idle
           workers flooding their rings *)
+  | Work of { cls : work_class; units : int }
+      (** a contiguous run of [units] clock units this worker spent in
+          one work class, ending at the event's time. Emitters flush a
+          run when the class changes (and at shutdown), so per-worker
+          [Work] segments tile the worker's busy timeline without
+          overlap — the invariant {!Attrib}'s conservation check rests
+          on *)
 
 type event = { worker : int; time : int; kind : kind }
 
@@ -75,6 +90,22 @@ val emit_op_issue : t -> worker:int -> time:int -> sid:int -> unit
 val emit_op_done :
   t -> worker:int -> time:int -> sid:int -> batches_seen:int -> latency:int -> unit
 val emit_steals_suppressed : t -> worker:int -> time:int -> count:int -> unit
+val emit_work :
+  t -> worker:int -> time:int -> cls:work_class -> units:int -> unit
+
+(* ---- live counters (safe to sample while a run is in flight) ---- *)
+
+val n_tags : int
+(** Number of event tags; the length of {!tag_totals}'s result. *)
+
+val tag_totals : t -> int array
+(** Events emitted so far per tag (order: status, steal, batch_start,
+    batch_end, op_issue, op_done, steals_suppressed, work), summed over
+    workers and {e including} events already overwritten by ring
+    wraparound. Reading while workers are emitting is deliberately
+    unsynchronized — each counter is a single plain-int load, so a
+    sample may be a few events stale but never torn; this is what the
+    {!Snapshot} streamer polls. *)
 
 (* ---- read-out (after the run; not concurrency-safe during one) ---- *)
 

@@ -1,0 +1,35 @@
+(** Live counter-delta snapshots as JSONL, for watching a long run
+    with [tail -f] instead of waiting for the final trace.
+
+    Each {!sample} polls {!Recorder.tag_totals} — per-tag emission
+    counters bumped on the recorder hot path, safe to read while
+    workers are emitting (plain single-word loads; a sample may be a
+    few events stale, never torn) — and appends one JSON line:
+
+    {v
+    {"seq":3,"t":120034875,"dropped":0,
+     "totals":{"status":412,"steal":9023,...,"work":511},
+     "deltas":{"status":12,"steal":411,...,"work":37}}
+    v}
+
+    ["t"] is nanoseconds since recorder creation on runtime
+    recordings; pass [?time] (the current timestep) when sampling a
+    simulator recorder. The line is flushed after each sample, so the
+    file is always watchable mid-run. *)
+
+type t
+
+val to_channel : Recorder.t -> out_channel -> t
+val to_file : Recorder.t -> path:string -> t
+
+val sample : ?time:int -> t -> unit
+(** Append one snapshot line. No-op after {!close}. *)
+
+val close : t -> unit
+(** Flush; close the channel if this streamer opened it. *)
+
+val every : t -> interval_s:float -> stop:(unit -> bool) -> unit
+(** Sampling loop for a dedicated domain or thread: one immediate
+    sample, then one per [interval_s] until [stop ()] holds, then a
+    final sample. The caller owns the thread:
+    [Domain.spawn (fun () -> Snapshot.every snap ~interval_s:0.05 ~stop)]. *)

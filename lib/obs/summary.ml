@@ -43,6 +43,46 @@ module Histo = struct
       end
     done;
     !out
+
+  (* Percentile by linear interpolation. The histogram only keeps
+     power-of-two bucket counts, so within the bucket holding the
+     requested rank the [c] samples are assumed evenly spread over the
+     bucket's range clamped to the observed [min_v, max_v]; p0 is thus
+     exactly [min_v] and p100 exactly [max_v]. [q] is clamped to [0,1]. *)
+  let percentile t q =
+    if t.n = 0 then 0.0
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      (* The extremes are tracked exactly; interpolation would instead
+         land mid-bucket when the extreme is alone in a wide bucket. *)
+      if q = 0.0 then float_of_int t.mn
+      else if q = 1.0 then float_of_int t.mx
+      else begin
+      let rank = q *. float_of_int (t.n - 1) in
+      let exception Found of float in
+      try
+        let cum = ref 0 in
+        for k = 0 to buckets_len - 1 do
+          let c = t.counts.(k) in
+          if c > 0 then begin
+            if rank <= float_of_int (!cum + c - 1) then begin
+              let lo = if k = 0 then 0 else 1 lsl (k - 1) in
+              let hi = if k = 0 then 0 else (1 lsl k) - 1 in
+              let lo' = float_of_int (max lo t.mn) in
+              let hi' = float_of_int (min hi t.mx) in
+              let frac =
+                if c <= 1 then 0.5
+                else (rank -. float_of_int !cum) /. float_of_int (c - 1)
+              in
+              raise (Found (lo' +. (frac *. (hi' -. lo'))))
+            end;
+            cum := !cum + c
+          end
+        done;
+        float_of_int t.mx
+      with Found v -> v
+      end
+    end
 end
 
 type t = {
@@ -60,6 +100,7 @@ type t = {
   steal_attempts : int;
   steal_successes : int;
   status_time : int array;
+  work_units : int array;  (* clock units per work class, index = Wcore.. *)
 }
 
 let of_recorder r =
@@ -79,6 +120,7 @@ let of_recorder r =
       steal_attempts = 0;
       steal_successes = 0;
       status_time = Array.make 4 0;
+      work_units = Array.make 4 0;
     }
   in
   if not (Recorder.enabled r) then t
@@ -95,6 +137,12 @@ let of_recorder r =
       | Recorder.Pending -> 1
       | Recorder.Executing -> 2
       | Recorder.Done -> 3
+    in
+    let class_idx = function
+      | Recorder.Wcore -> 0
+      | Recorder.Wbatch -> 1
+      | Recorder.Wsetup -> 2
+      | Recorder.Wsched -> 3
     in
     for w = 0 to Recorder.workers r - 1 do
       let cur = ref Recorder.Free in
@@ -121,6 +169,8 @@ let of_recorder r =
               incr batches;
               Histo.add t.batch_size size;
               setup_total := !setup_total + setup
+          | Recorder.Work { cls; units } ->
+              t.work_units.(class_idx cls) <- t.work_units.(class_idx cls) + units
           | Recorder.Batch_end _ -> ()
           | Recorder.Op_issue _ -> ()
           | Recorder.Op_done { batches_seen; latency; _ } ->
@@ -171,6 +221,8 @@ let pp fmt t =
     t.status_time.(0) t.status_time.(1) t.status_time.(2) t.status_time.(3);
   Format.fprintf fmt "steals: %d attempts, %d successes (%.1f%%)@." t.steal_attempts
     t.steal_successes (100.0 *. steal_rate t);
+  Format.fprintf fmt "work units (%s): core=%d batch=%d setup=%d sched=%d@." u
+    t.work_units.(0) t.work_units.(1) t.work_units.(2) t.work_units.(3);
   Format.fprintf fmt "batches: %d (total setup work %d)@." t.batches t.setup_total;
   Format.fprintf fmt "batch size:@.";
   pp_histo fmt ~unit:"ops" t.batch_size;
@@ -222,6 +274,14 @@ let to_json t =
           ] );
       ("steal_attempts", Json.Int t.steal_attempts);
       ("steal_successes", Json.Int t.steal_successes);
+      ( "work_units",
+        Json.Obj
+          [
+            ("core", Json.Int t.work_units.(0));
+            ("batch", Json.Int t.work_units.(1));
+            ("setup", Json.Int t.work_units.(2));
+            ("sched", Json.Int t.work_units.(3));
+          ] );
       ("batches", Json.Int t.batches);
       ("setup_work", Json.Int t.setup_total);
       ("batch_size", histo_json t.batch_size);

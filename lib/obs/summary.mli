@@ -27,6 +27,15 @@ module Histo : sig
 
   val buckets : t -> (int * int * int) list
   (** Nonempty buckets as [(lo, hi, count)], [lo]..[hi] inclusive. *)
+
+  val percentile : t -> float -> float
+  (** [percentile t q] for [q] in [0,1] (clamped), by linear
+      interpolation over the bucket holding the requested rank, the
+      bucket's range clamped to the observed min/max — so
+      [percentile t 0. = min_v t] and [percentile t 1. = max_v t]
+      exactly. [0.] when empty. The histogram stores only
+      power-of-two bucket counts, so interior percentiles are
+      approximations with relative error bounded by the bucket width. *)
 end
 
 type t = {
@@ -44,6 +53,9 @@ type t = {
   steal_attempts : int;
   steal_successes : int;
   status_time : int array;  (** clock units per status, indexed free..done *)
+  work_units : int array;
+      (** clock units spent per work class, indexed
+          core, batch, setup, sched (from [Work] events) *)
 }
 
 val of_recorder : Recorder.t -> t

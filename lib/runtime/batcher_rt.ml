@@ -125,14 +125,20 @@ let rec atomic_max a v =
    up operations that accrued meanwhile. [get] indexes the [len] batch
    records (an array for the pending-array path, a list for legacy). *)
 let run_launched t ~len ~get ~relaunch () =
-  let arr = Array.init len (fun i -> (get i).op) in
   let observed = Obs.Recorder.enabled t.rc in
+  (* Attribute this task's time to the bound's terms: working-set
+     assembly and record resumption are LAUNCHBATCH overhead (n·s(n)),
+     the BOP body itself is batch work (W(n)). *)
+  if observed then Pool.set_work_class t.pool Obs.Recorder.Wsetup;
+  let arr = Array.init len (fun i -> (get i).op) in
   Atomic.incr t.launches;
   let me = match Pool.worker_index () with Some w -> w | None -> 0 in
   if observed then
     Obs.Recorder.emit_batch_start t.rc ~worker:me ~time:(Obs.Recorder.now t.rc)
       ~sid:t.sid ~size:len ~setup:0;
+  if observed then Pool.set_work_class t.pool Obs.Recorder.Wbatch;
   t.run_batch t.pool t.st arr;
+  if observed then Pool.set_work_class t.pool Obs.Recorder.Wsetup;
   if observed then begin
     let done_time = Obs.Recorder.now t.rc in
     let done_launches = Atomic.get t.launches in

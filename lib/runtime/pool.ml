@@ -37,6 +37,11 @@ type t = {
   seed : int;
   bo : backoff;
   rc : Obs.Recorder.t;  (* per-worker rings; each domain writes only its own *)
+  (* Work-class attribution (observed pools only). [cls.(w)] is worker
+     [w]'s ambient class, [seg.(w)] the ns timestamp its current segment
+     opened. Each worker touches only its own slots, so no sync. *)
+  cls : Obs.Recorder.work_class array;
+  seg : int array;
 }
 
 (* Which worker (index) the current domain is acting as. *)
@@ -48,6 +53,44 @@ let worker_index () = !(Domain.DLS.get worker_key)
 let num_workers t = t.n
 
 let recorder t = t.rc
+
+(* ---- work-class segments (observed pools only) ----
+
+   A worker's wall-clock between segment boundaries is attributed to its
+   ambient class: task bodies carry the class captured where they were
+   created (async) or suspended (await/suspend), and the find-task /
+   backoff time between tasks is [Wsched]. Emitted [Work] segments tile
+   each worker's timeline from its loop entry to its exit. *)
+
+let set_cls t w c =
+  if Obs.Recorder.enabled t.rc && t.cls.(w) <> c then begin
+    let now = Obs.Recorder.now t.rc in
+    let dur = now - t.seg.(w) in
+    if dur > 0 then
+      Obs.Recorder.emit_work t.rc ~worker:w ~time:now ~cls:t.cls.(w) ~units:dur;
+    t.cls.(w) <- c;
+    t.seg.(w) <- now
+  end
+
+(* Close the open segment without changing class (worker exit). *)
+let flush_cls t w =
+  if Obs.Recorder.enabled t.rc then begin
+    let now = Obs.Recorder.now t.rc in
+    let dur = now - t.seg.(w) in
+    if dur > 0 then
+      Obs.Recorder.emit_work t.rc ~worker:w ~time:now ~cls:t.cls.(w) ~units:dur;
+    t.seg.(w) <- now
+  end
+
+let work_class t =
+  match worker_index () with
+  | Some w when Obs.Recorder.enabled t.rc -> t.cls.(w)
+  | _ -> Obs.Recorder.Wcore
+
+let set_work_class t c =
+  match worker_index () with
+  | Some w -> set_cls t w c
+  | None -> ()
 
 type _ Effect.t +=
   | Suspend : (('a, unit) Effect.Deep.continuation -> unit) -> 'a Effect.t
@@ -139,6 +182,11 @@ let backoff bo misses =
 let worker_loop t my_id =
   let r = Domain.DLS.get worker_key in
   r := Some my_id;
+  let observed = Obs.Recorder.enabled t.rc in
+  if observed then begin
+    t.cls.(my_id) <- Obs.Recorder.Wsched;
+    t.seg.(my_id) <- Obs.Recorder.now t.rc
+  end;
   let rng = Util.Rng.stream ~seed:t.seed ~index:my_id in
   let misses = ref 0 in
   let suppressed = ref 0 in
@@ -146,11 +194,13 @@ let worker_loop t my_id =
     match find_task t my_id rng ~misses:!misses ~suppressed with
     | Some task ->
         misses := 0;
-        exec task
+        exec task;
+        if observed then set_cls t my_id Obs.Recorder.Wsched
     | None ->
         incr misses;
         backoff t.bo !misses
   done;
+  if observed then flush_cls t my_id;
   r := None
 
 let create ?(recorder = Obs.Recorder.null) ?(backoff = default_backoff)
@@ -172,6 +222,8 @@ let create ?(recorder = Obs.Recorder.null) ?(backoff = default_backoff)
       seed = 0x600D5EED;
       bo = backoff;
       rc = recorder;
+      cls = Array.make num_workers Obs.Recorder.Wsched;
+      seg = Array.make num_workers 0;
     }
   in
   t.domains <-
@@ -201,9 +253,20 @@ let rec complete (p : 'a promise) r =
 
 let async t f =
   let p : 'a promise = Atomic.make (Waiting []) in
-  let task () =
-    let r = try Ok (f ()) with e -> Error e in
-    complete p r
+  let task =
+    if Obs.Recorder.enabled t.rc then begin
+      (* The task inherits the submitter's ambient class, whatever
+         worker ends up executing it. *)
+      let c = work_class t in
+      fun () ->
+        set_work_class t c;
+        let r = try Ok (f ()) with e -> Error e in
+        complete p r
+    end
+    else
+      fun () ->
+        let r = try Ok (f ()) with e -> Error e in
+        complete p r
   in
   push_current t task;
   p
@@ -213,47 +276,68 @@ let await t (p : 'a promise) =
   | Done (Ok v) -> v
   | Done (Error e) -> raise e
   | Waiting _ ->
+      let observed = Obs.Recorder.enabled t.rc in
+      (* Capture the suspending task's class so the continuation resumes
+         in it wherever it is rescheduled. *)
+      let c = if observed then work_class t else Obs.Recorder.Wcore in
       Effect.perform
         (Suspend
            (fun k ->
              add_waiter p (fun r ->
                  push_current t (fun () ->
+                     if observed then set_work_class t c;
                      match r with
                      | Ok v -> Effect.Deep.continue k v
                      | Error e -> Effect.Deep.discontinue k e))))
 
 let suspend t f =
+  let observed = Obs.Recorder.enabled t.rc in
+  let c = if observed then work_class t else Obs.Recorder.Wcore in
   Effect.perform
     (Suspend
        (fun (k : (unit, unit) Effect.Deep.continuation) ->
-         f (fun () -> push_current t (fun () -> Effect.Deep.continue k ()))))
+         f (fun () ->
+             push_current t (fun () ->
+                 if observed then set_work_class t c;
+                 Effect.Deep.continue k ()))))
 
 let run t f =
   let p : 'a promise = Atomic.make (Waiting []) in
+  let observed = Obs.Recorder.enabled t.rc in
   let root () =
+    if observed then set_work_class t Obs.Recorder.Wcore;
     let r = try Ok (f ()) with e -> Error e in
     complete p r
   in
   let slot = Domain.DLS.get worker_key in
   let saved = !slot in
   slot := Some 0;
+  if observed then begin
+    t.cls.(0) <- Obs.Recorder.Wsched;
+    t.seg.(0) <- Obs.Recorder.now t.rc
+  end;
   push_on t 0 root;
   let rng = Util.Rng.stream ~seed:t.seed ~index:0 in
   let misses = ref 0 in
   let suppressed = ref 0 in
+  let finish () =
+    if observed then flush_cls t 0;
+    slot := saved
+  in
   let rec drive () =
     match Atomic.get p with
     | Done (Ok v) ->
-        slot := saved;
+        finish ();
         v
     | Done (Error e) ->
-        slot := saved;
+        finish ();
         raise e
     | Waiting _ -> begin
         (match find_task t 0 rng ~misses:!misses ~suppressed with
         | Some task ->
             misses := 0;
-            exec task
+            exec task;
+            if observed then set_cls t 0 Obs.Recorder.Wsched
         | None ->
             incr misses;
             backoff t.bo !misses);

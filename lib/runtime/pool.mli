@@ -95,3 +95,19 @@ val suspend : t -> ((unit -> unit) -> unit) -> unit
 
 val worker_index : unit -> int option
 (** Index of the worker executing the caller, if inside a pool. *)
+
+val work_class : t -> Obs.Recorder.work_class
+(** The calling worker's ambient work class ([Wcore] outside a pool or
+    on an unobserved pool). On an observed pool every worker's
+    wall-clock is attributed to its ambient class as tiling [Work]
+    segments: tasks inherit the class of their creation site
+    ({!async}) or suspension site ({!await}, {!suspend}), the root
+    computation of {!run} starts in [Wcore], and time between tasks
+    (deque polling, steals, backoff) is [Wsched]. *)
+
+val set_work_class : t -> Obs.Recorder.work_class -> unit
+(** Switch the calling worker's ambient class, closing the current
+    [Work] segment. No-op outside a pool; a plain compare when the
+    class is unchanged or the pool is unobserved. Used by
+    {!Batcher_rt} to bracket LAUNCHBATCH setup ([Wsetup]) and the BOP
+    body ([Wbatch]). *)

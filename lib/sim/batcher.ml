@@ -40,6 +40,12 @@ type inst = {
   dag : Dag.t;
   origin : origin;
   preds_left : int array;
+  (* Realized-critical-path depth: [depth.(v)] is the longest executed
+     dependency chain (in work units) ending just before [v] starts —
+     the max over enabling predecessors of their completion depth, and
+     for a batch dag's source the max over the member operations' park
+     depths. The core sink's completion depth is the measured T∞. *)
+  depth : int array;
   (* BOP node-id range within a batch dag; nodes outside it are
      LAUNCHBATCH setup/cleanup overhead. Unused for the core dag. *)
   bop_lo : int;
@@ -62,6 +68,12 @@ type worker = {
   mutable suspended : int option;  (* core-dag ds node awaiting its batch *)
   mutable seen_batches : int;  (* batches executing since becoming pending *)
   mutable suspend_time : int;  (* timestep the pending op was parked *)
+  mutable park_depth : int;  (* critical-path depth of the parked ds node *)
+  mutable resume_depth : int;  (* depth handed back when the batch completes *)
+  (* Work-class run accumulator for the Obs recorder: consecutive
+     executed units of one class coalesce into a single Work event. *)
+  mutable wcls : Obs.Recorder.work_class;
+  mutable wrun : int;
   rng : Util.Rng.t;
 }
 
@@ -96,6 +108,7 @@ type state = {
   mutable free_steal_attempts : int;
   mutable trapped_steal_attempts : int;
   mutable max_seen_batches : int;
+  mutable span_realized : int;  (* critical-path depth at the core sink *)
   mutable batch_details : Metrics.batch_detail list;
   tracing : bool;
   mutable trace : Trace.event list;  (* reverse chronological *)
@@ -103,7 +116,15 @@ type state = {
 }
 
 let make_inst ?(bop_lo = 0) ?(bop_hi = 0) ?(sid = -1) ~origin dag =
-  { dag; origin; preds_left = Array.copy dag.Dag.pred_count; bop_lo; bop_hi; sid }
+  {
+    dag;
+    origin;
+    preds_left = Array.copy dag.Dag.pred_count;
+    depth = Array.make (Array.length dag.Dag.pred_count) 0;
+    bop_lo;
+    bop_hi;
+    sid;
+  }
 
 (* Structure index of a core-dag ds node. *)
 let struct_of st node =
@@ -119,6 +140,31 @@ let attribute st (task : task) =
         st.batch_work <- st.batch_work + 1
       else st.setup_work <- st.setup_work + 1
 
+let class_of_task (task : task) =
+  match task.inst.origin with
+  | OCore -> Obs.Recorder.Wcore
+  | OBatch ->
+      if task.node >= task.inst.bop_lo && task.node < task.inst.bop_hi then
+        Obs.Recorder.Wbatch
+      else Obs.Recorder.Wsetup
+
+(* Work-run coalescing: a worker's consecutive same-class steps become
+   one Work event stamped with the run's final step. Runs are flushed
+   whenever the worker does something unclassifiable as that run (class
+   change, steal step), so emitted segments tile the busy timeline. *)
+let flush_run st w ~time =
+  if w.wrun > 0 then begin
+    Obs.Recorder.emit_work st.rc ~worker:w.id ~time ~cls:w.wcls ~units:w.wrun;
+    w.wrun <- 0
+  end
+
+let note st w cls =
+  if Obs.Recorder.enabled st.rc then begin
+    if w.wrun > 0 && w.wcls <> cls then flush_run st w ~time:(st.time - 1);
+    w.wcls <- cls;
+    w.wrun <- w.wrun + 1
+  end
+
 let assign w (task : task) =
   w.assigned <- Some task;
   w.remaining <- task.inst.dag.Dag.costs.(task.node)
@@ -129,13 +175,15 @@ let deque_for w = function
 
 (* Enable [task]'s successors after its completion: newly ready nodes are
    assigned to the completing worker (first) and pushed on the deque
-   matching the dag's origin (rest). *)
-let enable_successors _st w (task : task) =
+   matching the dag's origin (rest). [d] is the completed node's
+   critical-path depth, propagated along every outgoing edge. *)
+let enable_successors _st w (task : task) ~d =
   let inst = task.inst in
   let newly = ref [] in
   Array.iter
     (fun s ->
       inst.preds_left.(s) <- inst.preds_left.(s) - 1;
+      if d > inst.depth.(s) then inst.depth.(s) <- d;
       if inst.preds_left.(s) = 0 then newly := s :: !newly)
     inst.dag.Dag.succs.(task.node);
   (match List.rev !newly with
@@ -144,7 +192,7 @@ let enable_successors _st w (task : task) =
       assign w { inst; node = first };
       List.iter (fun s -> Deque.push_bottom (deque_for w inst.origin) { inst; node = s }) rest)
 
-let complete_batch st ~finisher sid =
+let complete_batch st ~finisher ~d sid =
   match st.active.(sid) with
   | None -> assert false
   | Some b ->
@@ -154,6 +202,7 @@ let complete_batch st ~finisher sid =
           if st.cfg.check_invariants && wm.status <> Executing then
             failwith "Batcher sim: member not executing at batch completion";
           wm.status <- Done;
+          wm.resume_depth <- max wm.park_depth d;
           Obs.Recorder.emit_status st.rc ~worker:m ~time:st.time Obs.Recorder.Done;
           if wm.seen_batches > st.max_seen_batches then
             st.max_seen_batches <- wm.seen_batches;
@@ -172,6 +221,11 @@ let complete_batch st ~finisher sid =
 let complete st w (task : task) =
   w.assigned <- None;
   let inst = task.inst in
+  (* Completion depth: chain units up to and including this node, clamped
+     by elapsed steps (two dependent units can execute in one sweep when
+     the successor's worker steps later in worker order; the clamp keeps
+     the realized span a valid lower bound on the makespan). *)
+  let d = min (inst.depth.(task.node) + inst.dag.Dag.costs.(task.node)) st.time in
   match inst.dag.Dag.kinds.(task.node), inst.origin with
   | Dag.Ds _, OCore ->
       (* The operation record is parked; control does not pass the node
@@ -185,6 +239,7 @@ let complete st w (task : task) =
       w.status <- Pending;
       w.suspended <- Some task.node;
       w.suspend_time <- st.time;
+      w.park_depth <- d;
       w.seen_batches <- (match st.active.(sid) with Some _ -> 1 | None -> 0);
       Obs.Recorder.emit_status st.rc ~worker:w.id ~time:st.time Obs.Recorder.Pending;
       Obs.Recorder.emit_op_issue st.rc ~worker:w.id ~time:st.time ~sid;
@@ -193,11 +248,13 @@ let complete st w (task : task) =
           Trace.Suspended { time = st.time; worker = w.id; node = task.node; sid }
           :: st.trace
   | _ ->
-      enable_successors st w task;
+      enable_successors st w task ~d;
       if task.node = inst.dag.Dag.sink then begin
         match inst.origin with
-        | OBatch -> complete_batch st ~finisher:w.id inst.sid
-        | OCore -> st.finished <- true
+        | OBatch -> complete_batch st ~finisher:w.id ~d inst.sid
+        | OCore ->
+            st.finished <- true;
+            st.span_realized <- d
       end
 
 let exec_unit st w =
@@ -205,6 +262,7 @@ let exec_unit st w =
   | None -> assert false
   | Some task ->
       attribute st task;
+      note st w (class_of_task task);
       st.units_this_step <- st.units_this_step + 1;
       w.remaining <- w.remaining - 1;
       if w.remaining = 0 then complete st w task
@@ -278,6 +336,13 @@ let launch st w =
   let whole = Dag.Build.in_series b (pre @ [ bop_f ] @ post) in
   let dag = Dag.Build.finish b whole in
   let inst = make_inst ~origin:OBatch ~bop_lo:lo ~bop_hi:hi ~sid dag in
+  (* Batch-coupling edge of the realized critical path: the batch dag's
+     source inherits the deepest member operation's park depth. *)
+  Array.iter
+    (fun m ->
+      let pd = st.workers.(m).park_depth in
+      if pd > inst.depth.(dag.Dag.source) then inst.depth.(dag.Dag.source) <- pd)
+    members;
   if st.tracing then
     st.trace <- Trace.Launched { time = st.time; worker = w.id; sid; members } :: st.trace;
   (* Report the setup cost actually charged by the dag: the balanced
@@ -329,12 +394,13 @@ let resume st w =
       end;
       w.status <- Free;
       w.suspended <- None;
-      enable_successors st w { inst = st.core_inst; node };
+      enable_successors st w { inst = st.core_inst; node } ~d:w.resume_depth;
       (* [enable_successors] assigned a core successor if one became
          ready; a ds node cannot be the core sink by construction. *)
       if node = st.core_inst.dag.Dag.sink then
         failwith "Batcher sim: data-structure node is the core sink");
   if w.assigned <> None then exec_unit st w
+  else note st w Obs.Recorder.Wsched
 
 let victim st w =
   let p = st.cfg.p in
@@ -345,6 +411,9 @@ let victim st w =
   end
 
 let steal_attempt st w ~target_batch =
+  (* A steal step is not part of any work run; close the run at its
+     true end (the previous step) so Work segments stay non-overlapping. *)
+  if Obs.Recorder.enabled st.rc then flush_run st w ~time:(st.time - 1);
   st.steal_attempts <- st.steal_attempts + 1;
   if w.status = Free then
     st.free_steal_attempts <- st.free_steal_attempts + 1
@@ -449,6 +518,10 @@ let run_internal ~tracing ~recorder cfg workload =
           suspended = None;
           seen_batches = 0;
           suspend_time = 0;
+          park_depth = 0;
+          resume_depth = 0;
+          wcls = Obs.Recorder.Wsched;
+          wrun = 0;
           rng = Util.Rng.stream ~seed:cfg.seed ~index:id;
         })
   in
@@ -478,6 +551,7 @@ let run_internal ~tracing ~recorder cfg workload =
       free_steal_attempts = 0;
       trapped_steal_attempts = 0;
       max_seen_batches = 0;
+      span_realized = 0;
       batch_details = [];
       tracing;
       trace = [];
@@ -500,6 +574,7 @@ let run_internal ~tracing ~recorder cfg workload =
     end
     else idle_sweeps := 0
   done;
+  Array.iter (fun w -> flush_run st w ~time:st.time) workers;
   {
     Metrics.p = cfg.p;
     makespan = st.time;
@@ -514,6 +589,7 @@ let run_internal ~tracing ~recorder cfg workload =
     free_steal_attempts = st.free_steal_attempts;
     trapped_steal_attempts = st.trapped_steal_attempts;
     max_batches_while_pending = st.max_seen_batches;
+    span_realized = st.span_realized;
     total_records = Workload.total_records workload;
     batch_details = st.batch_details;
   },

@@ -12,6 +12,7 @@ type t = {
   free_steal_attempts : int;
   trapped_steal_attempts : int;
   max_batches_while_pending : int;
+  span_realized : int;
   total_records : int;
   batch_details : batch_detail list;
 }
@@ -51,6 +52,7 @@ let zero ~p =
     free_steal_attempts = 0;
     trapped_steal_attempts = 0;
     max_batches_while_pending = 0;
+    span_realized = 0;
     total_records = 0;
     batch_details = [];
   }
@@ -66,13 +68,14 @@ let pp fmt t =
     "@[<v>p=%d makespan=%d@,work: core=%d batch=%d setup=%d@,\
      batches=%d (avg size %.2f, max %d)@,\
      steals: %d attempts, %d successes (free %d, trapped %d)@,\
-     lemma2 max batches while pending=%d@,records=%d throughput=%.4f@]"
+     lemma2 max batches while pending=%d@,span_realized=%d@,\
+     records=%d throughput=%.4f@]"
     t.p t.makespan t.core_work t.batch_work t.setup_work t.batches
     (if t.batches = 0 then 0.0
      else float_of_int t.batch_size_total /. float_of_int t.batches)
     t.max_batch_size t.steal_attempts t.steal_successes t.free_steal_attempts
-    t.trapped_steal_attempts t.max_batches_while_pending t.total_records
-    (throughput t)
+    t.trapped_steal_attempts t.max_batches_while_pending t.span_realized
+    t.total_records (throughput t)
 
 let pp_row_header fmt () =
   Format.fprintf fmt "%4s %12s %12s %10s %8s %10s %12s" "P" "makespan"

@@ -16,6 +16,11 @@ type t = {
   max_batches_while_pending : int;
       (** max number of batch launches observed between an operation
           becoming pending and completing — Lemma 2 says <= 2 *)
+  span_realized : int;
+      (** measured T∞: the longest executed dependency chain (in work
+          units, clamped by elapsed steps) through the core DAG and the
+          batch dags it coupled to, so [span_realized <= makespan]. Only
+          the Batcher scheduler computes it; 0 elsewhere. *)
   total_records : int;  (** data-structure records processed *)
   batch_details : batch_detail list;
       (** one entry per launched batch, most recent first — the raw

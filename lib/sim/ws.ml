@@ -13,6 +13,7 @@ type worker = {
   dq : task Deque.t;
   mutable assigned : task option;
   mutable remaining : int;
+  mutable wrun : int;  (* consecutive executed units pending one Work event *)
   rng : Util.Rng.t;
 }
 
@@ -48,11 +49,19 @@ let complete st w node =
       List.iter (fun s -> Deque.push_bottom w.dq s) rest);
   if node = st.dag.Dag.sink then st.finished <- true
 
+let flush_run st w ~time =
+  if w.wrun > 0 then begin
+    Obs.Recorder.emit_work st.rc ~worker:w.id ~time ~cls:Obs.Recorder.Wcore
+      ~units:w.wrun;
+    w.wrun <- 0
+  end
+
 let exec_unit st w =
   match w.assigned with
   | None -> assert false
   | Some node ->
       st.work_done <- st.work_done + 1;
+      if Obs.Recorder.enabled st.rc then w.wrun <- w.wrun + 1;
       w.remaining <- w.remaining - 1;
       if w.remaining = 0 then complete st w node
 
@@ -65,6 +74,9 @@ let step st w =
           assign w node ~dag:st.dag;
           exec_unit st w
       | None ->
+          (* A steal step interrupts the work run; close it at its true
+             end (the previous step). *)
+          flush_run st w ~time:(st.time - 1);
           st.steal_attempts <- st.steal_attempts + 1;
           if st.cfg.p > 1 then begin
             let offset = 1 + Util.Rng.int w.rng (st.cfg.p - 1) in
@@ -95,6 +107,7 @@ let run ?(recorder = Obs.Recorder.null) cfg dag =
           dq = Deque.create ();
           assigned = None;
           remaining = 0;
+          wrun = 0;
           rng = Util.Rng.stream ~seed:cfg.seed ~index:id;
         })
   in
@@ -118,6 +131,7 @@ let run ?(recorder = Obs.Recorder.null) cfg dag =
     if st.time > cfg.max_steps then failwith "Ws sim: max_steps exceeded";
     Array.iter (fun w -> step st w) workers
   done;
+  Array.iter (fun w -> flush_run st w ~time:st.time) workers;
   {
     (Metrics.zero ~p:cfg.p) with
     Metrics.makespan = st.time;

@@ -58,6 +58,39 @@ let test_bound_smoke () =
     true
     (r > 0.0 && r < 16.0)
 
+(* The attribution cross-check: recorder-derived buckets vs the
+   simulator's own counters, on a recorded paper-default run. Also that
+   a wrong expectation is actually rejected — the gate must be able to
+   fail. *)
+let test_cross_check () =
+  let model =
+    Batched.Skiplist.sim_model ~initial_size:100_000 ~records_per_node:10 ()
+  in
+  let workload =
+    Sim.Workload.parallel_ops ~model ~records_per_node:10 ~n_nodes:80 ()
+  in
+  let p = 4 in
+  let recorder =
+    Obs.Recorder.create ~clock:Obs.Recorder.Timesteps ~workers:p ()
+  in
+  let metrics = Sim.Batcher.run ~recorder (Sim.Batcher.default ~p) workload in
+  check_ok (Check.Bound.cross_check ~workload ~metrics ~recorder ());
+  check_ok
+    (Check.Bound.cross_check ~ms_factor:16.0 ~workload ~metrics ~recorder ());
+  let a = Obs.Attrib.of_recorder recorder in
+  (match
+     Obs.Attrib.check
+       ~expected:((p * metrics.Sim.Metrics.makespan) + 1)
+       a
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "off-by-one expectation accepted");
+  match
+    Check.Bound.cross_check ~workload ~metrics ~recorder:Obs.Recorder.null ()
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "disabled recorder accepted"
+
 (* ---------- determinism: byte-identical metrics ---------- *)
 
 let test_metrics_deterministic () =
@@ -170,6 +203,7 @@ let () =
           Alcotest.test_case "shrink keeps passing cases" `Quick
             test_shrink_is_identity_on_passing;
           Alcotest.test_case "bound smoke" `Quick test_bound_smoke;
+          Alcotest.test_case "attribution cross-check" `Quick test_cross_check;
         ] );
       ( "determinism",
         [

@@ -335,6 +335,259 @@ let test_recorder_clock_mismatch_rejected () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "sim accepted a Nanoseconds recorder"
 
+(* ---- Histo.percentile edges ---- *)
+
+let test_histo_percentile_edges () =
+  let module H = Obs.Summary.Histo in
+  (* Empty histogram: every percentile is 0 by convention. *)
+  let h = H.create () in
+  Alcotest.(check (float 0.0)) "empty p50" 0.0 (H.percentile h 0.5);
+  (* Single bucket, single value: the bucket range is clamped to the
+     observed min/max, so every q collapses to that value. *)
+  let h1 = H.create () in
+  for _ = 1 to 7 do
+    H.add h1 42
+  done;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "single-value p%g" (100.0 *. q))
+        42.0 (H.percentile h1 q))
+    [ 0.0; 0.25; 0.5; 0.99; 1.0 ];
+  (* p0 and p100 are the exact observed extremes, not bucket edges
+     (the values 3 and 1000 sit strictly inside their power-of-two
+     buckets [2,3] and [1024,2047]... 1000 is in [512,1023]). *)
+  let h2 = H.create () in
+  List.iter (H.add h2) [ 3; 10; 10; 17; 1000 ];
+  Alcotest.(check (float 0.0)) "p0 = min" 3.0 (H.percentile h2 0.0);
+  Alcotest.(check (float 0.0)) "p100 = max" 1000.0 (H.percentile h2 1.0);
+  (* Out-of-range q clamps rather than raising. *)
+  Alcotest.(check (float 0.0)) "q<0 clamps" 3.0 (H.percentile h2 (-1.0));
+  Alcotest.(check (float 0.0)) "q>1 clamps" 1000.0 (H.percentile h2 2.0);
+  (* Monotone in q. *)
+  let last = ref neg_infinity in
+  List.iter
+    (fun q ->
+      let v = H.percentile h2 q in
+      check_bool "monotone" true (v >= !last);
+      last := v)
+    [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 1.0 ]
+
+let test_histo_percentile_truncated_ring () =
+  (* A wrapped ring keeps only the most recent events; the summary's
+     histograms — and their percentiles — must describe the survivors
+     exactly, not the dropped prefix. *)
+  let rc =
+    Obs.Recorder.create ~capacity:16 ~clock:Obs.Recorder.Timesteps ~workers:1 ()
+  in
+  let n = 100 in
+  for t = 0 to n - 1 do
+    Obs.Recorder.emit_op_done rc ~worker:0 ~time:t ~sid:0 ~batches_seen:1
+      ~latency:(t + 1)
+  done;
+  let s = Obs.Summary.of_recorder rc in
+  check "drops recorded" (n - 16) s.Obs.Summary.dropped;
+  let h = s.Obs.Summary.op_latency in
+  (* Survivors are latencies 85..100. *)
+  Alcotest.(check (float 0.0))
+    "p0 = oldest surviving latency" 85.0
+    (Obs.Summary.Histo.percentile h 0.0);
+  Alcotest.(check (float 0.0))
+    "p100 = newest latency" 100.0
+    (Obs.Summary.Histo.percentile h 1.0);
+  let p50 = Obs.Summary.Histo.percentile h 0.5 in
+  check_bool "p50 within survivor range" true (p50 >= 85.0 && p50 <= 100.0)
+
+(* ---- Work events ---- *)
+
+let test_work_event_readback () =
+  let rc = Obs.Recorder.create ~clock:Obs.Recorder.Timesteps ~workers:1 () in
+  Obs.Recorder.emit_work rc ~worker:0 ~time:10 ~cls:Obs.Recorder.Wbatch
+    ~units:7;
+  Obs.Recorder.emit_work rc ~worker:0 ~time:11 ~cls:Obs.Recorder.Wsched
+    ~units:1;
+  (match Obs.Recorder.all_events rc with
+  | [ e1; e2 ] ->
+      (match e1.Obs.Recorder.kind with
+      | Obs.Recorder.Work { cls = Obs.Recorder.Wbatch; units = 7 } -> ()
+      | _ -> Alcotest.fail "work event 1 kind");
+      (match e2.Obs.Recorder.kind with
+      | Obs.Recorder.Work { cls = Obs.Recorder.Wsched; units = 1 } -> ()
+      | _ -> Alcotest.fail "work event 2 kind")
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs));
+  let s = Obs.Summary.of_recorder rc in
+  check "work units batch" 7 s.Obs.Summary.work_units.(1);
+  check "work units sched" 1 s.Obs.Summary.work_units.(3)
+
+(* ---- attribution ---- *)
+
+let run_recorded_cfg ?(n = 200) cfg =
+  let rc =
+    Obs.Recorder.create ~clock:Obs.Recorder.Timesteps
+      ~workers:cfg.Sim.Batcher.p ()
+  in
+  let m = Sim.Batcher.run ~recorder:rc cfg (sim_workload ~n ()) in
+  (rc, m)
+
+let check_sim_attrib cfg =
+  let rc, m = run_recorded_cfg cfg in
+  let a = Obs.Attrib.of_recorder rc in
+  (match Obs.Attrib.check ~expected:(m.Sim.Metrics.p * m.Sim.Metrics.makespan) a with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "conservation (p=%d): %s" m.Sim.Metrics.p e);
+  check "core = sim core_work" m.Sim.Metrics.core_work a.Obs.Attrib.total.Obs.Attrib.core;
+  check "batch = sim batch_work" m.Sim.Metrics.batch_work a.Obs.Attrib.total.Obs.Attrib.batch;
+  check "setup = sim setup_work" m.Sim.Metrics.setup_work a.Obs.Attrib.total.Obs.Attrib.setup;
+  check_bool "span_realized positive" true (m.Sim.Metrics.span_realized > 0);
+  check_bool "span_realized <= makespan" true
+    (m.Sim.Metrics.span_realized <= m.Sim.Metrics.makespan)
+
+let test_attrib_sim_conservation () =
+  (* Exact bucket conservation must hold across scheduler shapes, not
+     just the paper default: every (worker, timestep) does exactly one
+     classifiable thing. *)
+  List.iter check_sim_attrib
+    [
+      Sim.Batcher.default ~p:1;
+      Sim.Batcher.default ~p:4;
+      { (Sim.Batcher.default ~p:3) with Sim.Batcher.overhead = Sim.Batcher.No_setup };
+      { (Sim.Batcher.default ~p:5) with
+        Sim.Batcher.steal_policy = Sim.Batcher.Core_only;
+        seed = 9 };
+      { (Sim.Batcher.default ~p:4) with Sim.Batcher.launch_threshold = 4 };
+    ]
+
+let test_attrib_runtime_tiling () =
+  (* Runtime buckets must tile each worker's observed span exactly:
+     class segments are emitted back to back in integer nanoseconds. *)
+  let p = 3 in
+  let rc = Obs.Recorder.create ~clock:Obs.Recorder.Nanoseconds ~workers:p () in
+  let pool = Runtime.Pool.create ~recorder:rc ~num_workers:p () in
+  let counter = Batched.Counter.create () in
+  let b =
+    Runtime.Batcher_rt.create ~pool ~state:counter
+      ~run_batch:(fun _pool st ops -> Batched.Counter.run_batch st ops)
+      ()
+  in
+  Runtime.Pool.run pool (fun () ->
+      Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:300 (fun _ ->
+          Runtime.Batcher_rt.batchify b (Batched.Counter.op 1)));
+  Runtime.Pool.teardown pool;
+  let a = Obs.Attrib.of_recorder rc in
+  (match Obs.Attrib.check a with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "runtime tiling: %s" e);
+  check "all workers accounted" p (Array.length a.Obs.Attrib.per_worker);
+  check_bool "some core time" true (a.Obs.Attrib.total.Obs.Attrib.core > 0);
+  check_bool "some batch time" true (a.Obs.Attrib.total.Obs.Attrib.batch > 0);
+  check_bool "covered > 0" true (Obs.Attrib.total_covered a > 0);
+  (* Runtime recordings have no trapped-worker wait or sim-style idle. *)
+  check "no wait bucket" 0 a.Obs.Attrib.total.Obs.Attrib.wait;
+  check "no idle bucket" 0 a.Obs.Attrib.total.Obs.Attrib.idle
+
+let test_attrib_json () =
+  let rc, m = run_recorded () in
+  let a = Obs.Attrib.of_recorder rc in
+  let j = roundtrip (Obs.Attrib.to_json a) in
+  (match Obs.Json.member "total" j with
+  | Some tot -> (
+      match Obs.Json.member "batch" tot with
+      | Some (Obs.Json.Int b) ->
+          check "json batch bucket" m.Sim.Metrics.batch_work b
+      | _ -> Alcotest.fail "attrib json missing total.batch")
+  | None -> Alcotest.fail "attrib json missing total");
+  match Obs.Json.member "per_worker" j with
+  | Some (Obs.Json.List l) -> check "per-worker rows" 4 (List.length l)
+  | _ -> Alcotest.fail "attrib json missing per_worker"
+
+(* ---- critical path ---- *)
+
+let test_critpath_sim () =
+  let rc, m = run_recorded () in
+  let cp = Obs.Critpath.of_recorder rc in
+  check_bool "witness positive" true (cp.Obs.Critpath.t_inf_witness > 0);
+  check_bool "witness <= makespan" true
+    (cp.Obs.Critpath.t_inf_witness <= m.Sim.Metrics.makespan);
+  let total_batches =
+    Array.fold_left
+      (fun acc c -> acc + c.Obs.Critpath.ch_batches)
+      0 cp.Obs.Critpath.chains
+  in
+  check "chains see every batch" m.Sim.Metrics.batches total_batches;
+  Array.iter
+    (fun (c : Obs.Critpath.chain) ->
+      check_bool "serial chain <= makespan" true
+        (c.Obs.Critpath.ch_serial <= m.Sim.Metrics.makespan);
+      check_bool "longest <= serial" true
+        (c.Obs.Critpath.ch_longest <= c.Obs.Critpath.ch_serial))
+    cp.Obs.Critpath.chains;
+  (* top-k is sorted by decreasing length. *)
+  let rec sorted = function
+    | (a : Obs.Critpath.segment) :: (b :: _ as rest) ->
+        a.Obs.Critpath.sg_len >= b.Obs.Critpath.sg_len && sorted rest
+    | _ -> true
+  in
+  check_bool "top sorted" true (sorted cp.Obs.Critpath.top);
+  check_bool "top bounded" true (List.length cp.Obs.Critpath.top <= 10)
+
+(* ---- snapshots ---- *)
+
+let test_snapshot_jsonl () =
+  let rc = Obs.Recorder.create ~clock:Obs.Recorder.Timesteps ~workers:2 () in
+  let path = Filename.temp_file "snap" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let s = Obs.Snapshot.to_file rc ~path in
+      Obs.Recorder.emit_steal rc ~worker:0 ~time:1 ~victim:1 ~success:false
+        ~batch_deque:false;
+      Obs.Snapshot.sample ~time:1 s;
+      Obs.Recorder.emit_steal rc ~worker:1 ~time:2 ~victim:0 ~success:true
+        ~batch_deque:false;
+      Obs.Recorder.emit_work rc ~worker:1 ~time:3 ~cls:Obs.Recorder.Wcore
+        ~units:2;
+      Obs.Snapshot.sample ~time:3 s;
+      Obs.Snapshot.close s;
+      (* Sampling after close must be a no-op, not a crash. *)
+      Obs.Snapshot.sample ~time:4 s;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      check "two lines" 2 (List.length lines);
+      let parse l =
+        match Obs.Json.parse l with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "bad snapshot line %S: %s" l e
+      in
+      let geti key j =
+        match Option.bind (Obs.Json.member key j) Obs.Json.to_float_opt with
+        | Some f -> int_of_float f
+        | None -> Alcotest.failf "snapshot line missing %s" key
+      in
+      let l1 = parse (List.nth lines 0) and l2 = parse (List.nth lines 1) in
+      check "seq 0" 0 (geti "seq" l1);
+      check "seq 1" 1 (geti "seq" l2);
+      check "t of sample 2" 3 (geti "t" l2);
+      let steal j part =
+        match Obs.Json.member part j with
+        | Some p -> geti "steal" p
+        | None -> Alcotest.failf "missing %s" part
+      in
+      check "totals after 1 steal" 1 (steal l1 "totals");
+      check "totals after 2 steals" 2 (steal l2 "totals");
+      check "delta is 1 new steal" 1 (steal l2 "deltas");
+      let work j part =
+        match Obs.Json.member part j with
+        | Some p -> geti "work" p
+        | None -> Alcotest.failf "missing %s" part
+      in
+      check "work delta" 1 (work l2 "deltas"))
+
 let () =
   Alcotest.run "obs"
     [
@@ -364,7 +617,27 @@ let () =
       ( "chrome",
         [ Alcotest.test_case "valid trace-event JSON" `Quick test_chrome_json_valid ] );
       ( "summary",
-        [ Alcotest.test_case "summary to_json" `Quick test_summary_json ] );
+        [
+          Alcotest.test_case "summary to_json" `Quick test_summary_json;
+          Alcotest.test_case "percentile edges" `Quick
+            test_histo_percentile_edges;
+          Alcotest.test_case "percentile on truncated ring" `Quick
+            test_histo_percentile_truncated_ring;
+        ] );
+      ( "attrib",
+        [
+          Alcotest.test_case "work event readback" `Quick
+            test_work_event_readback;
+          Alcotest.test_case "sim conservation across configs" `Quick
+            test_attrib_sim_conservation;
+          Alcotest.test_case "runtime buckets tile spans" `Quick
+            test_attrib_runtime_tiling;
+          Alcotest.test_case "attrib to_json" `Quick test_attrib_json;
+        ] );
+      ( "critpath",
+        [ Alcotest.test_case "witness and chains" `Quick test_critpath_sim ] );
+      ( "snapshot",
+        [ Alcotest.test_case "JSONL lines and deltas" `Quick test_snapshot_jsonl ] );
       ( "runtime",
         [ Alcotest.test_case "recording smoke" `Quick test_runtime_recording_smoke ] );
     ]
