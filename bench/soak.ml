@@ -1,0 +1,428 @@
+(* Soak harness: run a mixed batched workload for a fixed wall-clock
+   duration with the health-monitoring stack OFF / SAMPLED / EXACT, and
+   record the throughput of each leg so the cost of always-on
+   monitoring is a number in BENCH_results.json, not a claim.
+
+   The EXACT leg runs the full production monitoring story: recorder +
+   online invariant checkers + heartbeats/watchdog/SLO histograms + a
+   snapshot sampler streaming health JSONL (the input of
+   bin/monitor.exe) + an armed flight recorder, explicitly dumped at
+   the end. Any checker violation or stall fails the process — the soak
+   doubles as an end-to-end test that a healthy run stays quiet.
+
+   Knobs (environment):
+     SOAK_S      seconds per leg              (default 4; QUICK=1 -> 1)
+     WORKERS     pool size                    (default 4)
+     OUT         results JSON                 (default BENCH_results.json)
+     HEALTH_OUT  health JSONL stream          (default soak_health.jsonl)
+     FLIGHT_OUT  flight-recorder dump         (default soak_flight.json)
+
+   Results are MERGED into OUT under experiment id "SOAK" (micro.ml's
+   scheme: other experiments preserved, SOAK replaced). The ≤5%
+   monitoring-overhead target is printed as a measurement, not asserted:
+   on the oversubscribed CI container wall-clock deltas of that size are
+   routinely noise (see EXPERIMENTS.md for the methodology). *)
+
+let quick = Sys.getenv_opt "QUICK" <> None
+
+let getenv_f name default =
+  match Sys.getenv_opt name with Some s -> float_of_string s | None -> default
+
+let getenv_i name default =
+  match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
+
+let duration_s = getenv_f "SOAK_S" (if quick then 1.0 else 4.0)
+let workers = getenv_i "WORKERS" 4
+
+let out_path =
+  match Sys.getenv_opt "OUT" with Some p -> p | None -> "BENCH_results.json"
+
+let health_out =
+  match Sys.getenv_opt "HEALTH_OUT" with
+  | Some p -> p
+  | None -> "soak_health.jsonl"
+
+let flight_out =
+  match Sys.getenv_opt "FLIGHT_OUT" with
+  | Some p -> p
+  | None -> "soak_flight.json"
+
+(* ---- workload ----
+
+   Three structures over one pool — the paper's counter, a FIFO, and a
+   skip list — hammered from a grain-1 parallel loop so every index is
+   a separate task and the pending array sees real contention. The mix
+   is index-driven (deterministic): half counter bumps, a quarter FIFO
+   enqueue/dequeue pairs, a quarter skip-list inserts/membership. *)
+
+type structures = {
+  counter : (Batched.Counter.t, Batched.Counter.op) Runtime.Batcher_rt.t;
+  fifo : (Batched.Fifo.t, Batched.Fifo.op) Runtime.Batcher_rt.t;
+  skiplist : (Batched.Skiplist.t, Batched.Skiplist.op) Runtime.Batcher_rt.t;
+}
+
+let n_structures = 3
+
+let make_structures pool =
+  {
+    counter =
+      Runtime.Batcher_rt.create ~sid:0 ~pool ~state:(Batched.Counter.create ())
+        ~run_batch:(fun _ st ops -> Batched.Counter.run_batch st ops)
+        ();
+    fifo =
+      Runtime.Batcher_rt.create ~sid:1 ~pool ~state:(Batched.Fifo.create ())
+        ~run_batch:(fun _ st ops -> Batched.Fifo.run_batch st ops)
+        ();
+    skiplist =
+      Runtime.Batcher_rt.create ~sid:2 ~pool
+        ~state:(Batched.Skiplist.create ())
+        ~run_batch:(fun p st ops ->
+          Batched.Skiplist.run_batch_with
+            ~pfor:(fun n body ->
+              Runtime.Pool.parallel_for p ~lo:0 ~hi:n body)
+            st ops)
+        ();
+  }
+
+let round_ops = if quick then 512 else 2_048
+
+let one_round pool s base =
+  Runtime.Pool.run pool (fun () ->
+      Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:round_ops (fun i ->
+          match i land 3 with
+          | 0 | 1 -> Runtime.Batcher_rt.batchify s.counter (Batched.Counter.op 1)
+          | 2 ->
+              if i land 4 = 0 then
+                Runtime.Batcher_rt.batchify s.fifo (Batched.Fifo.enqueue i)
+              else Runtime.Batcher_rt.batchify s.fifo (Batched.Fifo.dequeue ())
+          | _ ->
+              let key = (base + i) land 0xFFFF in
+              if i land 4 = 0 then
+                Runtime.Batcher_rt.batchify s.skiplist
+                  (Batched.Skiplist.insert key)
+              else
+                Runtime.Batcher_rt.batchify s.skiplist
+                  (Batched.Skiplist.mem key)))
+
+(* Run rounds until the deadline; returns (ops, elapsed_ns). *)
+let soak_loop ?(dur = duration_s) pool s =
+  let t0 = Obs.Clock.now_ns () in
+  let deadline = t0 + int_of_float (dur *. 1e9) in
+  let ops = ref 0 in
+  while Obs.Clock.now_ns () < deadline do
+    one_round pool s !ops;
+    ops := !ops + round_ops
+  done;
+  (!ops, Obs.Clock.now_ns () - t0)
+
+(* ---- legs ---- *)
+
+type leg = {
+  mode : string;
+  ops : int;
+  elapsed_ns : int;
+  rate : float;  (* ops/s *)
+  violations : int;
+  by_check : (string * int) list;  (* nonzero per-check counters *)
+  stalls : int;
+  checks_run : int;
+  health_lines : int;  (* JSONL lines streamed; 0 when not streaming *)
+}
+
+let nonzero_checks inv =
+  let v = Obs.Invariants.violations inv in
+  List.filter
+    (fun (_, n) -> n > 0)
+    (List.init (Array.length v) (fun i ->
+         (Obs.Recorder.check_name (Obs.Recorder.check_of_code i), v.(i))))
+
+let rate ~ops ~ns =
+  if ns <= 0 then 0.0 else float_of_int ops *. 1e9 /. float_of_int ns
+
+let run_off ?dur () =
+  let pool = Runtime.Pool.create ~num_workers:workers () in
+  Fun.protect
+    ~finally:(fun () -> Runtime.Pool.teardown pool)
+    (fun () ->
+      let s = make_structures pool in
+      one_round pool s 0 (* warmup: wake domains, fault pages *);
+      let ops, elapsed_ns = soak_loop ?dur pool s in
+      {
+        mode = "off";
+        ops;
+        elapsed_ns;
+        rate = rate ~ops ~ns:elapsed_ns;
+        violations = 0;
+        by_check = [];
+        stalls = 0;
+        checks_run = 0;
+        health_lines = 0;
+      })
+
+let count_lines path =
+  if not (Sys.file_exists path) then 0
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = ref 0 in
+        (try
+           while true do
+             ignore (input_line ic);
+             incr n
+           done
+         with End_of_file -> ());
+        !n)
+  end
+
+(* [record]: also attach the event recorder — the deep-dive layer the
+   flight recorder rings live in. [stream] (implies [record]): snapshot
+   sampler thread + armed flight recorder, the full CI configuration.
+   The "sampled, no recorder" leg is the always-on production story
+   whose overhead the ≤5% target is about; the event stream costs an
+   order of magnitude more per op (every status/steal/issue/done event
+   is a ring write plus a clock read) and is priced separately.
+
+   Lemma-2 bound: the paper's 2 assumes at most P concurrent ops (one
+   per worker on the dual-deque scheduler). This soak deliberately
+   parks up to [round_ops] suspended tasks at once on a cap-P array,
+   so an op at the back of the FIFO overflow queue legitimately waits
+   through ~round_ops/P launches. Bound 4·round_ops therefore never
+   fires on correct behavior but still catches runaway starvation
+   (an op stuck across relaunch cycles without being collected). *)
+let run_monitored ~mode_name ~mode ~record ~stream () =
+  let record = record || stream in
+  let rc =
+    if record then Obs.Recorder.create ~clock:Obs.Recorder.Nanoseconds ~workers ()
+    else Obs.Recorder.null
+  in
+  let inv =
+    Obs.Invariants.create ~mode ~lemma2_bound:(4 * round_ops) ~recorder:rc
+      ~structures:n_structures ()
+  in
+  let hl =
+    Obs.Health.create ~invariants:inv ~stall_ns:2_000_000_000 ~workers
+      ~structures:n_structures ()
+  in
+  let flight =
+    if stream then
+      Some
+        (Obs.Flight.create ~path:flight_out
+           ~extra:(fun () -> Obs.Health.to_json hl)
+           rc)
+    else None
+  in
+  Option.iter Obs.Flight.arm flight;
+  let pool = Runtime.Pool.create ~recorder:rc ~health:hl ~num_workers:workers () in
+  let stop = Atomic.make false in
+  let sampler =
+    if not stream then None
+    else begin
+      let snap = Obs.Snapshot.to_file ~health:hl rc ~path:health_out in
+      Some
+        ( snap,
+          Domain.spawn (fun () ->
+              Obs.Snapshot.every snap ~interval_s:0.1 ~stop:(fun () ->
+                  Atomic.get stop)) )
+    end
+  in
+  let finish () =
+    Atomic.set stop true;
+    Option.iter
+      (fun (snap, d) ->
+        Domain.join d;
+        Obs.Snapshot.close snap)
+      sampler;
+    Runtime.Pool.teardown pool
+  in
+  Fun.protect ~finally:finish (fun () ->
+      let s = make_structures pool in
+      one_round pool s 0;
+      let ops, elapsed_ns = soak_loop pool s in
+      Option.iter
+        (fun f ->
+          ignore (Obs.Flight.dump ~reason:"soak-complete" f);
+          Obs.Flight.disarm f)
+        flight;
+      {
+        mode = mode_name;
+        ops;
+        elapsed_ns;
+        rate = rate ~ops ~ns:elapsed_ns;
+        violations = Obs.Invariants.total_violations inv;
+        by_check = nonzero_checks inv;
+        stalls = Obs.Health.stall_count hl;
+        checks_run = Obs.Invariants.checks_run inv;
+        health_lines = (if stream then count_lines health_out else 0);
+      })
+
+(* ---- report ---- *)
+
+let read_existing path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Obs.Json.parse s with
+    | Ok (Obs.Json.Obj fields) -> Some fields
+    | Ok _ | Error _ -> None
+  end
+
+let merge_out new_exps =
+  let new_ids =
+    List.filter_map
+      (fun e ->
+        match Obs.Json.member "id" e with
+        | Some (Obs.Json.Str s) -> Some s
+        | _ -> None)
+      new_exps
+  in
+  let fields =
+    match read_existing out_path with
+    | Some fields -> fields
+    | None ->
+        [
+          ("schema_version", Obs.Json.Int 1);
+          ("generated_by", Obs.Json.Str "bench/soak.exe");
+          ("quick", Obs.Json.Bool quick);
+          ("only", Obs.Json.Null);
+          ("experiments", Obs.Json.List []);
+        ]
+  in
+  let old_exps =
+    match List.assoc_opt "experiments" fields with
+    | Some (Obs.Json.List l) ->
+        List.filter
+          (fun e ->
+            match Obs.Json.member "id" e with
+            | Some (Obs.Json.Str s) -> not (List.mem s new_ids)
+            | _ -> true)
+          l
+    | _ -> []
+  in
+  let fields =
+    List.map
+      (fun (k, v) ->
+        if k = "experiments" then (k, Obs.Json.List (old_exps @ new_exps))
+        else (k, v))
+      fields
+  in
+  let fields =
+    if List.mem_assoc "experiments" fields then fields
+    else fields @ [ ("experiments", Obs.Json.List new_exps) ]
+  in
+  Batcher_core.Report_json.write_file ~path:out_path (Obs.Json.Obj fields)
+
+let () =
+  Printf.printf
+    "== SOAK: %g s/leg, %d workers, %d structures, round=%d ops ==\n%!"
+    duration_s workers n_structures round_ops;
+  (* Unmeasured warmup: the first half-second of a fresh process runs
+     visibly slower (code paging, allocator growth, domain spin-up), and
+     it would all land on whichever leg runs first. *)
+  ignore (run_off ~dur:(Float.min 0.5 duration_s) ());
+  let legs =
+    [
+      run_off ();
+      run_monitored ~mode_name:"sampled" ~mode:(Obs.Invariants.Sampled 16)
+        ~record:false ~stream:false ();
+      run_monitored ~mode_name:"exact" ~mode:Obs.Invariants.Exact ~record:true
+        ~stream:true ();
+    ]
+  in
+  let off_rate =
+    match legs with l :: _ -> l.rate | [] -> assert false
+  in
+  let delta_pct l =
+    if l.mode = "off" || off_rate <= 0.0 then 0.0
+    else (off_rate -. l.rate) /. off_rate *. 100.0
+  in
+  (* Absolute per-op cost of the monitoring layer — the robust number:
+     the percentage depends on how much work an op does (this soak's
+     counter ops are nearly free, an adversarial denominator), the
+     ns/op difference does not. *)
+  let delta_ns l =
+    if l.mode = "off" || off_rate <= 0.0 || l.rate <= 0.0 then 0.0
+    else ((1.0 /. l.rate) -. (1.0 /. off_rate)) *. 1e9
+  in
+  Printf.printf "%-8s %10s %10s %12s %8s %8s %6s %6s %8s %8s\n" "mode" "ops"
+    "ms" "ops/s" "delta%" "ns/op" "viol" "stall" "checks" "lines";
+  List.iter
+    (fun l ->
+      Printf.printf "%-8s %10d %10.0f %12.0f %8.1f %8.0f %6d %6d %8d %8d\n"
+        l.mode l.ops
+        (float_of_int l.elapsed_ns /. 1e6)
+        l.rate (delta_pct l) (delta_ns l) l.violations l.stalls l.checks_run
+        l.health_lines)
+    legs;
+  Printf.printf
+    "(target: always-on leg <= 5%% on ops with real work — judge by ns/op \
+     here: this soak's ops are nearly free and the container is shared; \
+     see EXPERIMENTS.md)\n";
+  (* The soak is also a test: a healthy run must be quiet. *)
+  let bad =
+    List.concat_map
+      (fun l ->
+        (if l.violations > 0 then
+           [
+             Printf.sprintf "%s: %d checker violations (%s)" l.mode
+               l.violations
+               (String.concat ", "
+                  (List.map
+                     (fun (name, n) -> Printf.sprintf "%s=%d" name n)
+                     l.by_check));
+           ]
+         else [])
+        @
+        if l.stalls > 0 then
+          [ Printf.sprintf "%s: %d stall episodes" l.mode l.stalls ]
+        else [])
+      legs
+  in
+  let rows =
+    List.map
+      (fun l ->
+        Obs.Json.Obj
+          [
+            ("mode", Obs.Json.Str l.mode);
+            ("workers", Obs.Json.Int workers);
+            ("duration_s", Obs.Json.Float duration_s);
+            ("ops", Obs.Json.Int l.ops);
+            ("elapsed_ns", Obs.Json.Int l.elapsed_ns);
+            ("ops_per_sec", Obs.Json.Float l.rate);
+            ("overhead_pct_vs_off", Obs.Json.Float (delta_pct l));
+            ("overhead_ns_per_op", Obs.Json.Float (delta_ns l));
+            ("violations", Obs.Json.Int l.violations);
+            ( "violations_by_check",
+              Obs.Json.Obj
+                (List.map (fun (k, n) -> (k, Obs.Json.Int n)) l.by_check) );
+            ("stalls", Obs.Json.Int l.stalls);
+            ("checks_run", Obs.Json.Int l.checks_run);
+            ("health_lines", Obs.Json.Int l.health_lines);
+          ])
+      legs
+  in
+  merge_out
+    [
+      Obs.Json.Obj
+        [
+          ("id", Obs.Json.Str "SOAK");
+          ( "title",
+            Obs.Json.Str
+              "SOAK — monitoring overhead: off vs sampled vs exact online \
+               checkers" );
+          ("rows", Obs.Json.List rows);
+        ];
+    ];
+  Printf.printf "[soak] merged SOAK into %s; health stream %s; flight %s\n%!"
+    out_path health_out flight_out;
+  match bad with
+  | [] -> ()
+  | msgs ->
+      List.iter (fun m -> Printf.printf "[soak] FAIL %s\n" m) msgs;
+      exit 1

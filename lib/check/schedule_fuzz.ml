@@ -29,6 +29,7 @@ type case = {
   batch_cap : int;
   overhead : Sim.Batcher.overhead_model;
   sequential_batches : bool;
+  inv_mode : Obs.Invariants.mode;
 }
 
 let model_of kind ~records_per_node ~seed =
@@ -96,8 +97,19 @@ let run_case ?(bound_factor = 16.0) c =
     Obs.Recorder.create ~capacity:8192 ~clock:Obs.Recorder.Timesteps
       ~workers:c.p ()
   in
+  (* Online checkers ride along under the rotated mode; the Lemma-2
+     bound is the paper's 2 only on configurations that satisfy its
+     preconditions (immediate full-cap launches) — ablations can
+     legitimately exceed it, so there it is effectively off. *)
+  let lemma2_bound =
+    if c.launch_threshold = 1 && c.batch_cap >= c.p then 2 else max_int
+  in
+  let inv =
+    Obs.Invariants.create ~mode:c.inv_mode ~lemma2_bound
+      ~structures:(Array.length workload.Sim.Workload.models) ()
+  in
   let* metrics, events =
-    match Sim.Batcher.run_traced ~recorder cfg workload with
+    match Sim.Batcher.run_traced ~recorder ~invariants:inv cfg workload with
     | result -> Ok result
     | exception Failure e -> Error ("sim invariant: " ^ e)
     | exception Invalid_argument e -> Error ("sim argument: " ^ e)
@@ -107,6 +119,24 @@ let run_case ?(bound_factor = 16.0) c =
         Error ("sim exception: " ^ Printexc.to_string e)
   in
   let open Sim.Metrics in
+  let* () =
+    if Obs.Invariants.total_violations inv = 0 then Ok ()
+    else begin
+      let v = Obs.Invariants.violations inv in
+      let parts = ref [] in
+      Array.iteri
+        (fun k n ->
+          if n > 0 then
+            parts :=
+              Printf.sprintf "%s=%d"
+                (Obs.Recorder.check_name (Obs.Recorder.check_of_code k))
+                n
+              :: !parts)
+        v;
+      Error
+        ("online checkers: " ^ String.concat " " (List.rev !parts))
+    end
+  in
   let n = Dag.ds_count workload.Sim.Workload.core in
   let* () =
     if metrics.batch_size_total = n then Ok ()
@@ -184,6 +214,12 @@ let case_of_seed ?(max_p = 8) ?(max_size = 60) seed =
     batch_cap = (if Util.Rng.bool rng then p else 1 + Util.Rng.int rng p);
     overhead = pick Sim.Batcher.[| Tree_setup; Tree_setup; Fused_setup; No_setup |];
     sequential_batches = Util.Rng.int rng 4 = 0;
+    inv_mode =
+      (* Mostly Exact — the point is auditing every schedule — with
+         Sampled and Off legs so those modes' code paths are fuzzed too. *)
+      pick
+        Obs.Invariants.
+          [| Exact; Exact; Exact; Sampled 2; Sampled 7; Off |];
   }
 
 (* Candidate reductions, most aggressive first. Each strictly reduces
@@ -212,6 +248,8 @@ let shrink_steps c =
     add { c with steal_policy = Sim.Batcher.Alternating };
   if c.family <> Parallel_ops then add { c with family = Parallel_ops };
   if c.model <> Counter then add { c with model = Counter };
+  if c.inv_mode <> Obs.Invariants.Exact then
+    add { c with inv_mode = Obs.Invariants.Exact };
   if c.wl_seed <> 0 then add { c with wl_seed = 0 };
   if c.sim_seed <> 1 then add { c with sim_seed = 1 };
   List.rev !cands
@@ -261,14 +299,20 @@ let overhead_name = function
   | Sim.Batcher.Fused_setup -> "Fused_setup"
   | Sim.Batcher.No_setup -> "No_setup"
 
+let inv_mode_name = function
+  | Obs.Invariants.Off -> "Obs.Invariants.Off"
+  | Obs.Invariants.Exact -> "Obs.Invariants.Exact"
+  | Obs.Invariants.Sampled k -> Printf.sprintf "(Obs.Invariants.Sampled %d)" k
+
 let pp_case fmt c =
   Format.fprintf fmt
     "{ family = %s; model = %s; size = %d; records_per_node = %d;@ wl_seed = %d; p \
      = %d; sim_seed = %d;@ steal_policy = Sim.Batcher.%s; launch_threshold = %d; \
-     batch_cap = %d;@ overhead = Sim.Batcher.%s; sequential_batches = %b }"
+     batch_cap = %d;@ overhead = Sim.Batcher.%s; sequential_batches = %b;@ inv_mode \
+     = %s }"
     (family_name c.family) (model_name c.model) c.size c.records_per_node c.wl_seed
     c.p c.sim_seed (policy_name c.steal_policy) c.launch_threshold c.batch_cap
-    (overhead_name c.overhead) c.sequential_batches
+    (overhead_name c.overhead) c.sequential_batches (inv_mode_name c.inv_mode)
 
 let show_case c = Format.asprintf "@[<hv 2>%a@]" pp_case c
 

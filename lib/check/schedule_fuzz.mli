@@ -53,6 +53,12 @@ type case = {
   batch_cap : int;
   overhead : Sim.Batcher.overhead_model;
   sequential_batches : bool;
+  inv_mode : Obs.Invariants.mode;
+      (** {!Obs.Invariants} mode threaded into the run — mostly [Exact]
+          (every schedule audited online, independently of the sim's
+          asserts and the trace validator), with [Sampled]/[Off] legs in
+          the rotation so those paths are fuzzed too. Any nonzero
+          violation counter fails the case. *)
 }
 
 val workload_of : case -> Sim.Workload.t

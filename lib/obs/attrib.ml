@@ -84,7 +84,7 @@ let account_worker clk r w =
           cover (e.time - 1) e.time
       | Recorder.Steal _ | Recorder.Steals_suppressed _
       | Recorder.Batch_start _ | Recorder.Batch_end _
-      | Recorder.Op_issue _ | Recorder.Op_done _ ->
+      | Recorder.Op_issue _ | Recorder.Op_done _ | Recorder.Violation _ ->
           ())
     (Recorder.events_of_worker r w);
   let first = if !first = max_int then 0 else !first in

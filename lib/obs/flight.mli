@@ -1,0 +1,56 @@
+(** Flight recorder: dump the recent past when something goes wrong.
+
+    A {!Recorder} already keeps a bounded ring of the last events per
+    worker; this module adds the "black box" part — on an uncaught
+    exception, at process exit, or on an explicit trigger, the last-N
+    events per worker (plus live tag totals, drop counts, and an
+    optional caller-supplied context object such as
+    {!Health.to_json}) are decoded and written to one JSON file, so a
+    crash three hours into a soak is diagnosable after the fact.
+
+    While nothing goes wrong this layer does {e nothing}: arming only
+    registers the instance; all cost (decoding, allocation, I/O) is
+    paid at dump time. Combined with the recorder's allocation-free
+    emit path, an armed flight recorder on a quiet run allocates
+    nothing after creation.
+
+    Process hooks are installed once, on the first {!arm}: an [at_exit]
+    action and a [Printexc] uncaught-exception handler (chaining to the
+    default printer). Each armed instance auto-dumps at most once;
+    {!disarm} or a prior {!dump} makes the hooks skip it. Arming is
+    meant for setup code on one thread; dumps are idempotent per
+    instance but not concurrency-safe against a still-running workload
+    mutating the rings — expect a best-effort snapshot in that case. *)
+
+type t
+
+val create :
+  ?path:string -> ?limit_per_worker:int -> ?extra:(unit -> Json.t) -> Recorder.t -> t
+(** [path] defaults to ["flight.json"]; [limit_per_worker] (default
+    [2048]) caps how many of each worker's surviving events a dump
+    decodes; [extra ()] is evaluated at dump time and embedded as the
+    dump's ["extra"] field (exceptions from it are swallowed — the
+    dump must survive a sick process). *)
+
+val arm : t -> unit
+(** Register for automatic dumping; installs the process hooks on
+    first use. *)
+
+val disarm : t -> unit
+
+val dump : ?reason:string -> t -> string
+(** Write the dump file now and return its path. Also marks the
+    instance as dumped, so the exit hooks will not write again.
+    Format (one JSON object):
+    {v
+    { "reason": "...", "clock": "ns"|"steps", "workers": P,
+      "tag_totals": {"status":…, …, "violation":…},
+      "dropped": [per-worker wraparound loss],
+      "events": [ {"w":0,"t":123,"k":"op_done","sid":1,…}, … ],
+      "extra": … }
+    v}
+    Events are each worker's most recent [limit_per_worker], merged
+    and sorted by time. *)
+
+val last_dump : t -> string option
+(** Path of the most recent dump of this instance, if any. *)

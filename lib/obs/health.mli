@@ -1,0 +1,102 @@
+(** Always-on runtime health: heartbeats, a stall watchdog, and
+    per-structure phase-latency SLOs.
+
+    Built for the real runtime ({!Clock} nanoseconds; the simulator has
+    no need — its schedules are already fully auditable). Three signals:
+
+    - {b Heartbeats} — each worker calls {!beat} once per scheduler-loop
+      iteration (one clock read and one array store); the sampler
+      reports every worker's beat age, so a wedged domain is visible.
+    - {b Stall watchdog} — ops pending on a structure but no batch
+      launched within [stall_ns]: {!check_stalls} (run from the
+      {!Snapshot} sampler thread) opens one stall {e episode} per
+      offence, counted monotonically and folded into the attached
+      {!Invariants} counters; the episode closes when a batch launches
+      or the structure drains.
+    - {b Phase latency} — each completed op's time is decomposed into
+      pending-wait (issue → its batch's launch), batch-exec (launch →
+      batch completion), and overflow-queue time (overflow enqueue →
+      launch; 0 for ops that got a pending-array slot). Per
+      worker × structure × phase power-of-two histograms, written only
+      by the launching worker (single-writer, allocation-free) and
+      merged with {!Summary.Histo.merge} at sample time; each phase has
+      an SLO threshold whose breaches bump a burn counter.
+
+    The quiet path — monitoring enabled, nothing wrong — allocates
+    nothing (pinned by a [Gc.minor_words] test) and is a handful of
+    atomic adds per op. Everything is readable while the run is live;
+    readers may see a sample a few events stale, never torn. *)
+
+(** Per-phase SLO thresholds in nanoseconds. *)
+type slo = { wait_ns : int; exec_ns : int; ovf_ns : int }
+
+val default_slo : slo
+(** 100 ms per phase — loose enough not to burn on a loaded CI box;
+    production callers pass their own. *)
+
+type phase = Wait | Exec | Ovf
+
+type t
+
+val null : t
+(** Disabled: [enabled null = false]; every hook is a no-op. *)
+
+val create :
+  ?slo:slo ->
+  ?stall_ns:int ->
+  ?invariants:Invariants.t ->
+  workers:int ->
+  structures:int ->
+  unit ->
+  t
+(** [stall_ns] defaults to 1 s. [invariants] (default {!Invariants.null})
+    receives {!Invariants.note_stall} for each watchdog episode and is
+    what {!invariants} hands to the runtime for op/batch checks. Hooks
+    with out-of-range [worker]/[sid] are ignored. *)
+
+val enabled : t -> bool
+val invariants : t -> Invariants.t
+val workers : t -> int
+val structures : t -> int
+
+(* ---- hot-path hooks (allocation-free) ---- *)
+
+val beat : t -> worker:int -> unit
+(** One heartbeat; the stored stamp is refreshed every 8th call (the
+    clock read dominates the hook), so reported beat ages can lag by up
+    to 8 scheduler-loop iterations. *)
+
+val op_issued : t -> sid:int -> unit
+(** An op parked on [sid]; starts the structure's pending window when
+    it was empty. *)
+
+val batch_collected : t -> sid:int -> size:int -> unit
+(** A launch collected [size] ops from [sid]; feeds the watchdog
+    (closes any stall episode) and the pending gauge. *)
+
+val op_phases :
+  t -> worker:int -> sid:int -> wait:int -> exec:int -> ovf:int -> unit
+(** Phase decomposition of one completed op, in ns, recorded by the
+    worker that ran the batch. *)
+
+(* ---- sampler side ---- *)
+
+val check_stalls : ?now:int -> t -> unit
+(** Scan structures for pending-but-unlaunched past [stall_ns]; called
+    by {!Snapshot.sample} when a health instance is attached. [now]
+    defaults to {!Clock.now_ns}. *)
+
+val stall_count : t -> int
+val heartbeat_age_ns : t -> worker:int -> now:int -> int
+(** [-1] before the worker's first beat. *)
+
+val phase_histo : t -> sid:int -> phase -> Summary.Histo.t
+(** Fresh merge of every worker's histogram for [sid]×[phase]. *)
+
+val burn_count : t -> sid:int -> phase -> int
+
+val to_json : ?now:int -> t -> Json.t
+(** The ["health"] object carried on snapshot lines: per-worker beat
+    ages, per-structure gauges + merged phase stats + burn counters,
+    the stall total, and the attached invariants' counters. [Json.Null]
+    when disabled. *)

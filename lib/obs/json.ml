@@ -143,7 +143,11 @@ let parse s =
     | Some i -> Int i
     | None -> (
         match float_of_string_opt lit with
-        | Some f -> Float f
+        (* A literal can overflow to ±infinity ("1e999"); the writer
+           never emits non-finite values, so reading one back would
+           smuggle in a float no JSON document can represent. *)
+        | Some f when Float.is_finite f -> Float f
+        | Some _ -> fail "non-finite number"
         | None -> fail "bad number")
   in
   let literal word v =

@@ -4,6 +4,8 @@ type status = Free | Pending | Executing | Done
 
 type work_class = Wcore | Wbatch | Wsetup | Wsched
 
+type check = Inv1 | Inv2 | Inv3 | Lemma2 | Stall
+
 type kind =
   | Status of status
   | Steal of { victim : int; success : bool; batch_deque : bool }
@@ -13,16 +15,17 @@ type kind =
   | Op_done of { sid : int; batches_seen : int; latency : int }
   | Steals_suppressed of { count : int }
   | Work of { cls : work_class; units : int }
+  | Violation of { check : check; sid : int; arg : int }
 
 type event = { worker : int; time : int; kind : kind }
 
-let n_tags = 8
+let n_tags = 9
 
 (* Flat storage: one slot = (tag, time, a, b, c), all ints, in five
    parallel arrays. Tags: 0 status, 1 steal, 2 batch_start, 3 batch_end,
-   4 op_issue, 5 op_done, 6 steals_suppressed, 7 work. [cnt.(tag)] counts
-   every emission of that tag, wraparound included — the snapshot
-   streamer reads these without scanning the ring. *)
+   4 op_issue, 5 op_done, 6 steals_suppressed, 7 work, 8 violation.
+   [cnt.(tag)] counts every emission of that tag, wraparound included —
+   the snapshot streamer reads these without scanning the ring. *)
 type ring = {
   tag : int array;
   tm : int array;
@@ -110,6 +113,24 @@ let class_of_code = function
   | 2 -> Wsetup
   | _ -> Wsched
 
+let check_code = function Inv1 -> 0 | Inv2 -> 1 | Inv3 -> 2 | Lemma2 -> 3 | Stall -> 4
+
+let check_of_code = function
+  | 0 -> Inv1
+  | 1 -> Inv2
+  | 2 -> Inv3
+  | 3 -> Lemma2
+  | _ -> Stall
+
+let n_checks = 5
+
+let check_name = function
+  | Inv1 -> "inv1"
+  | Inv2 -> "inv2"
+  | Inv3 -> "inv3"
+  | Lemma2 -> "lemma2"
+  | Stall -> "stall"
+
 let emit_status t ~worker ~time s = emit t ~worker ~time 0 (status_code s) 0 0
 
 let emit_steal t ~worker ~time ~victim ~success ~batch_deque =
@@ -130,6 +151,9 @@ let emit_steals_suppressed t ~worker ~time ~count =
 
 let emit_work t ~worker ~time ~cls ~units =
   emit t ~worker ~time 7 (class_code cls) units 0
+
+let emit_violation t ~worker ~time ~check ~sid ~arg =
+  emit t ~worker ~time 8 (check_code check) sid arg
 
 let length t ~worker =
   if not t.enabled then 0 else min t.rings.(worker).next t.cap
@@ -161,6 +185,7 @@ let kind_of_slot r i =
   | 4 -> Op_issue { sid = r.a.(i) }
   | 6 -> Steals_suppressed { count = r.a.(i) }
   | 7 -> Work { cls = class_of_code r.a.(i); units = r.b.(i) }
+  | 8 -> Violation { check = check_of_code r.a.(i); sid = r.b.(i); arg = r.c.(i) }
   | _ -> Op_done { sid = r.a.(i); batches_seen = r.b.(i); latency = r.c.(i) }
 
 let events_of_worker t worker =

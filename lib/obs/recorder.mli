@@ -29,6 +29,15 @@ type status = Free | Pending | Executing | Done
     the real runtime). See {!Attrib}. *)
 type work_class = Wcore | Wbatch | Wsetup | Wsched
 
+(** Which online safety property a {!kind.Violation} event reports
+    broken (see {!Invariants} and {!Health}): Invariant 1 (at most one
+    batch of a structure in flight), Invariant 2 (batch size ≤ its
+    cap), Invariant 3 (every collected op was pending exactly once —
+    dual-deque discipline), the Lemma-2 batches-while-pending bound,
+    and the {!Health} stall watchdog (ops pending but no launch within
+    the threshold). *)
+type check = Inv1 | Inv2 | Inv3 | Lemma2 | Stall
+
 type kind =
   | Status of status  (** worker status transition *)
   | Steal of { victim : int; success : bool; batch_deque : bool }
@@ -56,6 +65,11 @@ type kind =
           [Work] segments tile the worker's busy timeline without
           overlap — the invariant {!Attrib}'s conservation check rests
           on *)
+  | Violation of { check : check; sid : int; arg : int }
+      (** an online checker caught [check] broken for structure [sid];
+          [arg] is the offending magnitude (concurrent batch count,
+          oversized batch size, collection deficit, batches seen, or
+          stall age) — see {!Invariants} for exact meanings *)
 
 type event = { worker : int; time : int; kind : kind }
 
@@ -92,15 +106,27 @@ val emit_op_done :
 val emit_steals_suppressed : t -> worker:int -> time:int -> count:int -> unit
 val emit_work :
   t -> worker:int -> time:int -> cls:work_class -> units:int -> unit
+val emit_violation :
+  t -> worker:int -> time:int -> check:check -> sid:int -> arg:int -> unit
 
 (* ---- live counters (safe to sample while a run is in flight) ---- *)
 
 val n_tags : int
 (** Number of event tags; the length of {!tag_totals}'s result. *)
 
+val n_checks : int
+(** Number of {!check} variants; {!check_code} maps onto [0..n_checks-1]. *)
+
+val check_code : check -> int
+val check_of_code : int -> check
+val check_name : check -> string
+(** Stable lowercase names ("inv1" … "stall") used by JSON sinks and
+    [bin/monitor.exe]. *)
+
 val tag_totals : t -> int array
 (** Events emitted so far per tag (order: status, steal, batch_start,
-    batch_end, op_issue, op_done, steals_suppressed, work), summed over
+    batch_end, op_issue, op_done, steals_suppressed, work, violation),
+    summed over
     workers and {e including} events already overwritten by ring
     wraparound. Reading while workers are emitting is deliberately
     unsynchronized — each counter is a single plain-int load, so a

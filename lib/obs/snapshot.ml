@@ -1,5 +1,6 @@
 type t = {
   rc : Recorder.t;
+  health : Health.t;
   oc : out_channel;
   owns_oc : bool;
   mutable prev : int array;
@@ -17,16 +18,33 @@ let tag_names =
     "op_done";
     "steals_suppressed";
     "work";
+    "violation";
   |]
 
 let () = assert (Array.length tag_names = Recorder.n_tags)
 
-let to_channel rc oc =
-  { rc; oc; owns_oc = false; prev = Array.make Recorder.n_tags 0; seq = 0; closed = false }
+let to_channel ?(health = Health.null) rc oc =
+  {
+    rc;
+    health;
+    oc;
+    owns_oc = false;
+    prev = Array.make Recorder.n_tags 0;
+    seq = 0;
+    closed = false;
+  }
 
-let to_file rc ~path =
+let to_file ?(health = Health.null) rc ~path =
   let oc = open_out path in
-  { rc; oc; owns_oc = true; prev = Array.make Recorder.n_tags 0; seq = 0; closed = false }
+  {
+    rc;
+    health;
+    oc;
+    owns_oc = true;
+    prev = Array.make Recorder.n_tags 0;
+    seq = 0;
+    closed = false;
+  }
 
 let counters_json totals =
   Json.Obj
@@ -47,15 +65,25 @@ let sample ?time t =
     let deltas =
       Array.init Recorder.n_tags (fun k -> totals.(k) - t.prev.(k))
     in
+    let health_fields =
+      if not (Health.enabled t.health) then []
+      else begin
+        (* The sampler thread doubles as the watchdog: every snapshot
+           scans for stalled structures before reporting. *)
+        Health.check_stalls t.health;
+        [ ("health", Health.to_json t.health) ]
+      end
+    in
     let line =
       Json.Obj
-        [
-          ("seq", Json.Int t.seq);
-          ("t", Json.Int time);
-          ("dropped", Json.Int (Recorder.total_dropped t.rc));
-          ("totals", counters_json totals);
-          ("deltas", counters_json deltas);
-        ]
+        ([
+           ("seq", Json.Int t.seq);
+           ("t", Json.Int time);
+           ("dropped", Json.Int (Recorder.total_dropped t.rc));
+           ("totals", counters_json totals);
+           ("deltas", counters_json deltas);
+         ]
+        @ health_fields)
     in
     output_string t.oc (Json.to_string line);
     output_char t.oc '\n';

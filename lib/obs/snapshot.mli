@@ -17,10 +17,17 @@
     simulator recorder. The line is flushed after each sample, so the
     file is always watchable mid-run. *)
 
+(** When a {!Health} instance is attached, each sample first runs its
+    stall watchdog ({!Health.check_stalls}) and then carries the full
+    health object — heartbeat ages, per-structure phase-latency stats,
+    burn counters, stall and invariant-violation totals — as a
+    ["health"] field on the line. This is the stream
+    [bin/monitor.exe] consumes. *)
+
 type t
 
-val to_channel : Recorder.t -> out_channel -> t
-val to_file : Recorder.t -> path:string -> t
+val to_channel : ?health:Health.t -> Recorder.t -> out_channel -> t
+val to_file : ?health:Health.t -> Recorder.t -> path:string -> t
 
 val sample : ?time:int -> t -> unit
 (** Append one snapshot line. No-op after {!close}. *)

@@ -36,6 +36,14 @@ module Histo : sig
       exactly. [0.] when empty. The histogram stores only
       power-of-two bucket counts, so interior percentiles are
       approximations with relative error bounded by the bucket width. *)
+
+  val merge : t -> t -> t
+  (** [merge x y] is a fresh histogram equal to one fed the union of
+      both inputs' samples: bucket counts, [count] and [total] add;
+      [min_v]/[max_v] are the extremes over both. Neither input is
+      mutated. Exact because buckets are fixed ranges — this is how
+      {!Health} aggregates its per-worker phase histograms at sample
+      time without sharing writers. *)
 end
 
 type t = {
@@ -56,6 +64,10 @@ type t = {
   work_units : int array;
       (** clock units spent per work class, indexed
           core, batch, setup, sched (from [Work] events) *)
+  violations : int array;
+      (** surviving [Violation] events per check, indexed by
+          {!Recorder.check_code} (inv1, inv2, inv3, lemma2, stall);
+          all zeros on a healthy recording *)
 }
 
 val of_recorder : Recorder.t -> t

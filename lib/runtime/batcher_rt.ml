@@ -11,6 +11,7 @@ type 'op record = {
   issue_launches : int;
   mutable done_time : int;
   mutable done_launches : int;
+  mutable ovf_since : int;  (* first overflow-enqueue stamp; 0 = never *)
 }
 
 type impl = Pending_array | Atomic_list
@@ -52,6 +53,14 @@ type ('s, 'op) t = {
   impl : impl;
   sid : int;
   rc : Obs.Recorder.t;
+  hl : Obs.Health.t;  (* the pool's health instance (null when off) *)
+  inv : Obs.Invariants.t;  (* online invariant checkers (null when off) *)
+  (* Whether op/batch records carry time stamps: true when any of the
+     recorder, health, or invariant layers consume them. Stamps use the
+     recorder's relative clock when it is enabled, raw monotonic ns
+     otherwise — consumers only take differences, so either basis
+     works, but all stamps of one structure share one basis. *)
+  timed : bool;
   (* -- Pending_array state -- *)
   slots : 'op record option Atomic.t array;  (* size [batch_cap] *)
   claims : int Atomic.t;  (* FAA ticket; reset to 0 by each launcher *)
@@ -75,14 +84,21 @@ type stats = {
   max_batch : int;
 }
 
-let create ?batch_cap ?(impl = Pending_array) ?(sid = 0) ~pool ~state
-    ~run_batch () =
+let create ?batch_cap ?(impl = Pending_array) ?(sid = 0) ?invariants ~pool
+    ~state ~run_batch () =
   let cap =
     match batch_cap with
     | Some c ->
         if c < 1 then invalid_arg "Batcher_rt.create: batch_cap >= 1";
         c
     | None -> Pool.num_workers pool
+  in
+  let rc = Pool.recorder pool in
+  let hl = Pool.health pool in
+  let inv =
+    match invariants with
+    | Some i -> i
+    | None -> Obs.Health.invariants hl
   in
   {
     pool;
@@ -91,7 +107,12 @@ let create ?batch_cap ?(impl = Pending_array) ?(sid = 0) ~pool ~state
     batch_cap = cap;
     impl;
     sid;
-    rc = Pool.recorder pool;
+    rc;
+    hl;
+    inv;
+    timed =
+      Obs.Recorder.enabled rc || Obs.Health.enabled hl
+      || Obs.Invariants.active inv;
     slots = Array.init cap (fun _ -> Atomic.make None);
     claims = Atomic.make 0;
     ovf_front = Atomic.make [];
@@ -119,6 +140,13 @@ let rec atomic_max a v =
   let old = Atomic.get a in
   if v > old && not (Atomic.compare_and_set a old v) then atomic_max a v
 
+(* Clock for op/batch stamps, on the recorder's basis when there is
+   one (so violation events line up with the trace), raw monotonic ns
+   otherwise. Allocation-free either way. *)
+let[@inline] stamp t =
+  if Obs.Recorder.enabled t.rc then Obs.Recorder.now t.rc
+  else Obs.Clock.now_ns ()
+
 (* LAUNCHBATCH bookkeeping shared by both submission paths: count the
    launch, run the BOP with batch spans recorded, stamp the records,
    resume their tasks, then release the flag and run [relaunch] to pick
@@ -133,23 +161,37 @@ let run_launched t ~len ~get ~relaunch () =
   let arr = Array.init len (fun i -> (get i).op) in
   Atomic.incr t.launches;
   let me = match Pool.worker_index () with Some w -> w | None -> 0 in
+  let t_start = if t.timed then stamp t else 0 in
   if observed then
-    Obs.Recorder.emit_batch_start t.rc ~worker:me ~time:(Obs.Recorder.now t.rc)
-      ~sid:t.sid ~size:len ~setup:0;
+    Obs.Recorder.emit_batch_start t.rc ~worker:me ~time:t_start ~sid:t.sid
+      ~size:len ~setup:0;
+  Obs.Invariants.batch_started t.inv ~worker:me ~time:t_start ~sid:t.sid
+    ~size:len ~cap:t.batch_cap;
+  Obs.Health.batch_collected t.hl ~sid:t.sid ~size:len;
   if observed then Pool.set_work_class t.pool Obs.Recorder.Wbatch;
   t.run_batch t.pool t.st arr;
   if observed then Pool.set_work_class t.pool Obs.Recorder.Wsetup;
-  if observed then begin
-    let done_time = Obs.Recorder.now t.rc in
+  let done_time = if t.timed then stamp t else 0 in
+  if t.timed then begin
     let done_launches = Atomic.get t.launches in
+    let health_on = Obs.Health.enabled t.hl in
     for i = 0 to len - 1 do
       let r = get i in
       r.done_time <- done_time;
-      r.done_launches <- done_launches
+      r.done_launches <- done_launches;
+      (* Phase decomposition for the SLOs: pending-wait (issue to this
+         batch's launch), batch-exec, and overflow-queue time for ops
+         that missed a pending-array slot. *)
+      if health_on then
+        Obs.Health.op_phases t.hl ~worker:me ~sid:t.sid
+          ~wait:(t_start - r.issue_time) ~exec:(done_time - t_start)
+          ~ovf:(if r.ovf_since > 0 then t_start - r.ovf_since else 0)
     done;
-    Obs.Recorder.emit_batch_end t.rc ~worker:me ~time:done_time ~sid:t.sid
-      ~size:len
+    if observed then
+      Obs.Recorder.emit_batch_end t.rc ~worker:me ~time:done_time ~sid:t.sid
+        ~size:len
   end;
+  Obs.Invariants.batch_ended t.inv ~worker:me ~time:done_time ~sid:t.sid;
   Atomic.incr t.n_batches;
   ignore (Atomic.fetch_and_add t.n_ops len);
   atomic_max t.max_batch len;
@@ -162,6 +204,7 @@ let run_launched t ~len ~get ~relaunch () =
 (* ---- Pending_array submission path ---- *)
 
 let rec overflow_push t r =
+  if t.timed && r.ovf_since = 0 then r.ovf_since <- stamp t;
   let old = Atomic.get t.ovf_back in
   if not (Atomic.compare_and_set t.ovf_back old (r :: old)) then
     overflow_push t r
@@ -295,16 +338,19 @@ let batchify t op =
     {
       op;
       resume = ignore;
-      issue_time = (if observed then Obs.Recorder.now t.rc else 0);
+      issue_time = (if t.timed then stamp t else 0);
       issue_launches = Atomic.get t.launches;
       done_time = 0;
       done_launches = 0;
+      ovf_since = 0;
     }
   in
   (if observed then
      match Pool.worker_index () with
      | Some w -> Obs.Recorder.emit_op_issue t.rc ~worker:w ~time:r.issue_time ~sid:t.sid
      | None -> ());
+  Obs.Invariants.op_submitted t.inv ~sid:t.sid;
+  Obs.Health.op_issued t.hl ~sid:t.sid;
   Pool.suspend t.pool (fun resume ->
       r.resume <- resume;
       (match t.impl with
@@ -314,7 +360,7 @@ let batchify t op =
   (* Control is back: the batch containing the op has completed. The
      continuation may run on a different worker than the issuer — emit
      on the current worker's ring to keep the single-writer rule. *)
-  if observed then
+  if observed then begin
     match Pool.worker_index () with
     | Some w ->
         Obs.Recorder.emit_op_done t.rc ~worker:w ~time:(Obs.Recorder.now t.rc)
@@ -322,3 +368,9 @@ let batchify t op =
           ~batches_seen:(r.done_launches - r.issue_launches)
           ~latency:(r.done_time - r.issue_time)
     | None -> ()
+  end;
+  if Obs.Invariants.active t.inv then begin
+    let w = match Pool.worker_index () with Some w -> w | None -> 0 in
+    Obs.Invariants.op_completed t.inv ~worker:w ~time:r.done_time ~sid:t.sid
+      ~batches_seen:(r.done_launches - r.issue_launches)
+  end

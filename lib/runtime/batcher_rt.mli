@@ -41,6 +41,7 @@ val create :
   ?batch_cap:int ->
   ?impl:impl ->
   ?sid:int ->
+  ?invariants:Obs.Invariants.t ->
   pool:Pool.t ->
   state:'s ->
   run_batch:(Pool.t -> 's -> 'op array -> unit) ->
@@ -48,6 +49,18 @@ val create :
   ('s, 'op) t
 (** [batch_cap] defaults to the pool's worker count (Invariant 2);
     [impl] defaults to {!Pending_array}.
+
+    [invariants] attaches online checkers ({!Obs.Invariants}): every
+    submit/launch/completion of this structure feeds the Invariant
+    1/2/3 balances and the Lemma-2 check under [sid]. Defaults to the
+    pool's health instance's checkers ({!Obs.Health.invariants}), so a
+    pool created with [?health] monitors every structure built over it
+    with no further wiring; pass explicitly to check an unmonitored
+    pool or to use a different mode/bound per structure. Note Lemma 2's
+    paper bound of 2 assumes the dual-deque scheduler — on this
+    helper-lock runtime create the checkers with a looser
+    [lemma2_bound] (the FIFO pending array keeps the figure small but
+    not ≤ 2 under over-cap load).
 
     [sid] (default 0) labels this structure in observability events
     when the pool carries a recorder ({!Pool.create}); give each

@@ -37,6 +37,7 @@ type t = {
   seed : int;
   bo : backoff;
   rc : Obs.Recorder.t;  (* per-worker rings; each domain writes only its own *)
+  hl : Obs.Health.t;  (* heartbeats + watchdog; shared with Batcher_rt *)
   (* Work-class attribution (observed pools only). [cls.(w)] is worker
      [w]'s ambient class, [seg.(w)] the ns timestamp its current segment
      opened. Each worker touches only its own slots, so no sync. *)
@@ -53,6 +54,8 @@ let worker_index () = !(Domain.DLS.get worker_key)
 let num_workers t = t.n
 
 let recorder t = t.rc
+
+let health t = t.hl
 
 (* ---- work-class segments (observed pools only) ----
 
@@ -191,6 +194,7 @@ let worker_loop t my_id =
   let misses = ref 0 in
   let suppressed = ref 0 in
   while not (Atomic.get t.stop) do
+    Obs.Health.beat t.hl ~worker:my_id;
     match find_task t my_id rng ~misses:!misses ~suppressed with
     | Some task ->
         misses := 0;
@@ -203,8 +207,8 @@ let worker_loop t my_id =
   if observed then flush_cls t my_id;
   r := None
 
-let create ?(recorder = Obs.Recorder.null) ?(backoff = default_backoff)
-    ~num_workers () =
+let create ?(recorder = Obs.Recorder.null) ?(health = Obs.Health.null)
+    ?(backoff = default_backoff) ~num_workers () =
   if num_workers < 1 then invalid_arg "Pool.create: num_workers >= 1";
   if
     Obs.Recorder.enabled recorder
@@ -213,6 +217,8 @@ let create ?(recorder = Obs.Recorder.null) ?(backoff = default_backoff)
   then
     invalid_arg
       "Pool.create: recorder must use the Nanoseconds clock and cover all workers";
+  if Obs.Health.enabled health && Obs.Health.workers health < num_workers then
+    invalid_arg "Pool.create: health must cover all workers";
   let t =
     {
       deques = Array.init num_workers (fun _ -> Wsdeque.create ());
@@ -222,6 +228,7 @@ let create ?(recorder = Obs.Recorder.null) ?(backoff = default_backoff)
       seed = 0x600D5EED;
       bo = backoff;
       rc = recorder;
+      hl = health;
       cls = Array.make num_workers Obs.Recorder.Wsched;
       seg = Array.make num_workers 0;
     }
@@ -333,6 +340,7 @@ let run t f =
         finish ();
         raise e
     | Waiting _ -> begin
+        Obs.Health.beat t.hl ~worker:0;
         (match find_task t 0 rng ~misses:!misses ~suppressed with
         | Some task ->
             misses := 0;

@@ -26,8 +26,21 @@ type backoff = {
 val default_backoff : backoff
 
 val create :
-  ?recorder:Obs.Recorder.t -> ?backoff:backoff -> num_workers:int -> unit -> t
+  ?recorder:Obs.Recorder.t ->
+  ?health:Obs.Health.t ->
+  ?backoff:backoff ->
+  num_workers:int ->
+  unit ->
+  t
 (** Spawns [num_workers - 1] domains. [num_workers >= 1].
+
+    [health] (default {!Obs.Health.null}, i.e. off) turns on always-on
+    monitoring: every worker heartbeats it once per scheduling-loop
+    iteration, and any {!Batcher_rt} built over this pool feeds its
+    stall watchdog, phase-latency histograms, and (via
+    {!Obs.Health.invariants}) online invariant checkers. It must cover
+    all workers. Stream it with {!Obs.Snapshot.to_file} and watch with
+    [bin/monitor.exe].
 
     [backoff] (default {!default_backoff}) sets the idle-worker policy.
     While a worker is past its spin phase, individual failed-steal
@@ -48,6 +61,9 @@ val num_workers : t -> int
 
 val recorder : t -> Obs.Recorder.t
 (** The recorder passed at creation, or {!Obs.Recorder.null}. *)
+
+val health : t -> Obs.Health.t
+(** The health instance passed at creation, or {!Obs.Health.null}. *)
 
 val teardown : t -> unit
 (** Stops and joins the spawned domains. The pool must be idle. *)

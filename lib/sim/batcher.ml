@@ -113,6 +113,7 @@ type state = {
   tracing : bool;
   mutable trace : Trace.event list;  (* reverse chronological *)
   rc : Obs.Recorder.t;  (* observability recorder; Obs.Recorder.null = off *)
+  inv : Obs.Invariants.t;  (* online checkers, independent of the sim's own asserts *)
 }
 
 let make_inst ?(bop_lo = 0) ?(bop_hi = 0) ?(sid = -1) ~origin dag =
@@ -212,6 +213,7 @@ let complete_batch st ~finisher ~d sid =
         b.members;
       Obs.Recorder.emit_batch_end st.rc ~worker:finisher ~time:st.time ~sid
         ~size:(Array.length b.members);
+      Obs.Invariants.batch_ended st.inv ~worker:finisher ~time:st.time ~sid;
       if st.tracing then
         st.trace <-
           Trace.Batch_completed { time = st.time; sid; members = b.members } :: st.trace;
@@ -243,6 +245,7 @@ let complete st w (task : task) =
       w.seen_batches <- (match st.active.(sid) with Some _ -> 1 | None -> 0);
       Obs.Recorder.emit_status st.rc ~worker:w.id ~time:st.time Obs.Recorder.Pending;
       Obs.Recorder.emit_op_issue st.rc ~worker:w.id ~time:st.time ~sid;
+      Obs.Invariants.op_submitted st.inv ~sid;
       if st.tracing then
         st.trace <-
           Trace.Suspended { time = st.time; worker = w.id; node = task.node; sid }
@@ -355,6 +358,8 @@ let launch st w =
   in
   Obs.Recorder.emit_batch_start st.rc ~worker:w.id ~time:st.time ~sid
     ~size:(Array.length members) ~setup:setup_work;
+  Obs.Invariants.batch_started st.inv ~worker:w.id ~time:st.time ~sid
+    ~size:(Array.length members) ~cap:cfg.batch_cap;
   st.active.(sid) <- Some { b_sid = sid; members };
   st.active_count <- st.active_count + 1;
   st.batches <- st.batches + 1;
@@ -392,6 +397,8 @@ let resume st w =
           ~latency:(st.time - w.suspend_time);
         Obs.Recorder.emit_status st.rc ~worker:w.id ~time:st.time Obs.Recorder.Free
       end;
+      Obs.Invariants.op_completed st.inv ~worker:w.id ~time:st.time
+        ~sid:(struct_of st node) ~batches_seen:w.seen_batches;
       w.status <- Free;
       w.suspended <- None;
       enable_successors st w { inst = st.core_inst; node } ~d:w.resume_depth;
@@ -493,7 +500,7 @@ let step_worker st w =
   | Some _ -> exec_unit st w
   | None -> if w.status = Free then acquire_free st w else acquire_trapped st w
 
-let run_internal ~tracing ~recorder cfg workload =
+let run_internal ~tracing ~recorder ~invariants cfg workload =
   if cfg.p < 1 then invalid_arg "Batcher.run: p >= 1";
   if cfg.batch_cap < 1 then invalid_arg "Batcher.run: batch_cap >= 1";
   if
@@ -556,6 +563,7 @@ let run_internal ~tracing ~recorder cfg workload =
       tracing;
       trace = [];
       rc = recorder;
+      inv = invariants;
     }
   in
   assign workers.(0) { inst = core_inst; node = core_inst.dag.Dag.source };
@@ -595,8 +603,10 @@ let run_internal ~tracing ~recorder cfg workload =
   },
   List.rev st.trace
 
-let run ?(recorder = Obs.Recorder.null) cfg workload =
-  fst (run_internal ~tracing:false ~recorder cfg workload)
+let run ?(recorder = Obs.Recorder.null) ?(invariants = Obs.Invariants.null) cfg
+    workload =
+  fst (run_internal ~tracing:false ~recorder ~invariants cfg workload)
 
-let run_traced ?(recorder = Obs.Recorder.null) cfg workload =
-  run_internal ~tracing:true ~recorder cfg workload
+let run_traced ?(recorder = Obs.Recorder.null)
+    ?(invariants = Obs.Invariants.null) cfg workload =
+  run_internal ~tracing:true ~recorder ~invariants cfg workload

@@ -57,7 +57,12 @@ val default : p:int -> config
 (** Paper parameters: alternating steals, threshold 1, cap [p], parallel
     batches, invariant checks on, seed 1. *)
 
-val run : ?recorder:Obs.Recorder.t -> config -> Workload.t -> Metrics.t
+val run :
+  ?recorder:Obs.Recorder.t ->
+  ?invariants:Obs.Invariants.t ->
+  config ->
+  Workload.t ->
+  Metrics.t
 (** Simulate the workload to completion. The workload's models are
     [reset] before the run. Raises [Failure] on invariant violation or
     if [max_steps] is exceeded.
@@ -68,10 +73,24 @@ val run : ?recorder:Obs.Recorder.t -> config -> Workload.t -> Metrics.t
     per-operation issue/completion with latency in timesteps and the
     Lemma-2 batches-seen count — stamped with the simulator's timestep
     clock. It must be a [Timesteps] recorder covering at least [p]
-    workers. *)
+    workers.
+
+    [invariants] (default {!Obs.Invariants.null}) feeds the online
+    checkers at every park/launch/completion — an audit {e independent}
+    of both the sim's internal [check_invariants] asserts and the
+    post-hoc {!Trace.validate}, exercising the exact hooks the real
+    runtime uses. Violations never raise here; read the counters after
+    the run. Note the ablation configs can legitimately break the
+    paper-default bounds (cap > p via [batch_cap], Lemma 2 via
+    [launch_threshold]/[sequential_batches]); size the checker's
+    [lemma2_bound] accordingly. *)
 
 val run_traced :
-  ?recorder:Obs.Recorder.t -> config -> Workload.t -> Metrics.t * Trace.event list
+  ?recorder:Obs.Recorder.t ->
+  ?invariants:Obs.Invariants.t ->
+  config ->
+  Workload.t ->
+  Metrics.t * Trace.event list
 (** Like {!run}, additionally returning the chronological scheduler
     event trace for {!Trace.validate}. (The validator assumes the
     default immediate-launch, full-cap configuration; traces from the

@@ -1,0 +1,397 @@
+(* Health-monitoring layer: online invariant checkers, heartbeat/stall
+   watchdog, phase-latency SLOs, and the flight recorder.
+
+   The mutation tests are the teeth: each checker is fed a seeded
+   violation (a double launch, an oversized batch, a fabricated
+   collection, a starving op, a frozen structure) and must fire —
+   a checker that cannot catch its own bug class is decoration. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let viol inv c =
+  (Obs.Invariants.violations inv).(Obs.Recorder.check_code c)
+
+let exact ?recorder ?(lemma2_bound = 2) ?(structures = 2) () =
+  Obs.Invariants.create ?recorder ~lemma2_bound ~structures ()
+
+(* ---- mutation tests: every checker fires on its seeded bug ---- *)
+
+let test_inv1_fires () =
+  let inv = exact () in
+  (* Two batches of structure 0 in flight at once. *)
+  Obs.Invariants.op_submitted inv ~sid:0;
+  Obs.Invariants.op_submitted inv ~sid:0;
+  Obs.Invariants.batch_started inv ~worker:0 ~time:1 ~sid:0 ~size:1 ~cap:4;
+  Obs.Invariants.batch_started inv ~worker:1 ~time:2 ~sid:0 ~size:1 ~cap:4;
+  check "inv1 fired" 1 (viol inv Obs.Recorder.Inv1);
+  (* Ends audit too: with 2 in flight the first end sees an impossible
+     count (fire), the second is the 1 -> 0 step (clean), and a third,
+     unmatched end fires again. *)
+  Obs.Invariants.batch_ended inv ~worker:0 ~time:3 ~sid:0;
+  Obs.Invariants.batch_ended inv ~worker:1 ~time:4 ~sid:0;
+  Obs.Invariants.batch_ended inv ~worker:1 ~time:5 ~sid:0;
+  check "ends audited" 3 (viol inv Obs.Recorder.Inv1);
+  check "only inv1" 3 (Obs.Invariants.total_violations inv)
+
+let test_inv2_fires () =
+  let inv = exact () in
+  for _ = 1 to 5 do
+    Obs.Invariants.op_submitted inv ~sid:1
+  done;
+  (* Size over the declared cap. *)
+  Obs.Invariants.batch_started inv ~worker:0 ~time:1 ~sid:1 ~size:5 ~cap:4;
+  check "inv2 fired" 1 (viol inv Obs.Recorder.Inv2);
+  check "inv1 clean" 0 (viol inv Obs.Recorder.Inv1);
+  Obs.Invariants.batch_ended inv ~worker:0 ~time:2 ~sid:1;
+  check "no extra" 1 (Obs.Invariants.total_violations inv)
+
+let test_inv3_fires () =
+  let inv = exact () in
+  (* Collect 3 ops when only 1 was ever submitted: the pending balance
+     would go negative — an op was fabricated or collected twice. *)
+  Obs.Invariants.op_submitted inv ~sid:0;
+  Obs.Invariants.batch_started inv ~worker:0 ~time:1 ~sid:0 ~size:3 ~cap:4;
+  check "inv3 fired" 1 (viol inv Obs.Recorder.Inv3);
+  Obs.Invariants.batch_ended inv ~worker:0 ~time:2 ~sid:0;
+  (* The balance carries the deficit (now -2); once enough genuine
+     submissions restore it, collection is clean again. *)
+  for _ = 1 to 5 do
+    Obs.Invariants.op_submitted inv ~sid:0
+  done;
+  Obs.Invariants.batch_started inv ~worker:0 ~time:3 ~sid:0 ~size:3 ~cap:4;
+  Obs.Invariants.batch_ended inv ~worker:0 ~time:4 ~sid:0;
+  check "no new fire once balanced" 1 (viol inv Obs.Recorder.Inv3)
+
+let test_lemma2_fires () =
+  let inv = exact ~lemma2_bound:2 () in
+  Obs.Invariants.op_completed inv ~worker:0 ~time:1 ~sid:0 ~batches_seen:2;
+  check "at bound: clean" 0 (viol inv Obs.Recorder.Lemma2);
+  Obs.Invariants.op_completed inv ~worker:0 ~time:2 ~sid:0 ~batches_seen:3;
+  check "over bound: fired" 1 (viol inv Obs.Recorder.Lemma2)
+
+let test_stall_counter_fires () =
+  let inv = exact () in
+  let hl =
+    Obs.Health.create ~invariants:inv ~stall_ns:1_000_000_000 ~workers:1
+      ~structures:2 ()
+  in
+  Obs.Health.op_issued hl ~sid:1;
+  (* Well within the threshold: no episode. *)
+  Obs.Health.check_stalls ~now:(Obs.Clock.now_ns ()) hl;
+  check "no premature stall" 0 (Obs.Health.stall_count hl);
+  (* Far past it: one episode, folded into the invariant counters. *)
+  let later = Obs.Clock.now_ns () + 10_000_000_000 in
+  Obs.Health.check_stalls ~now:later hl;
+  check "stall episode" 1 (Obs.Health.stall_count hl);
+  check "stall counter" 1 (viol inv Obs.Recorder.Stall);
+  (* The episode is open: re-checking does not double-count. *)
+  Obs.Health.check_stalls ~now:(later + 1_000_000) hl;
+  check "episode not re-counted" 1 (Obs.Health.stall_count hl);
+  (* A launch closes the episode; a fresh freeze opens a new one. *)
+  Obs.Health.batch_collected hl ~sid:1 ~size:0;
+  Obs.Health.op_issued hl ~sid:1;
+  Obs.Health.check_stalls ~now:(later + 20_000_000_000) hl;
+  check "new episode after launch" 2 (Obs.Health.stall_count hl)
+
+(* ---- checker mechanics ---- *)
+
+let test_sampled_mode () =
+  let inv =
+    Obs.Invariants.create ~mode:(Obs.Invariants.Sampled 4) ~lemma2_bound:2
+      ~structures:1 ()
+  in
+  (* Every 4th completion is checked; 8 bad completions = 2 fires. *)
+  for _ = 1 to 8 do
+    Obs.Invariants.op_completed inv ~worker:0 ~time:1 ~sid:0 ~batches_seen:9
+  done;
+  check "sampled lemma2" 2 (viol inv Obs.Recorder.Lemma2);
+  (* The balances are exact regardless of sampling. *)
+  Obs.Invariants.op_submitted inv ~sid:0;
+  Obs.Invariants.batch_started inv ~worker:0 ~time:2 ~sid:0 ~size:2 ~cap:4;
+  check "inv3 still exact" 1 (viol inv Obs.Recorder.Inv3)
+
+let test_off_and_out_of_range () =
+  let off = Obs.Invariants.create ~mode:Obs.Invariants.Off ~structures:1 () in
+  check_bool "off is inactive" false (Obs.Invariants.active off);
+  Obs.Invariants.batch_started off ~worker:0 ~time:1 ~sid:0 ~size:99 ~cap:1;
+  check "off never fires" 0 (Obs.Invariants.total_violations off);
+  let inv = exact ~structures:1 () in
+  (* Hooks with sids outside [0..structures-1] are ignored, not trusted. *)
+  Obs.Invariants.op_submitted inv ~sid:7;
+  Obs.Invariants.batch_started inv ~worker:0 ~time:1 ~sid:7 ~size:99 ~cap:1;
+  Obs.Invariants.batch_started inv ~worker:0 ~time:1 ~sid:(-1) ~size:99 ~cap:1;
+  check "out-of-range ignored" 0 (Obs.Invariants.total_violations inv)
+
+let test_violation_events_on_recorder () =
+  let rc =
+    Obs.Recorder.create ~capacity:64 ~clock:Obs.Recorder.Timesteps ~workers:2 ()
+  in
+  let inv = exact ~recorder:rc () in
+  Obs.Invariants.batch_started inv ~worker:1 ~time:42 ~sid:0 ~size:9 ~cap:4;
+  (* Inv2 (size > cap) and Inv3 (collected 9, submitted 0) both fire,
+     each as an event on the calling worker's ring. *)
+  let evs = Obs.Recorder.events_of_worker rc 1 in
+  let viols =
+    List.filter_map
+      (fun (e : Obs.Recorder.event) ->
+        match e.Obs.Recorder.kind with
+        | Obs.Recorder.Violation { check; sid; arg } ->
+            Some (check, sid, arg, e.Obs.Recorder.time)
+        | _ -> None)
+      evs
+  in
+  check "two events" 2 (List.length viols);
+  List.iter
+    (fun (_, sid, _, time) ->
+      check "sid" 0 sid;
+      check "time" 42 time)
+    viols;
+  check_bool "inv2 event present" true
+    (List.exists (fun (c, _, _, _) -> c = Obs.Recorder.Inv2) viols);
+  check_bool "inv3 event present" true
+    (List.exists (fun (c, _, _, _) -> c = Obs.Recorder.Inv3) viols)
+
+(* ---- health gauges, phases, SLO burn ---- *)
+
+let test_phase_histo_and_burn () =
+  let hl =
+    Obs.Health.create
+      ~slo:{ Obs.Health.wait_ns = 100; exec_ns = 1_000; ovf_ns = 100 }
+      ~workers:2 ~structures:1 ()
+  in
+  (* Two workers record phases for the same structure; reads merge. *)
+  Obs.Health.op_phases hl ~worker:0 ~sid:0 ~wait:50 ~exec:500 ~ovf:0;
+  Obs.Health.op_phases hl ~worker:1 ~sid:0 ~wait:150 ~exec:2_000 ~ovf:0;
+  let h = Obs.Health.phase_histo hl ~sid:0 Obs.Health.Wait in
+  check "merged count" 2 (Obs.Summary.Histo.count h);
+  check "merged total" 200 (Obs.Summary.Histo.total h);
+  check "merged max" 150 (Obs.Summary.Histo.max_v h);
+  (* Exactly the over-SLO samples burn. *)
+  check "wait burn" 1 (Obs.Health.burn_count hl ~sid:0 Obs.Health.Wait);
+  check "exec burn" 1 (Obs.Health.burn_count hl ~sid:0 Obs.Health.Exec);
+  check "ovf burn" 0 (Obs.Health.burn_count hl ~sid:0 Obs.Health.Ovf)
+
+let test_heartbeat_age () =
+  let hl = Obs.Health.create ~workers:2 ~structures:1 () in
+  let now = Obs.Clock.now_ns () in
+  check "never-beaten is -1" (-1)
+    (Obs.Health.heartbeat_age_ns hl ~worker:1 ~now);
+  Obs.Health.beat hl ~worker:0;
+  let age =
+    Obs.Health.heartbeat_age_ns hl ~worker:0 ~now:(Obs.Clock.now_ns ())
+  in
+  check_bool "age is small and non-negative" true
+    (age >= 0 && age < 1_000_000_000)
+
+let test_health_json_shape () =
+  let inv = exact ~structures:1 () in
+  let hl = Obs.Health.create ~invariants:inv ~workers:1 ~structures:1 () in
+  Obs.Health.beat hl ~worker:0;
+  Obs.Health.op_issued hl ~sid:0;
+  Obs.Health.batch_collected hl ~sid:0 ~size:1;
+  Obs.Health.op_phases hl ~worker:0 ~sid:0 ~wait:10 ~exec:20 ~ovf:0;
+  let j = Obs.Health.to_json hl in
+  (* Must be valid JSON carrying the fields the monitor digests. (No
+     structural round-trip check: the strict parser reads integral
+     floats like a 0.0 mean back as ints, which is fine for readers.) *)
+  let s = Obs.Json.to_string j in
+  (match Obs.Json.parse s with
+  | Error e -> Alcotest.failf "health json does not parse: %s" e
+  | Ok _ -> ());
+  let member k =
+    match Obs.Json.member k j with
+    | Some v -> v
+    | None -> Alcotest.failf "missing %s" k
+  in
+  (match member "stalls" with
+  | Obs.Json.Int 0 -> ()
+  | _ -> Alcotest.fail "stalls not 0");
+  (match member "structures" with
+  | Obs.Json.List [ s0 ] -> (
+      match Obs.Json.member "ops" s0 with
+      | Some (Obs.Json.Int 1) -> ()
+      | _ -> Alcotest.fail "ops gauge wrong")
+  | _ -> Alcotest.fail "structures shape");
+  (match member "invariants" with
+  | Obs.Json.Obj _ -> ()
+  | _ -> Alcotest.fail "invariants not attached");
+  check_bool "null health is Null" true
+    (Obs.Health.to_json Obs.Health.null = Obs.Json.Null)
+
+(* ---- the quiet path allocates nothing ---- *)
+
+let test_quiet_path_no_alloc () =
+  let inv = exact ~lemma2_bound:1024 ~structures:2 () in
+  let hl = Obs.Health.create ~invariants:inv ~workers:2 ~structures:2 () in
+  (* Warm up one-time paths. *)
+  Obs.Health.beat hl ~worker:0;
+  Obs.Health.op_issued hl ~sid:0;
+  Obs.Health.batch_collected hl ~sid:0 ~size:1;
+  let words_before = Gc.minor_words () in
+  for i = 1 to 10_000 do
+    Obs.Health.beat hl ~worker:0;
+    Obs.Health.op_issued hl ~sid:0;
+    Obs.Invariants.op_submitted inv ~sid:0;
+    Obs.Invariants.batch_started inv ~worker:0 ~time:i ~sid:0 ~size:1 ~cap:2;
+    Obs.Health.batch_collected hl ~sid:0 ~size:1;
+    Obs.Health.op_phases hl ~worker:0 ~sid:0 ~wait:i ~exec:i ~ovf:0;
+    Obs.Invariants.batch_ended inv ~worker:0 ~time:i ~sid:0;
+    Obs.Invariants.op_completed inv ~worker:0 ~time:i ~sid:0 ~batches_seen:1;
+    (* No [~now]: passing it would box a [Some] at every call site —
+       the sampler's own call reads the clock instead. *)
+    Obs.Health.check_stalls hl
+  done;
+  let delta = Gc.minor_words () -. words_before in
+  (* Gc.minor_words boxes a float per call; allow that slack but nothing
+     proportional to the 90k hook calls. *)
+  if delta > 256. then
+    Alcotest.failf "quiet monitoring path allocated %.0f minor words" delta;
+  check "and stayed quiet" 0 (Obs.Invariants.total_violations inv)
+
+(* ---- flight recorder ---- *)
+
+let test_flight_dump () =
+  let rc =
+    Obs.Recorder.create ~capacity:32 ~clock:Obs.Recorder.Nanoseconds ~workers:2
+      ()
+  in
+  for i = 1 to 100 do
+    Obs.Recorder.emit_op_issue rc ~worker:0 ~time:i ~sid:0;
+    Obs.Recorder.emit_op_done rc ~worker:1 ~time:(i + 1) ~sid:0 ~batches_seen:1
+      ~latency:1
+  done;
+  Obs.Recorder.emit_violation rc ~worker:0 ~time:200 ~check:Obs.Recorder.Inv1
+    ~sid:0 ~arg:2;
+  let path = Filename.temp_file "flight" ".json" in
+  let fl =
+    Obs.Flight.create ~path ~limit_per_worker:8
+      ~extra:(fun () -> Obs.Json.Str "ctx")
+      rc
+  in
+  Obs.Flight.arm fl;
+  check_bool "no dump yet" true (Obs.Flight.last_dump fl = None);
+  let written = Obs.Flight.dump ~reason:"test-trigger" fl in
+  Alcotest.(check string) "dump path" path written;
+  check_bool "last_dump" true (Obs.Flight.last_dump fl = Some path);
+  Obs.Flight.disarm fl;
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove path;
+  let j =
+    match Obs.Json.parse s with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "flight dump does not parse: %s" e
+  in
+  let member k =
+    match Obs.Json.member k j with
+    | Some v -> v
+    | None -> Alcotest.failf "dump missing %s" k
+  in
+  (match member "reason" with
+  | Obs.Json.Str "test-trigger" -> ()
+  | _ -> Alcotest.fail "reason");
+  (match member "clock" with
+  | Obs.Json.Str "ns" -> ()
+  | _ -> Alcotest.fail "clock");
+  (match member "extra" with
+  | Obs.Json.Str "ctx" -> ()
+  | _ -> Alcotest.fail "extra");
+  (match Obs.Json.member "violation" (member "tag_totals") with
+  | Some (Obs.Json.Int 1) -> ()
+  | _ -> Alcotest.fail "violation total");
+  match member "events" with
+  | Obs.Json.List evs ->
+      (* 2 workers x min(limit 8, ring) events, sorted by time. *)
+      check_bool "event cap respected" true (List.length evs <= 16);
+      check_bool "has events" true (List.length evs > 0);
+      let times =
+        List.map
+          (fun e ->
+            match Obs.Json.member "t" e with
+            | Some (Obs.Json.Int t) -> t
+            | _ -> Alcotest.fail "event time")
+          evs
+      in
+      check_bool "sorted by time" true (List.sort compare times = times)
+  | _ -> Alcotest.fail "events"
+
+(* ---- end to end on the real runtime ---- *)
+
+let test_runtime_integration_clean () =
+  (* A healthy run under Exact checking: every hook fires through
+     Pool/Batcher_rt wiring and nothing trips. The Lemma-2 bound is
+     sized to the backlog this workload creates (ops >> batch_cap, so
+     an op legitimately waits through ~n_ops/cap launches). *)
+  let n_ops = 256 in
+  let inv =
+    Obs.Invariants.create ~lemma2_bound:(4 * n_ops) ~structures:2 ()
+  in
+  let hl = Obs.Health.create ~invariants:inv ~workers:2 ~structures:2 () in
+  let pool = Runtime.Pool.create ~health:hl ~num_workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Runtime.Pool.teardown pool)
+    (fun () ->
+      let counter = Batched.Counter.create () in
+      let b =
+        Runtime.Batcher_rt.create ~sid:0 ~pool ~state:counter
+          ~run_batch:(fun _ st ops -> Batched.Counter.run_batch st ops)
+          ()
+      in
+      Runtime.Pool.run pool (fun () ->
+          Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:n_ops (fun _ ->
+              Runtime.Batcher_rt.batchify b (Batched.Counter.op 1)));
+      check "counter saw all ops" n_ops (Batched.Counter.value counter);
+      check "no violations" 0 (Obs.Invariants.total_violations inv);
+      check "no stalls" 0 (Obs.Health.stall_count hl);
+      check "pending balance drained" 0 (Obs.Invariants.pending inv ~sid:0);
+      check_bool "checkers ran" true (Obs.Invariants.checks_run inv > 0);
+      check_bool "phases recorded" true
+        (Obs.Summary.Histo.count
+           (Obs.Health.phase_histo hl ~sid:0 Obs.Health.Wait)
+        = n_ops);
+      (* Heartbeats flowed on the workers that participated. *)
+      let now = Obs.Clock.now_ns () in
+      check_bool "worker 0 beat" true
+        (Obs.Health.heartbeat_age_ns hl ~worker:0 ~now >= 0))
+
+let () =
+  Alcotest.run "health"
+    [
+      ( "invariants",
+        [
+          Alcotest.test_case "Inv1 double launch fires" `Quick test_inv1_fires;
+          Alcotest.test_case "Inv2 oversized batch fires" `Quick
+            test_inv2_fires;
+          Alcotest.test_case "Inv3 fabricated collection fires" `Quick
+            test_inv3_fires;
+          Alcotest.test_case "Lemma-2 bound fires" `Quick test_lemma2_fires;
+          Alcotest.test_case "sampled mode" `Quick test_sampled_mode;
+          Alcotest.test_case "off and out-of-range" `Quick
+            test_off_and_out_of_range;
+          Alcotest.test_case "violation events on recorder" `Quick
+            test_violation_events_on_recorder;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "stall watchdog fires and re-arms" `Quick
+            test_stall_counter_fires;
+          Alcotest.test_case "phase histos merge; SLO burn" `Quick
+            test_phase_histo_and_burn;
+          Alcotest.test_case "heartbeat ages" `Quick test_heartbeat_age;
+          Alcotest.test_case "health json shape" `Quick test_health_json_shape;
+          Alcotest.test_case "quiet path allocation-free" `Quick
+            test_quiet_path_no_alloc;
+        ] );
+      ( "flight",
+        [ Alcotest.test_case "dump write and parse" `Quick test_flight_dump ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "clean run under exact checking" `Quick
+            test_runtime_integration_clean;
+        ] );
+    ]

@@ -39,6 +39,81 @@ let test_json_roundtrip () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bare word accepted"
 
+let test_json_float_edges () =
+  let open Obs.Json in
+  (* Non-finite floats degrade to null on output... *)
+  List.iter
+    (fun f ->
+      Alcotest.(check string)
+        "non-finite writes null" "null"
+        (to_string (Float f)))
+    [ nan; infinity; neg_infinity ];
+  (* ...and strict parsing refuses to manufacture them: "nan"/"inf" are
+     bare words, and a literal that overflows ("1e999") is rejected
+     rather than silently becoming infinity. *)
+  List.iter
+    (fun s ->
+      match parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parser accepted %S" s)
+    [ "nan"; "inf"; "infinity"; "1e999"; "-1e999"; "-" ];
+  (* Negative zero: the integral fast path prints "-0", which reads
+     back as Int 0 — the sign is intentionally dropped on round-trip
+     (JSON has no distinct -0 integer, and no consumer cares). *)
+  Alcotest.(check string) "-0.0 writes -0" "-0" (to_string (Float (-0.0)));
+  (match parse "-0" with
+  | Ok (Int 0) -> ()
+  | _ -> Alcotest.fail "-0 should parse as Int 0");
+  (* Very large finite floats round-trip exactly: %.17g carries full
+     double precision. *)
+  (match parse (to_string (Float max_float)) with
+  | Ok (Float f) when f = max_float -> ()
+  | Ok j -> Alcotest.failf "max_float became %s" (to_string j)
+  | Error e -> Alcotest.failf "max_float did not parse: %s" e);
+  (match parse (to_string (Float 1.2345678901234567)) with
+  | Ok (Float f) when f = 1.2345678901234567 -> ()
+  | _ -> Alcotest.fail "precise float should round-trip exactly");
+  (* Integral floats below 1e15 print as digit strings and reparse as
+     Int — the snapshot stream leans on this for counter fields. *)
+  (match parse (to_string (Float 12345.0)) with
+  | Ok (Int 12345) -> ()
+  | _ -> Alcotest.fail "integral float should reparse as Int");
+  match parse (to_string (Float 0.5)) with
+  | Ok (Float 0.5) -> ()
+  | _ -> Alcotest.fail "0.5 should round-trip"
+
+(* ---- Histo.merge: property test ---- *)
+
+let histo_of_list xs =
+  let h = Obs.Summary.Histo.create () in
+  List.iter (Obs.Summary.Histo.add h) xs;
+  h
+
+let qcheck_histo_merge =
+  (* merge x y must equal a histogram fed the union of both sample
+     lists — exact, because buckets are fixed power-of-two ranges. *)
+  QCheck.Test.make ~name:"Histo.merge equals union" ~count:300
+    (let sample =
+       (* mostly small values, occasionally a huge one to cross buckets *)
+       QCheck.(
+         frequency
+           [ (4, int_bound 4096); (1, map (fun i -> i land max_int) int) ])
+     in
+     QCheck.(pair (small_list sample) (small_list sample)))
+    (fun (xs, ys) ->
+      let open Obs.Summary.Histo in
+      let h1 = histo_of_list xs and h2 = histo_of_list ys in
+      let m = merge h1 h2 in
+      let u = histo_of_list (xs @ ys) in
+      count m = count u
+      && total m = total u
+      && min_v m = min_v u
+      && max_v m = max_v u
+      && buckets m = buckets u
+      (* and neither input may be mutated *)
+      && count h1 = List.length xs
+      && count h2 = List.length ys)
+
 (* ---- ring recorder ---- *)
 
 let test_ring_wraparound () =
@@ -592,7 +667,10 @@ let () =
   Alcotest.run "obs"
     [
       ( "json",
-        [ Alcotest.test_case "round-trip and edge cases" `Quick test_json_roundtrip ] );
+        [
+          Alcotest.test_case "round-trip and edge cases" `Quick test_json_roundtrip;
+          Alcotest.test_case "float edge cases" `Quick test_json_float_edges;
+        ] );
       ( "recorder",
         [
           Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
@@ -623,6 +701,7 @@ let () =
             test_histo_percentile_edges;
           Alcotest.test_case "percentile on truncated ring" `Quick
             test_histo_percentile_truncated_ring;
+          QCheck_alcotest.to_alcotest qcheck_histo_merge;
         ] );
       ( "attrib",
         [
