@@ -8,9 +8,14 @@
          CAS-retry cons stack.
      M2  Chase-Lev deque — owner push/pop throughput and a cross-domain
          steal drain, exercising the no-option-boxing data path.
+     M3  sharded contended submit — the M1 workload against K
+         [Shard_rt] shards of a linear-service structure (batch cost
+         s(n/K), modeled by a calibrated sleep), K in {1,2,4,8}.
+         speedup_vs_k1 is the headline: per-shard Invariant 1 overlaps
+         batches across workers while each batch gets K times cheaper.
 
    Results are MERGED into BENCH_results.json (default; OUT= overrides):
-   existing experiment records are preserved, M1/M2 records are
+   existing experiment records are preserved, M1/M2/M3 records are
    replaced, so the perf trajectory accumulates across PRs next to the
    main bench tables. QUICK=1 shrinks op counts for CI.
 
@@ -188,6 +193,91 @@ let m2_rows () =
     ("steal_drain", n_steal, sd, ops_per_sec ~ops:n_steal ~ns:sd);
   ]
 
+(* ---------- M3: sharded contended submit (K-sweep) ---------- *)
+
+(* The sharding tradeoff made literal: a linear-service structure's BOP
+   at 1/K of the keyspace costs s(n/K) = delta/K, modeled as a
+   calibrated sleep ahead of a real Counter BOP (so the sweep stays
+   result-checked). K = 1 serializes those services through the single
+   batch flag (Invariant 1); at K > 1 the invariant is per shard, so up
+   to [workers] services overlap while each is K times cheaper —
+   exactly the O((T1 + K n s(n/K))/P + m s(n/K) + T_inf) composed
+   bound's mechanism. Keys route through [Batched.Shard.route], the
+   production path. *)
+let m3_service_s = 0.001
+
+let sharded_submit ~shards ~workers ~n_ops =
+  let pool =
+    Runtime.Pool.create ?backoff:bench_backoff ~num_workers:workers ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Runtime.Pool.teardown pool)
+    (fun () ->
+      let service = m3_service_s /. float_of_int shards in
+      let rt =
+        Runtime.Shard_rt.create ~pool ~shards
+          ~state:(fun _ -> Batched.Counter.create ())
+          ~run_batch:(fun _pool st ops ->
+            Unix.sleepf service;
+            Batched.Counter.run_batch st ops)
+          ()
+      in
+      let submitted = ref 0 in
+      let submit_all n =
+        submitted := !submitted + n;
+        Runtime.Pool.run pool (fun () ->
+            Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:n (fun i ->
+                Runtime.Shard_rt.batchify rt
+                  ~shard:(Batched.Shard.route ~shards i)
+                  (Batched.Counter.op 1)))
+      in
+      submit_all (min 64 n_ops);
+      let label = Printf.sprintf "M3 K=%d workers=%d" shards workers in
+      let ns = best_of ~label (reps ~multi:true) (fun () -> submit_all n_ops) in
+      (* Result check: every +1 landed in exactly one shard's counter. *)
+      let total = ref 0 in
+      for i = 0 to shards - 1 do
+        total := !total + Batched.Counter.value (Runtime.Shard_rt.state rt i)
+      done;
+      let total = !total in
+      if total <> !submitted then
+        failwith
+          (Printf.sprintf "M3 K=%d: counters sum %d <> %d ops submitted"
+             shards total !submitted);
+      (ns, Runtime.Shard_rt.total_stats rt))
+
+let m3_rows () =
+  let workers = 2 in
+  let n_ops =
+    match Sys.getenv_opt "M3_OPS" with
+    | Some s -> int_of_string s
+    | None -> if quick then 96 else 384
+  in
+  let measured =
+    List.map
+      (fun k ->
+        let ns, st = sharded_submit ~shards:k ~workers ~n_ops in
+        (k, ns, st))
+      [ 1; 2; 4; 8 ]
+  in
+  let base_ns =
+    match measured with (1, ns, _) :: _ -> ns | _ -> assert false
+  in
+  List.map
+    (fun (k, ns, (st : Runtime.Batcher_rt.stats)) ->
+      let speedup =
+        if ns <= 0 then 0.0 else float_of_int base_ns /. float_of_int ns
+      in
+      ( k,
+        workers,
+        n_ops,
+        ns,
+        ops_per_sec ~ops:n_ops ~ns,
+        speedup,
+        st.Runtime.Batcher_rt.batches,
+        st.Runtime.Batcher_rt.max_batch ))
+    measured
+
 (* ---------- JSON merge + report ---------- *)
 
 let experiment ~id ~title rows =
@@ -276,6 +366,15 @@ let () =
     (fun (case, items, ns, rate) ->
       Printf.printf "%-14s %10d %12d %14.0f\n" case items ns rate)
     m2;
+  Printf.printf "\n== M3: sharded contended submit (K-sweep, s(n/K) service) ==\n";
+  Printf.printf "%6s %8s %8s %12s %14s %12s %9s %10s\n" "K" "workers" "ops"
+    "ns" "ops/s" "vs K=1" "batches" "max_batch";
+  let m3 = m3_rows () in
+  List.iter
+    (fun (k, workers, ops, ns, rate, speedup, batches, max_batch) ->
+      Printf.printf "%6d %8d %8d %12d %14.0f %11.2fx %9d %10d\n" k workers ops
+        ns rate speedup batches max_batch)
+    m3;
   let m1_json =
     List.map
       (fun (impl, workers, ops, ns, rate, words) ->
@@ -305,6 +404,22 @@ let () =
           ])
       m2
   in
+  let m3_json =
+    List.map
+      (fun (k, workers, ops, ns, rate, speedup, batches, max_batch) ->
+        Obs.Json.Obj
+          [
+            ("shards", Obs.Json.Int k);
+            ("workers", Obs.Json.Int workers);
+            ("ops", Obs.Json.Int ops);
+            ("ns", Obs.Json.Int ns);
+            ("ops_per_sec", Obs.Json.Float rate);
+            ("speedup_vs_k1", Obs.Json.Float speedup);
+            ("total_batches", Obs.Json.Int batches);
+            ("max_batch", Obs.Json.Int max_batch);
+          ])
+      m3
+  in
   merge_out
     [
       experiment ~id:"M1"
@@ -313,5 +428,10 @@ let () =
            list"
         m1_json;
       experiment ~id:"M2" ~title:"M2 — Chase-Lev deque data path" m2_json;
+      experiment ~id:"M3"
+        ~title:
+          "M3 — sharded contended submit: K-sweep over Shard_rt, linear \
+           s(n/K) service"
+        m3_json;
     ];
-  Printf.printf "\n[micro] merged M1, M2 into %s\n%!" out_path
+  Printf.printf "\n[micro] merged M1, M2, M3 into %s\n%!" out_path

@@ -24,6 +24,13 @@ let metric_keys =
        better for every bucket — core/batch/setup growth means more
        work executed for the same workload, idle/wait/sched growth
        means the same work scheduled worse. *)
+    (* Sharded K-sweep (micro M3 rows): the headline is throughput
+       relative to the unsharded baseline. Batch counts are metrics
+       (not identity) so rows keep matching across runs — fewer,
+       fuller batches amortize setup better. *)
+    ("speedup_vs_k1", true);
+    ("total_batches", false);
+    ("max_batch", true);
     ("span_realized", false);
     ("attrib_core", false);
     ("attrib_batch", false);

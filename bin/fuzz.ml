@@ -1,10 +1,14 @@
 (* Fuzzing driver over lib/check: a conformance pass (every batched
    structure against its sequential oracle, through both the real
-   runtime and the simulator) followed by a schedule-configuration
-   sweep (random core DAGs x random scheduler ablations, validated
-   against the paper's protocol rules and the Theorem-1 bound).
+   runtime and the simulator), a sharded conformance pass (each
+   shardable structure through K real batcher instances with routing,
+   per-shard oracle and cross-shard merge checks), and a
+   schedule-configuration sweep (random core DAGs x random scheduler
+   ablations — including a shard_k rotation — validated against the
+   paper's protocol rules and the per-shard composed Theorem-1 bound).
    Failing cases are shrunk and printed as ready-to-paste OCaml.
-   Exits 1 on any failure — suitable for CI and the @fuzz-smoke alias. *)
+   Exits 1 on any failure — suitable for CI and the @fuzz-smoke /
+   @shard-smoke aliases. *)
 
 open Cmdliner
 
@@ -62,7 +66,32 @@ let run_conformance ~n_ops ~seed ~verbose =
       Printf.printf "conformance order_list FAIL: %s\n%!" e);
   !failures
 
-let run_sweep ~seeds ~start ~max_p ~max_size ~bound_factor ~deadline ~verbose =
+(* Sharded conformance: each shardable structure through K real batcher
+   instances (K = 1 pins the combinator's identity case), with routing,
+   per-shard oracle replay and cross-shard merge checks — see
+   [Check.Shard_conf]. *)
+let run_shard_conformance ~n_ops ~seed ~verbose =
+  let failures = ref 0 in
+  List.iter
+    (fun name ->
+      List.iter
+        (fun shards ->
+          match Check.Shard_conf.run ~n_ops ~seed ~name ~shards () with
+          | Ok r ->
+              if verbose then
+                Printf.printf
+                  "sharded    %-10s K=%d ok  (%d ops, %d batches, max %d)\n%!"
+                  name shards r.Check.Shard_conf.sc_ops r.sc_batches
+                  r.sc_max_batch
+          | Error e ->
+              incr failures;
+              Printf.printf "sharded    %-10s K=%d FAIL: %s\n%!" name shards e)
+        [ 1; 2; 4 ])
+    Check.Shard_conf.structures;
+  !failures
+
+let run_sweep ~seeds ~start ~max_p ~max_size ~bound_factor ~deadline ~shard_k
+    ~verbose =
   let should_stop =
     match deadline with
     | None -> fun () -> false
@@ -75,9 +104,18 @@ let run_sweep ~seeds ~start ~max_p ~max_size ~bound_factor ~deadline ~verbose =
     else if (i + 1) mod 50 = 0 then Printf.printf "  ... %d cases\n%!" (i + 1)
   in
   let seed_list = List.init seeds (fun i -> start + i) in
+  (* shard_k = 0 leaves the generator's own rotation (mostly unsharded,
+     some K = 2 and K = 4 legs) in place; > 0 forces every case to K
+     shards, the fuzzer's shard ablation. Either way each case's
+     schedule is checked against the per-shard composed Theorem-1 bound
+     and per-shard conservation in [Check.Bound.cross_check]. *)
+  let map_case =
+    if shard_k <= 0 then fun c -> c
+    else fun c -> { c with Check.Schedule_fuzz.shard_k }
+  in
   let cases_run, fails =
     Check.Schedule_fuzz.sweep ~bound_factor ~max_p ~max_size ~should_stop
-      ~on_case ~seeds:seed_list ()
+      ~on_case ~map_case ~seeds:seed_list ()
   in
   Printf.printf "schedule fuzz: %d/%d cases run, %d failure(s)\n%!" cases_run
     seeds (List.length fails);
@@ -95,7 +133,7 @@ let run_sweep ~seeds ~start ~max_p ~max_size ~bound_factor ~deadline ~verbose =
   List.length fails
 
 let main seeds start max_p max_size bound_factor time_budget conformance_ops
-    skip_conformance skip_schedule verbose =
+    skip_conformance skip_shard_conformance skip_schedule shard_k verbose =
   let seeds = max 0 seeds in
   let deadline =
     Option.map (fun b -> Unix.gettimeofday () +. b) time_budget
@@ -108,16 +146,26 @@ let main seeds start max_p max_size bound_factor time_budget conformance_ops
       run_conformance ~n_ops:conformance_ops ~seed:1 ~verbose
     end
   in
+  let shard_conf_failures =
+    if skip_shard_conformance then 0
+    else begin
+      Printf.printf "== sharded conformance: %d structures x K in {1,2,4} ==\n%!"
+        (List.length Check.Shard_conf.structures);
+      run_shard_conformance ~n_ops:conformance_ops ~seed:1 ~verbose
+    end
+  in
   let sweep_failures =
     if skip_schedule then 0
     else begin
-      Printf.printf "== schedule fuzz: seeds %d..%d ==\n%!" start
-        (start + seeds - 1);
+      Printf.printf "== schedule fuzz: seeds %d..%d%s ==\n%!" start
+        (start + seeds - 1)
+        (if shard_k > 0 then Printf.sprintf " (forced shard_k=%d)" shard_k
+         else "");
       run_sweep ~seeds ~start ~max_p ~max_size ~bound_factor ~deadline
-        ~verbose
+        ~shard_k ~verbose
     end
   in
-  let total = conf_failures + sweep_failures in
+  let total = conf_failures + shard_conf_failures + sweep_failures in
   if total = 0 then begin
     Printf.printf "all checks passed\n%!";
     0
@@ -169,8 +217,22 @@ let conformance_ops_arg =
 let skip_conformance_arg =
   Arg.(value & flag & info [ "skip-conformance" ] ~doc:"Schedule fuzzing only.")
 
+let skip_shard_conformance_arg =
+  Arg.(
+    value & flag
+    & info [ "skip-shard-conformance" ]
+        ~doc:"Skip the sharded (multi-instance) conformance pass.")
+
 let skip_schedule_arg =
   Arg.(value & flag & info [ "skip-schedule" ] ~doc:"Conformance only.")
+
+let shard_k_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "shard-k" ] ~docv:"K"
+        ~doc:
+          "Force every schedule-fuzz case to K shards (0 = the generator's \
+           own rotation).")
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every case.")
@@ -184,6 +246,7 @@ let cmd =
     Term.(
       const main $ seeds_arg $ start_arg $ max_p_arg $ max_size_arg
       $ bound_factor_arg $ time_budget_arg $ conformance_ops_arg
-      $ skip_conformance_arg $ skip_schedule_arg $ verbose_arg)
+      $ skip_conformance_arg $ skip_shard_conformance_arg $ skip_schedule_arg
+      $ shard_k_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -106,6 +106,19 @@ let rec to_sorted_list = function
   | Leaf -> []
   | Node n -> to_sorted_list n.l @ (n.k :: to_sorted_list n.r)
 
+(* Keys in [lo, hi), ascending. Subtrees wholly outside the interval are
+   pruned, so the cost is O(lg n + answer). *)
+let range_seq t ~lo ~hi =
+  let rec go t acc =
+    match t with
+    | Leaf -> acc
+    | Node n ->
+        let acc = if n.k < hi then go n.r acc else acc in
+        let acc = if lo <= n.k && n.k < hi then n.k :: acc else acc in
+        if n.k >= lo then go n.l acc else acc
+  in
+  go t []
+
 let check_invariants t =
   let rec check = function
     | Leaf -> 0
@@ -129,17 +142,20 @@ type insert_record = { key : int; mutable inserted : bool }
 type delete_record = { del_key : int; mutable deleted : bool }
 type rank_record = { rank_of : int; mutable rank_result : int }
 type select_record = { index : int; mutable selected : int option }
+type range_record = { r_lo : int; r_hi : int; mutable r_keys : int list }
 
 type op =
   | Insert of insert_record
   | Delete of delete_record
   | Rank of rank_record
   | Select of select_record
+  | Range of range_record
 
 let insert_op key = Insert { key; inserted = false }
 let delete_op key = Delete { del_key = key; deleted = false }
 let rank_op key = Rank { rank_of = key; rank_result = 0 }
 let select_op index = Select { index; selected = None }
+let range_op ~lo ~hi = Range { r_lo = lo; r_hi = hi; r_keys = [] }
 
 let run_batch t d =
   (* Median-first inserts (the PVW recursion shape), then deletes, then
@@ -180,7 +196,8 @@ let run_batch t d =
     (function
       | Insert _ | Delete _ -> ()
       | Rank r -> r.rank_result <- rank t r.rank_of
-      | Select s -> s.selected <- select t s.index)
+      | Select s -> s.selected <- select t s.index
+      | Range r -> r.r_keys <- range_seq t ~lo:r.r_lo ~hi:r.r_hi)
     d;
   t
 

@@ -26,6 +26,9 @@ val select : t -> int -> int option
 
 val to_sorted_list : t -> int list
 
+val range_seq : t -> lo:int -> hi:int -> int list
+(** Stored keys in [\[lo, hi)], ascending; O(lg n + answer). *)
+
 val check_invariants : t -> unit
 (** Sizes consistent, keys ordered, weight balance respected. *)
 
@@ -34,16 +37,23 @@ type delete_record = { del_key : int; mutable deleted : bool }
 type rank_record = { rank_of : int; mutable rank_result : int }
 type select_record = { index : int; mutable selected : int option }
 
+type range_record = { r_lo : int; r_hi : int; mutable r_keys : int list }
+(** Half-open interval query answered in the batch's final (read-only)
+    phase: stored keys in [\[r_lo, r_hi)], ascending. The cross-shard
+    operation of {!Shard}. *)
+
 type op =
   | Insert of insert_record
   | Delete of delete_record
   | Rank of rank_record
   | Select of select_record
+  | Range of range_record
 
 val insert_op : int -> op
 val delete_op : int -> op
 val rank_op : int -> op
 val select_op : int -> op
+val range_op : lo:int -> hi:int -> op
 
 val run_batch : t -> op array -> t
 

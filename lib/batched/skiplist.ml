@@ -37,15 +37,18 @@ let random_height t =
 type insert_record = { key : int; mutable inserted : bool }
 type mem_record = { mem_key : int; mutable found : bool }
 type delete_record = { del_key : int; mutable deleted : bool }
+type range_record = { r_lo : int; r_hi : int; mutable r_keys : int list }
 
 type op =
   | Insert of insert_record
   | Mem of mem_record
   | Delete of delete_record
+  | Range of range_record
 
 let insert key = Insert { key; inserted = false }
 let mem key = Mem { mem_key = key; found = false }
 let delete key = Delete { del_key = key; deleted = false }
+let range ~lo ~hi = Range { r_lo = lo; r_hi = hi; r_keys = [] }
 
 (* Fill [update] with, per level, the rightmost node whose key is < key,
    starting the search at [start] from level [t.level - 1]. *)
@@ -126,6 +129,17 @@ let delete_seq t key =
       true
   | _ -> false
 
+(* Keys in [lo, hi), ascending: skip down to the predecessor of [lo],
+   then walk level 0. O(lg n + answer). *)
+let range_seq t ~lo ~hi =
+  let update = Array.make max_level t.head in
+  search_update t update lo;
+  let rec collect acc = function
+    | Some (n : node) when n.key < hi -> collect (n.key :: acc) n.forward.(0)
+    | _ -> List.rev acc
+  in
+  collect [] update.(0).forward.(0)
+
 let run_batch t d =
   (* Step 1 (build): collect and sort the batch's insert keys. Step 2
      (search) + step 3 (splice): ascending order lets each search resume
@@ -135,7 +149,7 @@ let run_batch t d =
     Array.to_list d
     |> List.filter_map (function
          | Insert r -> Some r
-         | Mem _ | Delete _ -> None)
+         | Mem _ | Delete _ | Range _ -> None)
   in
   let sorted =
     List.sort (fun (a : insert_record) b -> compare a.key b.key) inserts
@@ -158,13 +172,14 @@ let run_batch t d =
   Array.iter
     (function
       | Delete r -> r.deleted <- delete_seq t r.del_key
-      | Insert _ | Mem _ -> ())
+      | Insert _ | Mem _ | Range _ -> ())
     d;
-  (* Membership phase observes the batch's net effect. *)
+  (* Query phase (membership and ranges) observes the batch's net effect. *)
   Array.iter
     (function
       | Insert _ | Delete _ -> ()
-      | Mem r -> r.found <- mem_seq t r.mem_key)
+      | Mem r -> r.found <- mem_seq t r.mem_key
+      | Range r -> r.r_keys <- range_seq t ~lo:r.r_lo ~hi:r.r_hi)
     d
 
 (* The paper's BOP with a caller-supplied parallel-for. Step 1 (build):
@@ -178,7 +193,7 @@ let run_batch_with ~pfor t d =
     Array.to_list d
     |> List.filter_map (function
          | Insert r -> Some r
-         | Mem _ | Delete _ -> None)
+         | Mem _ | Delete _ | Range _ -> None)
     |> List.sort (fun (a : insert_record) b -> compare a.key b.key)
     |> Array.of_list
   in
@@ -217,16 +232,17 @@ let run_batch_with ~pfor t d =
         r.inserted <- true
       end)
     inserts;
-  (* Delete and membership phases, as in the sequential core. *)
+  (* Delete and query phases, as in the sequential core. *)
   Array.iter
     (function
       | Delete r -> r.deleted <- delete_seq t r.del_key
-      | Insert _ | Mem _ -> ())
+      | Insert _ | Mem _ | Range _ -> ())
     d;
   Array.iter
     (function
       | Insert _ | Delete _ -> ()
-      | Mem r -> r.found <- mem_seq t r.mem_key)
+      | Mem r -> r.found <- mem_seq t r.mem_key
+      | Range r -> r.r_keys <- range_seq t ~lo:r.r_lo ~hi:r.r_hi)
     d
 
 let to_list t =

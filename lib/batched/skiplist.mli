@@ -23,18 +23,26 @@ type insert_record = { key : int; mutable inserted : bool }
 type mem_record = { mem_key : int; mutable found : bool }
 type delete_record = { del_key : int; mutable deleted : bool }
 
+type range_record = { r_lo : int; r_hi : int; mutable r_keys : int list }
+(** Half-open interval query: the stored keys in [\[r_lo, r_hi)],
+    ascending — the cross-shard operation of {!Shard}: each shard
+    answers over its own keys and the combinator merges the sorted
+    sub-results. *)
+
 type op =
   | Insert of insert_record
   | Mem of mem_record
   | Delete of delete_record
+  | Range of range_record
 
 val insert : int -> op
 val mem : int -> op
 val delete : int -> op
+val range : lo:int -> hi:int -> op
 
 val run_batch : t -> op array -> unit
-(** Phase order within a batch: inserts, then deletes, then membership
-    tests (which observe the batch's net effect). *)
+(** Phase order within a batch: inserts, then deletes, then queries
+    (membership and ranges, which observe the batch's net effect). *)
 
 val run_batch_with :
   pfor:(int -> (int -> unit) -> unit) -> t -> op array -> unit
@@ -54,6 +62,9 @@ val mem_seq : t -> int -> bool
 
 val delete_seq : t -> int -> bool
 (** [true] if the key was present (and is now removed). *)
+
+val range_seq : t -> lo:int -> hi:int -> int list
+(** Stored keys in [\[lo, hi)], ascending; O(lg n + answer). *)
 
 val to_list : t -> int list
 (** Ascending key order. *)

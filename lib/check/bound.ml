@@ -1,16 +1,40 @@
+(* Per-structure composition of the bound's batching terms. Each
+   structure's ops only ever wait out that structure's batches
+   (Invariant 1 holds per structure), so the collection charge is
+   Σ_i n_i·s_i — under K-way sharding, K·(n/K)·s(n/K) — and the
+   serialization charge is m·max_i s_i. With one structure this is
+   exactly the classic n·s and m·s; with several it is never looser.
+   s_i is structure i's widest observed batch span plus the Θ(lg P)
+   setup/cleanup stages a launch wraps around the BOP; a structure
+   that was never targeted contributes nothing to either term. *)
+let composed_terms ~workload ~metrics =
+  let open Sim.Metrics in
+  let setup_span = 2 * (2 * Batcher_core.Theory.log2i metrics.p + 1) in
+  let n_per = Sim.Workload.per_structure_nodes workload in
+  let k = Array.length n_per in
+  let span_per = Array.make k 0 in
+  List.iter
+    (fun bd ->
+      if bd.bd_sid >= 0 && bd.bd_sid < k then
+        span_per.(bd.bd_sid) <- max span_per.(bd.bd_sid) bd.bd_span)
+    metrics.batch_details;
+  let ns_sum = ref 0 and s_max = ref 0 in
+  Array.iteri
+    (fun sid n_i ->
+      if n_i > 0 || span_per.(sid) > 0 then begin
+        let s_i = span_per.(sid) + setup_span in
+        ns_sum := !ns_sum + (n_i * s_i);
+        if s_i > !s_max then s_max := s_i
+      end)
+    n_per;
+  (!ns_sum, !s_max)
+
 let theorem1 ~workload ~metrics =
   let open Sim.Metrics in
-  let t1, t_inf, n, m = Sim.Workload.core_metrics workload in
+  let t1, t_inf, _n, m = Sim.Workload.core_metrics workload in
   let w = metrics.batch_work + metrics.setup_work in
-  (* s(n): the widest observed batch span, plus the Θ(lg P) setup and
-     cleanup stages a launch wraps around the BOP. *)
-  let batch_span =
-    List.fold_left (fun acc bd -> max acc bd.bd_span) 0 metrics.batch_details
-  in
-  let setup_span = 2 * (2 * Batcher_core.Theory.log2i metrics.p + 1) in
-  let s = batch_span + setup_span in
-  max 1
-    (Batcher_core.Theory.batcher_bound ~p:metrics.p ~t1 ~t_inf ~n ~m ~w ~s)
+  let ns_sum, s_max = composed_terms ~workload ~metrics in
+  max 1 (((t1 + w + ns_sum) / metrics.p) + (m * s_max) + t_inf)
 
 let ratio ~workload ~metrics =
   float_of_int metrics.Sim.Metrics.makespan
@@ -53,6 +77,47 @@ let cross_check ?ms_factor ~workload ~metrics ~recorder () =
   let* () = eq "core" a.Obs.Attrib.total.Obs.Attrib.core metrics.core_work in
   let* () = eq "batch" a.Obs.Attrib.total.Obs.Attrib.batch metrics.batch_work in
   let* () = eq "setup" a.Obs.Attrib.total.Obs.Attrib.setup metrics.setup_work in
+  (* Per-shard conservation: fold the recorder's Batch_start/Batch_end
+     stream per sid and demand every structure collected exactly the
+     ops the workload assigned it (each ds node is batched exactly
+     once), batch/setup totals re-sum to the sim counters, and no
+     structure was batch-busy longer than the whole run. *)
+  let* () =
+    let n_per = Sim.Workload.per_structure_nodes workload in
+    let k = Array.length n_per in
+    let got = Array.make k 0 in
+    let batches = ref 0 and ops = ref 0 and setup = ref 0 in
+    let bad = ref None in
+    let fail fmt = Printf.ksprintf (fun m -> if !bad = None then bad := Some m) fmt in
+    Array.iter
+      (fun (sa : Obs.Attrib.structure_account) ->
+        batches := !batches + sa.sa_batches;
+        ops := !ops + sa.sa_ops;
+        setup := !setup + sa.sa_setup;
+        if sa.sa_sid < 0 || sa.sa_sid >= k then
+          fail "recorder saw batches for unknown sid %d" sa.sa_sid
+        else begin
+          got.(sa.sa_sid) <- sa.sa_ops;
+          if sa.sa_busy > metrics.makespan then
+            fail "sid %d batch-busy %d units exceeds makespan %d" sa.sa_sid
+              sa.sa_busy metrics.makespan
+        end)
+      a.Obs.Attrib.per_structure;
+    Array.iteri
+      (fun sid n_i ->
+        if got.(sid) <> n_i then
+          fail "per-shard conservation: sid %d collected %d ops, workload assigns %d"
+            sid got.(sid) n_i)
+      n_per;
+    if !batches <> metrics.batches then
+      fail "per-shard batches sum %d <> sim counter %d" !batches metrics.batches;
+    if !ops <> metrics.batch_size_total then
+      fail "per-shard ops sum %d <> sim batch_size_total %d" !ops
+        metrics.batch_size_total;
+    if !setup <> metrics.setup_work then
+      fail "per-shard setup sum %d <> sim setup_work %d" !setup metrics.setup_work;
+    match !bad with Some msg -> Error msg | None -> Ok ()
+  in
   let* () =
     if metrics.span_realized <= metrics.makespan then Ok ()
     else
@@ -81,25 +146,21 @@ let cross_check ?ms_factor ~workload ~metrics ~recorder () =
          additive s(n) of slack for runs straddling a single batch. *)
       let _, _, n, m = Sim.Workload.core_metrics workload in
       let w = metrics.batch_work + metrics.setup_work in
-      let batch_span =
-        List.fold_left (fun acc bd -> max acc bd.bd_span) 0 metrics.batch_details
-      in
-      let setup_span = 2 * (2 * Batcher_core.Theory.log2i metrics.p + 1) in
-      let s = batch_span + setup_span in
+      let ns_sum, s_max = composed_terms ~workload ~metrics in
       let per_worker_wait =
         float_of_int a.Obs.Attrib.total.Obs.Attrib.wait
         /. float_of_int metrics.p
       in
       let budget =
         factor
-        *. ((float_of_int (w + (n * s)) /. float_of_int metrics.p)
-           +. float_of_int (m * s))
-        +. float_of_int s
+        *. ((float_of_int (w + ns_sum) /. float_of_int metrics.p)
+           +. float_of_int (m * s_max))
+        +. float_of_int s_max
       in
       if per_worker_wait <= budget then Ok ()
       else
         Error
           (Printf.sprintf
-             "serialized wait %.0f per worker exceeds %g x ((W+n*s)/P + m*s) \
-              = %.0f (n=%d m=%d s=%d)"
-             per_worker_wait factor budget n m s)
+             "serialized wait %.0f per worker exceeds %g x ((W+Σnᵢsᵢ)/P + m·s_max) \
+              = %.0f (n=%d m=%d s_max=%d)"
+             per_worker_wait factor budget n m s_max)

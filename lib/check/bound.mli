@@ -1,13 +1,21 @@
 (** Theorem-1 regression checking.
 
-    A simulated run is compared against the paper's completion-time bound
+    A simulated run is compared against the paper's completion-time
+    bound, composed per structure (per shard, under
+    {!Batched.Shard}-style sharding into K instances):
 
-    {v (T1 + W(n) + n·s(n))/P + m·s(n) + T∞ v}
+    {v (T1 + W + Σᵢ nᵢ·sᵢ)/P + m·maxᵢ sᵢ + T∞ v}
 
-    instantiated with the run's own measurements: T1, T∞, n and m come
-    from {!Sim.Workload.core_metrics}; W(n) is the BOP plus LAUNCHBATCH
-    work the simulator attributed to batches; s(n) is the largest batch
-    span observed (plus the setup/cleanup span of a launch). Theorem 1
+    instantiated with the run's own measurements: T1, T∞ and m come
+    from {!Sim.Workload.core_metrics}, nᵢ from
+    {!Sim.Workload.per_structure_nodes}; W is the BOP plus LAUNCHBATCH
+    work the simulator attributed to batches; sᵢ is structure i's
+    largest observed batch span (plus the setup/cleanup span of a
+    launch). With one structure this is the paper's
+    (T1 + W(n) + n·s(n))/P + m·s(n) + T∞ exactly; for a structure
+    sharded K ways the collection term reads K·(n/K)·s(n/K) and the
+    serialization term m·s(n/K), since Invariant 1 — one batch in
+    flight — holds per shard. Theorem 1
     promises the makespan is within a constant factor of this expression
     {e in expectation}, so {!check} takes the acceptable factor as a
     parameter — a run exceeding it flags a scheduler-efficiency
@@ -48,10 +56,15 @@ val cross_check :
     disjoint code paths, so agreement certifies both. Checks, in order:
     bucket conservation (sum = P × makespan, per-worker tiling, no
     drops); attributed core/batch/setup equal the simulator's
-    [core_work]/[batch_work]/[setup_work]; [span_realized] ≤ makespan;
-    the {!Obs.Critpath} witness ≤ makespan. With [ms_factor], also
-    requires the per-worker serialized-wait bucket to stay within
-    [ms_factor × ((W(n)+n·s(n))/P + m·s(n)) + s(n)] — workers are
+    [core_work]/[batch_work]/[setup_work]; per-shard conservation —
+    folding the recorder's Batch_start/Batch_end stream per sid
+    ({!Obs.Attrib.per_structure}) must show each structure collecting
+    exactly the ops the workload assigned it, totals re-summing to the
+    sim counters, and no structure batch-busy longer than the makespan;
+    [span_realized] ≤ makespan; the {!Obs.Critpath} witness ≤ makespan.
+    With [ms_factor], also requires the per-worker serialized-wait
+    bucket to stay within
+    [ms_factor × ((W+Σᵢnᵢ·sᵢ)/P + m·maxᵢsᵢ) + maxᵢsᵢ] — workers are
     trapped only while batches run or launch, so their waiting is paid
     for by the bound's two batch-execution terms (amortized batch work
     when throughput-bound, m·s(n) when serialization-bound, [m] being

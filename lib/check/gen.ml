@@ -37,6 +37,27 @@ let skiplist_op ~n rng _i =
   | 2 -> Batched.Skiplist.mem (small_key ~n rng)
   | _ -> Batched.Skiplist.delete (small_key ~n rng)
 
+(* Sharded-conformance scripts: point-op mixes with an occasional
+   cross-shard fan-out (range / rank), never Select — an exact
+   order-statistic is not shardable (see [Batched.Shard.ostree]). *)
+let sharded_skiplist_op ~n rng _i =
+  match Util.Rng.int rng 8 with
+  | 0 | 1 | 2 -> Batched.Skiplist.insert (small_key ~n rng)
+  | 3 | 4 -> Batched.Skiplist.mem (small_key ~n rng)
+  | 5 | 6 -> Batched.Skiplist.delete (small_key ~n rng)
+  | _ ->
+      let lo = small_key ~n rng in
+      Batched.Skiplist.range ~lo ~hi:(lo + 1 + Util.Rng.int rng (max 8 (n / 2)))
+
+let sharded_ostree_op ~n rng i =
+  match Util.Rng.int rng 8 with
+  | 0 | 1 | 2 -> Batched.Ostree.insert_op (2 * i)
+  | 3 | 4 -> Batched.Ostree.delete_op (Util.Rng.int rng (2 * max 1 n))
+  | 5 | 6 -> Batched.Ostree.rank_op (Util.Rng.int rng (2 * max 1 n))
+  | _ ->
+      let lo = Util.Rng.int rng (2 * max 1 n) in
+      Batched.Ostree.range_op ~lo ~hi:(lo + 1 + Util.Rng.int rng (2 * max 1 n))
+
 let two_three_op ~n rng i =
   match Util.Rng.int rng 4 with
   | 0 | 1 -> Batched.Two_three.insert_op (2 * i)

@@ -39,6 +39,13 @@ val hashtable_op : n:int -> Util.Rng.t -> int -> Batched.Hashtable.op
 val skiplist_op : n:int -> Util.Rng.t -> int -> Batched.Skiplist.op
 (** Inserts, membership tests and deletes over a small key space. *)
 
+val sharded_skiplist_op : n:int -> Util.Rng.t -> int -> Batched.Skiplist.op
+(** Like {!skiplist_op} with ~1/8 cross-shard range queries mixed in. *)
+
+val sharded_ostree_op : n:int -> Util.Rng.t -> int -> Batched.Ostree.op
+(** Injective insert keys; deletes, ranks (cross-shard sums) and range
+    queries — never Select, which is not shardable. *)
+
 val two_three_op : n:int -> Util.Rng.t -> int -> Batched.Two_three.op
 (** Injective insert keys; queries and deletes over the same range. *)
 

@@ -36,6 +36,11 @@ module Dict = struct
     present
 
   let find t key = List.assoc_opt key t.items
+
+  let range t ~lo ~hi =
+    List.filter_map
+      (fun (k, _) -> if lo <= k && k < hi then Some k else None)
+      t.items
   let rank t key = List.length (List.filter (fun (k, _) -> k < key) t.items)
   let select t i = List.nth_opt (List.map fst t.items) i
   let keys t = List.map fst t.items

@@ -40,6 +40,11 @@ module Dict : sig
   val select : t -> int -> int option
   (** i-th smallest key (0-based), if in range. *)
 
+  val range : t -> lo:int -> hi:int -> int list
+  (** Stored keys in [\[lo, hi)], ascending — the reference for the
+      cross-shard range query of {!Batched.Shard}: a sharded merge must
+      be byte-equal to this over the union of the shards. *)
+
   val keys : t -> int list
   (** Ascending. *)
 

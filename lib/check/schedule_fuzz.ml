@@ -24,6 +24,7 @@ type case = {
   wl_seed : int;
   p : int;
   sim_seed : int;
+  shard_k : int;
   steal_policy : Sim.Batcher.steal_policy;
   launch_threshold : int;
   batch_cap : int;
@@ -44,7 +45,38 @@ let model_of kind ~records_per_node ~seed =
   | Ostree -> Batched.Ostree.sim_model ~initial_size:512 ~records_per_node ()
   | Sp_order -> Batched.Sp_order.sim_model ()
 
+(* Shard i's cost model: the structure at ~1/K of its full size (the
+   bound's s(n/K)), with per-shard seeds so mixed-op models don't run
+   identical op sequences on every shard. *)
+let shard_model_of kind ~records_per_node ~seed ~shards i =
+  let seed = seed + (i * 7919) in
+  match kind with
+  | Skiplist ->
+      Batched.Skiplist.sim_model
+        ~initial_size:(max 2 (1024 / shards))
+        ~records_per_node ()
+  | Two_three ->
+      Batched.Two_three.sim_model
+        ~initial_size:(max 2 (512 / shards))
+        ~records_per_node ()
+  | Ostree ->
+      Batched.Ostree.sim_model
+        ~initial_size:(max 2 (512 / shards))
+        ~records_per_node ()
+  | kind -> model_of kind ~records_per_node ~seed
+
 let workload_of c =
+  if c.shard_k > 1 then
+    (* Sharding forces the parallel-loop family: sharded_ops routes each
+       node's index through the real Batched.Shard.route, giving K
+       structures whose per-shard batch flags the scheduler maintains
+       independently. *)
+    Sim.Workload.sharded_ops
+      ~model_for:
+        (shard_model_of c.model ~records_per_node:c.records_per_node
+           ~seed:c.wl_seed ~shards:c.shard_k)
+      ~shards:c.shard_k ~records_per_node:c.records_per_node ~n_nodes:c.size ()
+  else
   let model = model_of c.model ~records_per_node:c.records_per_node ~seed:c.wl_seed in
   let records_per_node = c.records_per_node in
   let rng = Util.Rng.create ~seed:c.wl_seed in
@@ -207,6 +239,9 @@ let case_of_seed ?(max_p = 8) ?(max_size = 60) seed =
     wl_seed = Util.Rng.int rng 1_000_000;
     p;
     sim_seed = Util.Rng.int rng 1_000_000;
+    (* Mostly unsharded (family rotation intact), with K=2 and K=4 legs
+       so every sweep exercises the sharded per-structure protocol. *)
+    shard_k = pick [| 1; 1; 1; 2; 4 |];
     steal_policy =
       pick
         Sim.Batcher.[| Alternating; Alternating; Core_only; Batch_only; Uniform_random |];
@@ -238,6 +273,10 @@ let shrink_steps c =
                         launch_threshold = min c'.launch_threshold p' } in
     add (clamp (c.p / 2) c);
     add (clamp (c.p - 1) c)
+  end;
+  if c.shard_k > 1 then begin
+    add { c with shard_k = 1 };
+    add { c with shard_k = c.shard_k / 2 }
   end;
   if c.launch_threshold > 1 then add { c with launch_threshold = 1 };
   if c.batch_cap < c.p then add { c with batch_cap = c.p };
@@ -307,12 +346,13 @@ let inv_mode_name = function
 let pp_case fmt c =
   Format.fprintf fmt
     "{ family = %s; model = %s; size = %d; records_per_node = %d;@ wl_seed = %d; p \
-     = %d; sim_seed = %d;@ steal_policy = Sim.Batcher.%s; launch_threshold = %d; \
-     batch_cap = %d;@ overhead = Sim.Batcher.%s; sequential_batches = %b;@ inv_mode \
-     = %s }"
+     = %d; sim_seed = %d; shard_k = %d;@ steal_policy = Sim.Batcher.%s; \
+     launch_threshold = %d; batch_cap = %d;@ overhead = Sim.Batcher.%s; \
+     sequential_batches = %b;@ inv_mode = %s }"
     (family_name c.family) (model_name c.model) c.size c.records_per_node c.wl_seed
-    c.p c.sim_seed (policy_name c.steal_policy) c.launch_threshold c.batch_cap
-    (overhead_name c.overhead) c.sequential_batches (inv_mode_name c.inv_mode)
+    c.p c.sim_seed c.shard_k (policy_name c.steal_policy) c.launch_threshold
+    c.batch_cap (overhead_name c.overhead) c.sequential_batches
+    (inv_mode_name c.inv_mode)
 
 let show_case c = Format.asprintf "@[<hv 2>%a@]" pp_case c
 
@@ -334,14 +374,14 @@ type failure = {
   f_shrunk_error : string;
 }
 
-let sweep ?bound_factor ?max_p ?max_size ?(should_stop = fun () -> false)
-    ?(on_case = fun _ _ -> ()) ~seeds () =
+let sweep ?bound_factor ?max_p ?max_size ?(map_case = fun c -> c)
+    ?(should_stop = fun () -> false) ?(on_case = fun _ _ -> ()) ~seeds () =
   let run = ref 0 in
   let failures = ref [] in
   List.iter
     (fun seed ->
       if not (should_stop ()) then begin
-        let c = case_of_seed ?max_p ?max_size seed in
+        let c = map_case (case_of_seed ?max_p ?max_size seed) in
         on_case seed c;
         incr run;
         match run_case ?bound_factor c with

@@ -48,6 +48,13 @@ type case = {
   wl_seed : int;  (** workload-shape seed (random DAGs, pop mixes) *)
   p : int;
   sim_seed : int;  (** scheduler (steal-victim) seed *)
+  shard_k : int;
+      (** > 1 shards the structure K ways: the workload becomes
+          {!Sim.Workload.sharded_ops} (parallel loop routed through
+          [Batched.Shard.route], overriding [family]), with each
+          shard's cost model at ~1/K of the full structure size. The
+          per-shard composed Theorem-1 bound and per-shard conservation
+          are then what {!run_case} verifies. *)
   steal_policy : Sim.Batcher.steal_policy;
   launch_threshold : int;
   batch_cap : int;
@@ -106,11 +113,14 @@ val sweep :
   ?bound_factor:float ->
   ?max_p:int ->
   ?max_size:int ->
+  ?map_case:(case -> case) ->
   ?should_stop:(unit -> bool) ->
   ?on_case:(int -> case -> unit) ->
   seeds:int list ->
   unit ->
   int * failure list
 (** Run {!run_case} on {!case_of_seed} of every seed, shrinking each
-    failure. Returns [(cases_run, failures)]. [should_stop] is polled
-    between cases (soak-run time budgets); [on_case] observes progress. *)
+    failure. Returns [(cases_run, failures)]. [map_case] rewrites each
+    generated case before it runs (e.g. forcing [shard_k] for a
+    sharded-only smoke sweep); [should_stop] is polled between cases
+    (soak-run time budgets); [on_case] observes progress. *)

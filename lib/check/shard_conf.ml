@@ -1,0 +1,488 @@
+(* Sharded conformance: drive [Batched.Shard] routing plans through K
+   real [Batcher_rt] instances ([Runtime.Shard_rt]) and replay every
+   shard's batch linearization — a true linearization by per-shard
+   Invariant 1 — against that shard's own sequential oracle.
+
+   Three layers of checking per run:
+   - routing: every keyed operation observed in shard s's batches
+     must satisfy [Batched.Shard.route key = s];
+   - per-shard conformance: each shard's batches replay against a
+     private [Oracle.Dict] in the structure's documented phase order,
+     diffing every per-op result (cross-shard fan-out sub-operations
+     land in shard batches like any other op, so their sub-results are
+     checked exactly too);
+   - merge: the K final states merged with [Shard.merge_sorted] must be
+     byte-equal to the K oracles merged the same way, and a quiescent
+     full-domain fan-out query issued after the parallel phase must
+     return exactly the merged oracle contents. *)
+
+type report = {
+  sc_shards : int;
+  sc_ops : int;
+  sc_batches : int;
+  sc_max_batch : int;
+  sc_per_shard_batches : int array;
+}
+
+let ints l = "[" ^ String.concat "; " (List.map string_of_int l) ^ "]"
+
+let pairs l =
+  "["
+  ^ String.concat "; " (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) l)
+  ^ "]"
+
+let int_opt = function None -> "None" | Some v -> "Some " ^ string_of_int v
+
+(* Busy-wait inside the logged run_batch so the batch flag stays set
+   long enough for other workers to park records — the same trick as
+   [Conformance], so shards produce real multi-operation batches. *)
+let spin iters =
+  let x = ref 0 in
+  for i = 1 to iters do
+    x := !x lxor i
+  done;
+  ignore (Sys.opaque_identity !x)
+
+(* Execute a script of routing plans over K Batcher_rt instances.
+   Returns each shard's chronological batch linearization, the shard
+   instances, and the summed runtime stats. [finals] are submitted
+   after the parallel loop has fully drained, so fan-out queries in
+   them observe a quiescent, deterministic state. *)
+let drive ?(workers = 3) ~shards ~(spec : ('t, 'op) Batched.Shard.spec)
+    ~(script : 'op array) ~(finals : 'op list) () =
+  let insts = Array.init shards spec.Batched.Shard.make in
+  let batches = Array.make shards [] in
+  let pool = Runtime.Pool.create ~num_workers:workers () in
+  let stats =
+    Fun.protect
+      ~finally:(fun () -> Runtime.Pool.teardown pool)
+      (fun () ->
+        let rt =
+          Runtime.Shard_rt.create ~pool ~shards
+            ~state:(fun i -> i)
+            ~run_batch:(fun _pool shard ops ->
+              batches.(shard) <- Array.copy ops :: batches.(shard);
+              spin 150_000;
+              spec.Batched.Shard.apply insts.(shard) ops)
+            ()
+        in
+        let submit op =
+          match spec.Batched.Shard.plan ~shards op with
+          | Batched.Shard.Point s -> Runtime.Shard_rt.batchify rt ~shard:s op
+          | Batched.Shard.Fanout { sub; merge } ->
+              Runtime.Shard_rt.scatter rt sub;
+              merge ()
+        in
+        Runtime.Pool.run pool (fun () ->
+            Runtime.Pool.parallel_for pool ~grain:1 ~lo:0
+              ~hi:(Array.length script)
+              (fun i -> submit script.(i));
+            List.iter submit finals);
+        Runtime.Shard_rt.total_stats rt)
+  in
+  (Array.map List.rev batches, insts, stats)
+
+(* Number of per-shard submissions a script op expands to. *)
+let op_count ~shards ~(spec : ('t, 'op) Batched.Shard.spec) op =
+  match spec.Batched.Shard.plan ~shards op with
+  | Batched.Shard.Point _ -> 1
+  | Batched.Shard.Fanout { sub; _ } -> Array.length sub
+
+let replay ~name ~shard ~oracle_batch batches =
+  let rec go i = function
+    | [] -> None
+    | b :: rest -> (
+        match oracle_batch b with
+        | Some e ->
+            Some (Printf.sprintf "%s shard %d batch %d: %s" name shard i e)
+        | None -> go (i + 1) rest)
+  in
+  go 0 batches
+
+let check_stats ~name ~shards ~expected (stats : Runtime.Batcher_rt.stats)
+    _per_shard =
+  if stats.Runtime.Batcher_rt.ops <> expected then
+    Some
+      (Printf.sprintf "%s (K=%d): %d ops batched, expected %d" name shards
+         stats.Runtime.Batcher_rt.ops expected)
+  else None
+
+let mk_report ~shards (stats : Runtime.Batcher_rt.stats) per_shard =
+  {
+    sc_shards = shards;
+    sc_ops = stats.Runtime.Batcher_rt.ops;
+    sc_batches = stats.Runtime.Batcher_rt.batches;
+    sc_max_batch = stats.Runtime.Batcher_rt.max_batch;
+    sc_per_shard_batches = Array.map List.length per_shard;
+  }
+
+(* ---------- skiplist ---------- *)
+
+let skiplist ?(n_ops = 96) ?(seed = 1) ?(workers = 3) ~shards () =
+  try
+    let spec = Batched.Shard.skiplist in
+    let script =
+      Gen.script ~gen:(Gen.sharded_skiplist_op ~n:n_ops) ~n:n_ops ~seed
+    in
+    let final = Batched.Skiplist.range ~lo:min_int ~hi:max_int in
+    let per_shard, insts, stats =
+      drive ~workers ~shards ~spec ~script ~finals:[ final ] ()
+    in
+    let expected =
+      Array.fold_left (fun acc op -> acc + op_count ~shards ~spec op) 0 script
+      + shards
+    in
+    match check_stats ~name:"skiplist" ~shards ~expected stats per_shard with
+    | Some e -> Error e
+    | None -> (
+        let oracles = Array.init shards (fun _ -> Oracle.Dict.create ()) in
+        let err = ref None in
+        let fail fmt =
+          Printf.ksprintf (fun m -> if !err = None then err := Some m) fmt
+        in
+        let route_check shard key =
+          if Batched.Shard.route ~shards key <> shard then
+            fail "key %d found in shard %d, routes to %d" key shard
+              (Batched.Shard.route ~shards key)
+        in
+        let oracle_batch shard o (b : Batched.Skiplist.op array) =
+          (* Inserts, then deletes, then queries — Skiplist.run_batch's
+             documented phase order. *)
+          Array.iter
+            (function
+              | Batched.Skiplist.Insert r ->
+                  route_check shard r.Batched.Skiplist.key;
+                  let expect =
+                    Oracle.Dict.add_if_absent o r.Batched.Skiplist.key
+                  in
+                  if r.Batched.Skiplist.inserted <> expect then
+                    fail "insert %d: inserted %b, oracle %b"
+                      r.Batched.Skiplist.key r.Batched.Skiplist.inserted expect
+              | _ -> ())
+            b;
+          Array.iter
+            (function
+              | Batched.Skiplist.Delete r ->
+                  route_check shard r.Batched.Skiplist.del_key;
+                  let expect = Oracle.Dict.remove o r.Batched.Skiplist.del_key in
+                  if r.Batched.Skiplist.deleted <> expect then
+                    fail "delete %d: deleted %b, oracle %b"
+                      r.Batched.Skiplist.del_key r.Batched.Skiplist.deleted
+                      expect
+              | _ -> ())
+            b;
+          Array.iter
+            (function
+              | Batched.Skiplist.Mem r ->
+                  route_check shard r.Batched.Skiplist.mem_key;
+                  let expect = Oracle.Dict.mem o r.Batched.Skiplist.mem_key in
+                  if r.Batched.Skiplist.found <> expect then
+                    fail "mem %d: found %b, oracle %b"
+                      r.Batched.Skiplist.mem_key r.Batched.Skiplist.found expect
+              | Batched.Skiplist.Range r ->
+                  let expect =
+                    Oracle.Dict.range o ~lo:r.Batched.Skiplist.r_lo
+                      ~hi:r.Batched.Skiplist.r_hi
+                  in
+                  if r.Batched.Skiplist.r_keys <> expect then
+                    fail "range [%d,%d): %s, oracle %s" r.Batched.Skiplist.r_lo
+                      r.Batched.Skiplist.r_hi
+                      (ints r.Batched.Skiplist.r_keys)
+                      (ints expect)
+              | _ -> ())
+            b;
+          !err
+        in
+        let rec shard_loop s =
+          if s = shards then None
+          else
+            match
+              replay ~name:"skiplist" ~shard:s
+                ~oracle_batch:(oracle_batch s oracles.(s))
+                per_shard.(s)
+            with
+            | Some e -> Some e
+            | None -> shard_loop (s + 1)
+        in
+        match shard_loop 0 with
+        | Some e -> Error e
+        | None ->
+            Array.iter Batched.Skiplist.check_invariants insts;
+            let merged =
+              Batched.Shard.merge_sorted
+                (Array.map Batched.Skiplist.to_list insts)
+            in
+            let oracle_merged =
+              Batched.Shard.merge_sorted (Array.map Oracle.Dict.keys oracles)
+            in
+            if not (String.equal (ints merged) (ints oracle_merged)) then
+              Error
+                (Printf.sprintf
+                   "skiplist: merged final state diverges\n\
+                   \  structure: %s\n\
+                   \  oracle:    %s"
+                   (ints merged) (ints oracle_merged))
+            else begin
+              (* The quiescent full-domain fan-out must have gathered
+                 exactly the merged contents. *)
+              match final with
+              | Batched.Skiplist.Range r ->
+                  if
+                    String.equal
+                      (ints r.Batched.Skiplist.r_keys)
+                      (ints oracle_merged)
+                  then Ok (mk_report ~shards stats per_shard)
+                  else
+                    Error
+                      (Printf.sprintf
+                         "skiplist: cross-shard range merge diverges\n\
+                         \  merged: %s\n\
+                         \  oracle: %s"
+                         (ints r.Batched.Skiplist.r_keys)
+                         (ints oracle_merged))
+              | _ -> assert false
+            end)
+  with
+  | Failure msg -> Error ("skiplist: " ^ msg)
+  | Invalid_argument msg -> Error ("skiplist: " ^ msg)
+
+(* ---------- hashtable ---------- *)
+
+let hashtable ?(n_ops = 96) ?(seed = 1) ?(workers = 3) ~shards () =
+  try
+    let spec = Batched.Shard.hashtable in
+    let script = Gen.script ~gen:(Gen.hashtable_op ~n:n_ops) ~n:n_ops ~seed in
+    let per_shard, insts, stats =
+      drive ~workers ~shards ~spec ~script ~finals:[] ()
+    in
+    match
+      check_stats ~name:"hashtable" ~shards ~expected:n_ops stats per_shard
+    with
+    | Some e -> Error e
+    | None -> (
+        let oracles = Array.init shards (fun _ -> Oracle.Dict.create ()) in
+        let err = ref None in
+        let fail fmt =
+          Printf.ksprintf (fun m -> if !err = None then err := Some m) fmt
+        in
+        let route_check shard key =
+          if Batched.Shard.route ~shards key <> shard then
+            fail "key %d found in shard %d, routes to %d" key shard
+              (Batched.Shard.route ~shards key)
+        in
+        let oracle_batch shard o (b : Batched.Hashtable.op array) =
+          (* Records apply in batch order per bucket, exactly as in the
+             unsharded conformance replay. *)
+          Array.iter
+            (function
+              | Batched.Hashtable.Insert r ->
+                  route_check shard r.Batched.Hashtable.i_key;
+                  let expect =
+                    Oracle.Dict.insert o ~key:r.Batched.Hashtable.i_key
+                      ~value:r.Batched.Hashtable.i_value
+                  in
+                  if r.Batched.Hashtable.replaced <> expect then
+                    fail "insert %d: replaced %b, oracle %b"
+                      r.Batched.Hashtable.i_key r.Batched.Hashtable.replaced
+                      expect
+              | Batched.Hashtable.Lookup r ->
+                  route_check shard r.Batched.Hashtable.l_key;
+                  let expect = Oracle.Dict.find o r.Batched.Hashtable.l_key in
+                  if r.Batched.Hashtable.l_value <> expect then
+                    fail "lookup %d: %s, oracle %s" r.Batched.Hashtable.l_key
+                      (int_opt r.Batched.Hashtable.l_value)
+                      (int_opt expect)
+              | Batched.Hashtable.Remove r ->
+                  route_check shard r.Batched.Hashtable.r_key;
+                  let expect = Oracle.Dict.remove o r.Batched.Hashtable.r_key in
+                  if r.Batched.Hashtable.removed <> expect then
+                    fail "remove %d: removed %b, oracle %b"
+                      r.Batched.Hashtable.r_key r.Batched.Hashtable.removed
+                      expect)
+            b;
+          !err
+        in
+        let rec shard_loop s =
+          if s = shards then None
+          else
+            match
+              replay ~name:"hashtable" ~shard:s
+                ~oracle_batch:(oracle_batch s oracles.(s))
+                per_shard.(s)
+            with
+            | Some e -> Some e
+            | None -> shard_loop (s + 1)
+        in
+        match shard_loop 0 with
+        | Some e -> Error e
+        | None ->
+            Array.iter Batched.Hashtable.check_invariants insts;
+            let merged =
+              List.concat_map Batched.Hashtable.to_sorted_bindings
+                (Array.to_list insts)
+              |> List.sort compare
+            in
+            let oracle_merged =
+              List.concat_map Oracle.Dict.bindings (Array.to_list oracles)
+              |> List.sort compare
+            in
+            if String.equal (pairs merged) (pairs oracle_merged) then
+              Ok (mk_report ~shards stats per_shard)
+            else
+              Error
+                (Printf.sprintf
+                   "hashtable: merged final state diverges\n\
+                   \  structure: %s\n\
+                   \  oracle:    %s"
+                   (pairs merged) (pairs oracle_merged)))
+  with
+  | Failure msg -> Error ("hashtable: " ^ msg)
+  | Invalid_argument msg -> Error ("hashtable: " ^ msg)
+
+(* ---------- ostree ---------- *)
+
+let ostree ?(n_ops = 96) ?(seed = 1) ?(workers = 3) ~shards () =
+  try
+    let spec = Batched.Shard.ostree in
+    let script =
+      Gen.script ~gen:(Gen.sharded_ostree_op ~n:n_ops) ~n:n_ops ~seed
+    in
+    let final_range = Batched.Ostree.range_op ~lo:min_int ~hi:max_int in
+    let rank_pivot = n_ops in
+    let final_rank = Batched.Ostree.rank_op rank_pivot in
+    let per_shard, insts, stats =
+      drive ~workers ~shards ~spec ~script ~finals:[ final_range; final_rank ]
+        ()
+    in
+    let expected =
+      Array.fold_left (fun acc op -> acc + op_count ~shards ~spec op) 0 script
+      + (2 * shards)
+    in
+    match check_stats ~name:"ostree" ~shards ~expected stats per_shard with
+    | Some e -> Error e
+    | None -> (
+        let oracles = Array.init shards (fun _ -> Oracle.Dict.create ()) in
+        let err = ref None in
+        let fail fmt =
+          Printf.ksprintf (fun m -> if !err = None then err := Some m) fmt
+        in
+        let route_check shard key =
+          if Batched.Shard.route ~shards key <> shard then
+            fail "key %d found in shard %d, routes to %d" key shard
+              (Batched.Shard.route ~shards key)
+        in
+        let oracle_batch shard o (b : Batched.Ostree.op array) =
+          (* Inserts, then deletes, then queries — Ostree.run_batch's
+             phase order. Select never reaches a shard batch. *)
+          Array.iter
+            (function
+              | Batched.Ostree.Insert r ->
+                  route_check shard r.Batched.Ostree.key;
+                  let expect = Oracle.Dict.add_if_absent o r.Batched.Ostree.key in
+                  if r.Batched.Ostree.inserted <> expect then
+                    fail "insert %d: inserted %b, oracle %b"
+                      r.Batched.Ostree.key r.Batched.Ostree.inserted expect
+              | _ -> ())
+            b;
+          Array.iter
+            (function
+              | Batched.Ostree.Delete r ->
+                  route_check shard r.Batched.Ostree.del_key;
+                  let expect = Oracle.Dict.remove o r.Batched.Ostree.del_key in
+                  if r.Batched.Ostree.deleted <> expect then
+                    fail "delete %d: deleted %b, oracle %b"
+                      r.Batched.Ostree.del_key r.Batched.Ostree.deleted expect
+              | _ -> ())
+            b;
+          Array.iter
+            (function
+              | Batched.Ostree.Rank r ->
+                  let expect = Oracle.Dict.rank o r.Batched.Ostree.rank_of in
+                  if r.Batched.Ostree.rank_result <> expect then
+                    fail "rank %d: %d, oracle %d" r.Batched.Ostree.rank_of
+                      r.Batched.Ostree.rank_result expect
+              | Batched.Ostree.Range r ->
+                  let expect =
+                    Oracle.Dict.range o ~lo:r.Batched.Ostree.r_lo
+                      ~hi:r.Batched.Ostree.r_hi
+                  in
+                  if r.Batched.Ostree.r_keys <> expect then
+                    fail "range [%d,%d): %s, oracle %s" r.Batched.Ostree.r_lo
+                      r.Batched.Ostree.r_hi
+                      (ints r.Batched.Ostree.r_keys)
+                      (ints expect)
+              | Batched.Ostree.Select _ ->
+                  fail "Select reached a shard batch"
+              | _ -> ())
+            b;
+          !err
+        in
+        let rec shard_loop s =
+          if s = shards then None
+          else
+            match
+              replay ~name:"ostree" ~shard:s
+                ~oracle_batch:(oracle_batch s oracles.(s))
+                per_shard.(s)
+            with
+            | Some e -> Some e
+            | None -> shard_loop (s + 1)
+        in
+        match shard_loop 0 with
+        | Some e -> Error e
+        | None -> (
+            Array.iter (fun t -> Batched.Ostree.check_invariants !t) insts;
+            let merged =
+              Batched.Shard.merge_sorted
+                (Array.map (fun t -> Batched.Ostree.to_sorted_list !t) insts)
+            in
+            let oracle_merged =
+              Batched.Shard.merge_sorted (Array.map Oracle.Dict.keys oracles)
+            in
+            if not (String.equal (ints merged) (ints oracle_merged)) then
+              Error
+                (Printf.sprintf
+                   "ostree: merged final state diverges\n\
+                   \  structure: %s\n\
+                   \  oracle:    %s"
+                   (ints merged) (ints oracle_merged))
+            else
+              match (final_range, final_rank) with
+              | Batched.Ostree.Range r, Batched.Ostree.Rank k ->
+                  let expect_rank =
+                    List.length (List.filter (fun x -> x < rank_pivot) oracle_merged)
+                  in
+                  if
+                    not
+                      (String.equal
+                         (ints r.Batched.Ostree.r_keys)
+                         (ints oracle_merged))
+                  then
+                    Error
+                      (Printf.sprintf
+                         "ostree: cross-shard range merge diverges\n\
+                         \  merged: %s\n\
+                         \  oracle: %s"
+                         (ints r.Batched.Ostree.r_keys)
+                         (ints oracle_merged))
+                  else if k.Batched.Ostree.rank_result <> expect_rank then
+                    Error
+                      (Printf.sprintf
+                         "ostree: cross-shard rank %d summed to %d, oracle %d"
+                         rank_pivot k.Batched.Ostree.rank_result expect_rank)
+                  else Ok (mk_report ~shards stats per_shard)
+              | _ -> assert false))
+  with
+  | Failure msg -> Error ("ostree: " ^ msg)
+  | Invalid_argument msg -> Error ("ostree: " ^ msg)
+
+(* ---------- registry ---------- *)
+
+let structures = [ "skiplist"; "hashtable"; "ostree" ]
+
+let run ?n_ops ?seed ?workers ~name ~shards () =
+  match name with
+  | "skiplist" -> skiplist ?n_ops ?seed ?workers ~shards ()
+  | "hashtable" -> hashtable ?n_ops ?seed ?workers ~shards ()
+  | "ostree" -> ostree ?n_ops ?seed ?workers ~shards ()
+  | _ -> invalid_arg ("Shard_conf.run: unknown structure " ^ name)

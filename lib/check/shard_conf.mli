@@ -1,0 +1,73 @@
+(** Sharded conformance: the cross-shard analogue of {!Conformance}.
+
+    Each run drives a seeded operation script through
+    [Runtime.Shard_rt] — K real [Batcher_rt] instances over one pool,
+    with ops routed by [Batched.Shard.plan] (point ops to their owning
+    shard, fan-out queries scattered one sub-operation per shard and
+    merged). Every shard's batch linearization is then replayed against
+    that shard's own {!Oracle.Dict} in the structure's documented phase
+    order, checking:
+
+    - {b routing} — every keyed op observed in shard s's batches
+      satisfies [route key = s];
+    - {b per-shard results} — each per-op result (including fan-out
+      sub-results: per-shard ranges, per-shard ranks) matches the
+      shard's oracle exactly;
+    - {b merge} — the K final states merged by [Shard.merge_sorted]
+      are byte-equal to the K oracles merged the same way, and a
+      quiescent full-domain fan-out query (range; for the ostree also
+      a rank) issued after the parallel phase returns exactly the
+      merged oracle answer.
+
+    With [shards = 1] this degenerates to single-instance conformance,
+    so K ∈ {1, 2, 4} sweeps also regression-test the combinator's
+    identity case. *)
+
+type report = {
+  sc_shards : int;
+  sc_ops : int;  (** ops batched, cross-shard sub-operations included *)
+  sc_batches : int;
+  sc_max_batch : int;
+  sc_per_shard_batches : int array;  (** batches per shard, index = shard *)
+}
+
+val skiplist :
+  ?n_ops:int ->
+  ?seed:int ->
+  ?workers:int ->
+  shards:int ->
+  unit ->
+  (report, string) result
+(** Point inserts/mems/deletes with ~1/8 cross-shard range queries. *)
+
+val hashtable :
+  ?n_ops:int ->
+  ?seed:int ->
+  ?workers:int ->
+  shards:int ->
+  unit ->
+  (report, string) result
+(** All-point workload (the hash table has no cross-shard queries). *)
+
+val ostree :
+  ?n_ops:int ->
+  ?seed:int ->
+  ?workers:int ->
+  shards:int ->
+  unit ->
+  (report, string) result
+(** Point inserts/deletes with cross-shard ranks (summed) and range
+    queries (merged); Select is excluded — not shardable. *)
+
+val structures : string list
+(** Names accepted by {!run}: ["skiplist"; "hashtable"; "ostree"]. *)
+
+val run :
+  ?n_ops:int ->
+  ?seed:int ->
+  ?workers:int ->
+  name:string ->
+  shards:int ->
+  unit ->
+  (report, string) result
+(** Dispatch by structure name; [Invalid_argument] on unknown names. *)

@@ -29,10 +29,19 @@ type worker_account = {
   wa_last : int;
 }
 
+type structure_account = {
+  sa_sid : int;
+  sa_batches : int;
+  sa_ops : int;
+  sa_setup : int;
+  sa_busy : int;
+}
+
 type t = {
   clock : Recorder.clock;
   p : int;
   per_worker : worker_account array;
+  per_structure : structure_account array;
   total : buckets;
   dropped : int;
 }
@@ -105,12 +114,62 @@ let account_worker clk r w =
     wa_last = last;
   }
 
+(* Batch_start and Batch_end for one batch are usually emitted by
+   different workers (launcher vs finisher), so pairing happens on the
+   time-merged stream. Invariant 1 — at most one batch in flight per
+   structure — makes in-order pairing per sid exact: a structure's next
+   Batch_end always closes its one open Batch_start. *)
+let per_structure r =
+  if not (Recorder.enabled r) then [||]
+  else begin
+    let tbl : (int, int ref * int ref * int ref * int ref * int option ref) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let get sid =
+      match Hashtbl.find_opt tbl sid with
+      | Some acc -> acc
+      | None ->
+          let acc = (ref 0, ref 0, ref 0, ref 0, ref None) in
+          Hashtbl.add tbl sid acc;
+          acc
+    in
+    List.iter
+      (fun (e : Recorder.event) ->
+        match e.kind with
+        | Recorder.Batch_start { sid; size; setup } ->
+            let _, ops, st, _, open_ = get sid in
+            ops := !ops + size;
+            st := !st + setup;
+            open_ := Some e.time
+        | Recorder.Batch_end { sid; _ } ->
+            let batches, _, _, busy, open_ = get sid in
+            incr batches;
+            (match !open_ with
+            | Some t0 -> busy := !busy + (e.time - t0)
+            | None -> (* launch lost to ring wraparound *) ());
+            open_ := None
+        | _ -> ())
+      (Recorder.all_events r);
+    Hashtbl.fold (fun sid acc l -> (sid, acc) :: l) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun (sid, (b, o, s, bu, _)) ->
+           {
+             sa_sid = sid;
+             sa_batches = !b;
+             sa_ops = !o;
+             sa_setup = !s;
+             sa_busy = !bu;
+           })
+    |> Array.of_list
+  end
+
 let of_recorder r =
   if not (Recorder.enabled r) then
     {
       clock = Recorder.clock r;
       p = 0;
       per_worker = [||];
+      per_structure = [||];
       total = zero_buckets;
       dropped = 0;
     }
@@ -123,6 +182,7 @@ let of_recorder r =
       clock = clk;
       p = Recorder.workers r;
       per_worker;
+      per_structure = per_structure r;
       total =
         Array.fold_left
           (fun acc wa -> add_buckets acc wa.wa_buckets)
@@ -191,7 +251,12 @@ let pp fmt t =
     (fun wa ->
       Format.fprintf fmt "  w%d: %a  covered=%d span=[%d,%d]@." wa.wa_worker
         pp_buckets wa.wa_buckets wa.wa_covered wa.wa_first wa.wa_last)
-    t.per_worker
+    t.per_worker;
+  Array.iter
+    (fun sa ->
+      Format.fprintf fmt "  sid%d: batches=%d ops=%d setup=%d busy=%d@."
+        sa.sa_sid sa.sa_batches sa.sa_ops sa.sa_setup sa.sa_busy)
+    t.per_structure
 
 let buckets_json b =
   Json.Obj
@@ -202,6 +267,16 @@ let buckets_json b =
       ("sched", Json.Int b.sched);
       ("idle", Json.Int b.idle);
       ("wait", Json.Int b.wait);
+    ]
+
+let structure_json sa =
+  Json.Obj
+    [
+      ("sid", Json.Int sa.sa_sid);
+      ("batches", Json.Int sa.sa_batches);
+      ("ops", Json.Int sa.sa_ops);
+      ("setup", Json.Int sa.sa_setup);
+      ("busy", Json.Int sa.sa_busy);
     ]
 
 let to_json t =
@@ -226,4 +301,6 @@ let to_json t =
                       ("last", Json.Int wa.wa_last);
                     ])
                 t.per_worker)) );
+      ( "per_structure",
+        Json.List (Array.to_list (Array.map structure_json t.per_structure)) );
     ]

@@ -47,10 +47,27 @@ type worker_account = {
   wa_last : int;  (** end of the worker's observed span *)
 }
 
+(** Per-structure (per-shard, under {!Batched.Shard}-style sharding)
+    batch accounting, derived from the [Batch_start]/[Batch_end]
+    events of the same recording the worker buckets come from. *)
+type structure_account = {
+  sa_sid : int;
+  sa_batches : int;  (** completed batches ([Batch_end] count) *)
+  sa_ops : int;  (** ops collected into launches (Σ [Batch_start] size) *)
+  sa_setup : int;  (** Σ modeled setup/cleanup units (0 on the runtime) *)
+  sa_busy : int;
+      (** Σ (end − launch) clock units the structure had a batch in
+          flight — its serialized occupancy, the per-shard surface of
+          the m·s(n/K) term. Invariant 1 makes the in-order pairing of
+          each sid's starts and ends exact. *)
+}
+
 type t = {
   clock : Recorder.clock;
   p : int;
   per_worker : worker_account array;
+  per_structure : structure_account array;
+      (** sorted by [sa_sid]; only sids that launched appear *)
   total : buckets;
   dropped : int;  (** ring-wraparound losses; nonzero voids {!check} *)
 }
@@ -60,6 +77,13 @@ val of_recorder : Recorder.t -> t
     account ([p = 0]). *)
 
 val total_covered : t -> int
+
+val per_structure : Recorder.t -> structure_account array
+(** The [per_structure] field computed directly from a recorder,
+    without the worker-bucket fold. Sorted by [sa_sid]; only sids that
+    launched at least once appear. Batches whose launch event was lost
+    to ring wraparound count in [sa_batches] but contribute no
+    [sa_busy]. Empty when disabled. *)
 
 val check : ?expected:int -> ?slack:int -> t -> (unit, string) result
 (** Conservation: fails on dropped events, on any worker whose bucket

@@ -145,6 +145,27 @@ let check_stalls ?now t =
 
 let stall_count t = Atomic.get t.stalls
 
+type watchdog = { wd_stop : bool Atomic.t; wd_dom : unit Domain.t option }
+
+let watchdog_start ?(tick_s = 0.01) t =
+  if (not t.on) || tick_s <= 0.0 then
+    { wd_stop = Atomic.make true; wd_dom = None }
+  else begin
+    let stop = Atomic.make false in
+    let dom =
+      Domain.spawn (fun () ->
+          while not (Atomic.get stop) do
+            check_stalls t;
+            Unix.sleepf tick_s
+          done)
+    in
+    { wd_stop = stop; wd_dom = Some dom }
+  end
+
+let watchdog_stop w =
+  Atomic.set w.wd_stop true;
+  match w.wd_dom with None -> () | Some d -> Domain.join d
+
 let heartbeat_age_ns t ~worker ~now =
   if (not t.on) || worker < 0 || worker >= t.workers || t.hb.(worker) = 0 then -1
   else now - t.hb.(worker)

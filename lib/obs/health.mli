@@ -8,8 +8,9 @@
       iteration (one clock read and one array store); the sampler
       reports every worker's beat age, so a wedged domain is visible.
     - {b Stall watchdog} — ops pending on a structure but no batch
-      launched within [stall_ns]: {!check_stalls} (run from the
-      {!Snapshot} sampler thread) opens one stall {e episode} per
+      launched within [stall_ns]: {!check_stalls} (run from a dedicated
+      {!watchdog_start} tick domain, or piggybacked on the {!Snapshot}
+      sampler thread) opens one stall {e episode} per
       offence, counted monotonically and folded into the attached
       {!Invariants} counters; the episode closes when a batch launches
       or the structure drains.
@@ -87,6 +88,21 @@ val check_stalls : ?now:int -> t -> unit
     defaults to {!Clock.now_ns}. *)
 
 val stall_count : t -> int
+
+type watchdog
+
+val watchdog_start : ?tick_s:float -> t -> watchdog
+(** Spawn a dedicated domain that runs {!check_stalls} every [tick_s]
+    seconds (default 10 ms). Without it, stall detection latency is
+    [stall_ns] + the {!Snapshot} sampler interval (often 100 ms–1 s);
+    with it the bound tightens to [stall_ns + tick_s] + scheduling
+    noise. The domain sleeps between ticks, so a fine tick costs
+    wakeups, not CPU. Inert (no domain) when [t] is disabled or
+    [tick_s <= 0]. *)
+
+val watchdog_stop : watchdog -> unit
+(** Signal the tick domain to exit and join it. Idempotent. *)
+
 val heartbeat_age_ns : t -> worker:int -> now:int -> int
 (** [-1] before the worker's first beat. *)
 

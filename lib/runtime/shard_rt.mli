@@ -1,0 +1,66 @@
+(** K independent {!Batcher_rt} instances over one {!Pool} — the
+    runtime half of keyspace sharding.
+
+    Invariant 1 serializes batches {e per structure}; registering K
+    instances makes it per-shard, so up to [min K P] batches run
+    concurrently. Each shard carries structure id [sid_base + shard]
+    in every recorder event, health histogram and online invariant
+    checker, so all observability separates per shard for free.
+
+    Routing policy lives in [Batched.Shard] (which computes per-op
+    plans); this module only executes submissions. A typical caller:
+
+    {[
+      match Batched.Shard.plan sh op with
+      | Batched.Shard.Point s -> Shard_rt.batchify t ~shard:s op
+      | Batched.Shard.Fanout { sub; merge } ->
+          Shard_rt.scatter t sub;
+          merge ()
+    ]} *)
+
+type ('s, 'op) t
+
+val create :
+  ?batch_cap:int ->
+  ?impl:Batcher_rt.impl ->
+  ?sid_base:int ->
+  ?invariants:Obs.Invariants.t ->
+  pool:Pool.t ->
+  shards:int ->
+  state:(int -> 's) ->
+  run_batch:(Pool.t -> 's -> 'op array -> unit) ->
+  unit ->
+  ('s, 'op) t
+(** [state i] builds shard [i]'s structure instance; [run_batch] is the
+    shared BOP (it receives the shard's own state, and by per-shard
+    Invariant 1 never runs concurrently {e with itself on the same
+    shard} — different shards' batches do overlap, so [run_batch] must
+    not touch state shared across shards). [batch_cap], [impl] and
+    [invariants] are per-instance settings applied to every shard;
+    shard [i] is registered under structure id [sid_base + i]
+    (default base 0). When the pool carries a health instance or
+    recorder, it must cover [sid_base + shards] structures. *)
+
+val shards : ('s, 'op) t -> int
+val pool : ('s, 'op) t -> Pool.t
+val batcher : ('s, 'op) t -> int -> ('s, 'op) Batcher_rt.t
+val state : ('s, 'op) t -> int -> 's
+
+val batchify : ('s, 'op) t -> shard:int -> 'op -> unit
+(** Submit a point operation to one shard; suspends the task until the
+    batch containing it completes. Must be called from within a pool
+    task. *)
+
+val scatter : ('s, 'op) t -> 'op array -> unit
+(** Submit one sub-operation per shard ([Array.length = shards]),
+    fork-join style: the sub-operations park on their shards
+    concurrently, so a cross-shard query pays one batch latency, not
+    K. Returns when every sub-batch has completed; the caller merges
+    the sub-results afterwards. Must be called from within a pool
+    task. *)
+
+val stats : ('s, 'op) t -> Batcher_rt.stats array
+(** Per-shard counters, index = shard. *)
+
+val total_stats : ('s, 'op) t -> Batcher_rt.stats
+(** Sum over shards (max for [max_batch]). *)

@@ -313,7 +313,8 @@ let launch st w =
   let bop = if cfg.sequential_batches then Par.leaf (Par.work bop) else bop in
   st.batch_details <-
     {
-      Metrics.bd_size = Array.length members;
+      Metrics.bd_sid = sid;
+      bd_size = Array.length members;
       bd_work = Par.work bop;
       bd_span = Par.span bop;
     }

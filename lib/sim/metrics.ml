@@ -18,6 +18,7 @@ type t = {
 }
 
 and batch_detail = {
+  bd_sid : int;
   bd_size : int;
   bd_work : int;
   bd_span : int;

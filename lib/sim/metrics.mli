@@ -28,6 +28,7 @@ type t = {
 }
 
 and batch_detail = {
+  bd_sid : int;  (** structure (shard) the batch belongs to *)
   bd_size : int;  (** data-structure nodes in the batch *)
   bd_work : int;  (** BOP work w_A (setup/cleanup excluded, as in §2) *)
   bd_span : int;  (** BOP span s_A *)

@@ -41,6 +41,28 @@ let parallel_ops ~model ~records_per_node ~n_nodes ?(pre = 1) ?(post = 1) () =
   let core = parallel_loop_dag ~n_nodes ~pre ~post in
   single_structure ~core ~model ~records_per_node ~n_nodes
 
+let sharded_ops ~model_for ~shards ~records_per_node ~n_nodes () =
+  if shards < 1 then invalid_arg "Workload.sharded_ops: shards >= 1";
+  if n_nodes < 1 then invalid_arg "Workload.sharded_ops: n_nodes >= 1";
+  {
+    core = parallel_loop_dag ~n_nodes ~pre:1 ~post:1;
+    models = Batched.Shard.models ~shards model_for;
+    (* The node index doubles as the operation's key, routed exactly as
+       the real combinator routes: the sim's per-shard batch flags then
+       exercise the same shard mix the runtime would. *)
+    assign = (fun idx -> Batched.Shard.route ~shards idx);
+    records_per_node;
+    n_nodes;
+  }
+
+let per_structure_nodes t =
+  let counts = Array.make (Array.length t.models) 0 in
+  for idx = 0 to t.n_nodes - 1 do
+    let sid = t.assign idx in
+    counts.(sid) <- counts.(sid) + 1
+  done;
+  counts
+
 let interleaved_ops ~models ~records_per_node ~n_nodes () =
   if models = [] then invalid_arg "Workload.interleaved_ops: no models";
   if n_nodes < 1 then invalid_arg "Workload.interleaved_ops: n_nodes >= 1";

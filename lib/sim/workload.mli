@@ -54,6 +54,26 @@ val interleaved_ops :
     [i mod (length models)] — a program using several implicitly batched
     structures at once. *)
 
+val sharded_ops :
+  model_for:(int -> Batched.Model.t) ->
+  shards:int ->
+  records_per_node:int ->
+  n_nodes:int ->
+  unit ->
+  t
+(** {!parallel_ops} over a structure sharded K ways: [model_for i] is
+    shard [i]'s cost model (typically the structure at ~1/K of its full
+    size), and iteration [idx] targets shard
+    [Batched.Shard.route ~shards idx] — the node index doubles as the
+    key, routed exactly as the real combinator routes, so the sim's
+    per-shard batch flags see the same shard mix the runtime would.
+    With [shards = 1] this degenerates to {!parallel_ops}. *)
+
+val per_structure_nodes : t -> int array
+(** Data-structure nodes assigned to each structure (index = sid);
+    sums to [n_nodes]. The per-shard n_i of the composed Theorem-1
+    bound and of per-shard conservation checks. *)
+
 val chained_ops :
   model:Batched.Model.t ->
   records_per_node:int ->

@@ -91,6 +91,82 @@ let test_cross_check () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "disabled recorder accepted"
 
+(* ---------- sharding: conformance, fuzz rotation, shrinking ---------- *)
+
+(* Sharded conformance across K instances of the real runtime; K = 1
+   regression-tests the combinator's identity case. *)
+let shard_conf_cases =
+  List.concat_map
+    (fun name ->
+      List.map
+        (fun k ->
+          Alcotest.test_case (Printf.sprintf "%s K=%d" name k) `Quick (fun () ->
+              check_ok (Check.Shard_conf.run ~n_ops:48 ~name ~shards:k ())))
+        [ 1; 2; 4 ])
+    Check.Shard_conf.structures
+
+(* Forcing shard_k on generated cases exercises the per-shard composed
+   Theorem-1 bound and per-shard conservation on every schedule. *)
+let test_sharded_sweep () =
+  List.iter
+    (fun k ->
+      let cases_run, failures =
+        Check.Schedule_fuzz.sweep
+          ~map_case:(fun c -> { c with Check.Schedule_fuzz.shard_k = k })
+          ~seeds:(List.init 12 (fun i -> 2000 + i))
+          ()
+      in
+      Alcotest.(check int) (Printf.sprintf "K=%d all run" k) 12 cases_run;
+      match failures with
+      | [] -> ()
+      | f :: _ ->
+          Alcotest.fail
+            (Printf.sprintf "K=%d: %s\n%s" k
+               f.Check.Schedule_fuzz.f_shrunk_error
+               (Check.Schedule_fuzz.to_ocaml f.Check.Schedule_fuzz.f_shrunk)))
+    [ 2; 4 ]
+
+(* Greedy shrinking on a seeded failing sharded case: failure must be
+   preserved at every step, the result must be no larger, and shard_k
+   must participate in the reduction (ending at the unsharded default).
+   The failure is induced by an impossibly tight bound factor, so every
+   reduction of the cross-shard case keeps failing. *)
+let test_sharded_shrink_reproducer () =
+  let seeded =
+    {
+      (Check.Schedule_fuzz.case_of_seed 77) with
+      Check.Schedule_fuzz.family = Check.Schedule_fuzz.Parallel_ops;
+      model = Check.Schedule_fuzz.Skiplist;
+      shard_k = 4;
+      size = 24;
+      p = 4;
+      batch_cap = 4;
+      launch_threshold = 1;
+      steal_policy = Sim.Batcher.Alternating;
+      overhead = Sim.Batcher.Tree_setup;
+      sequential_batches = false;
+    }
+  in
+  let bf = 1e-6 in
+  (match Check.Schedule_fuzz.run_case ~bound_factor:bf seeded with
+  | Ok () -> Alcotest.fail "seeded sharded case unexpectedly passes"
+  | Error _ -> ());
+  let shrunk = Check.Schedule_fuzz.shrink ~bound_factor:bf seeded in
+  (match Check.Schedule_fuzz.run_case ~bound_factor:bf shrunk with
+  | Ok () -> Alcotest.fail "shrunk case no longer fails"
+  | Error _ -> ());
+  Alcotest.(check bool)
+    "shrunk no larger" true
+    (shrunk.Check.Schedule_fuzz.size <= seeded.Check.Schedule_fuzz.size
+    && shrunk.Check.Schedule_fuzz.p <= seeded.Check.Schedule_fuzz.p);
+  Alcotest.(check int)
+    "shard_k reduced to the unsharded default" 1
+    shrunk.Check.Schedule_fuzz.shard_k;
+  let snippet = Check.Schedule_fuzz.to_ocaml shrunk in
+  Alcotest.(check bool)
+    "renders a ready-to-paste reproducer" true
+    (String.length snippet > 0)
+
 (* ---------- determinism: byte-identical metrics ---------- *)
 
 let test_metrics_deterministic () =
@@ -179,6 +255,43 @@ let prop_random_configs_complete =
       metrics.Sim.Metrics.batch_size_total = n_nodes
       && metrics.Sim.Metrics.max_batch_size <= cfg.Sim.Batcher.batch_cap)
 
+(* Every key routes to exactly one shard: route is a total function
+   into [0, K), so existence and uniqueness are determinism + range. *)
+let prop_route_total =
+  QCheck.Test.make ~name:"route: total, deterministic, in [0,K)" ~count:500
+    QCheck.(pair int (1 -- 8))
+    (fun (key, shards) ->
+      let s = Batched.Shard.route ~shards key in
+      0 <= s && s < shards && s = Batched.Shard.route ~shards key)
+
+(* Every keyed point op plans to the shard route picks for its key, for
+   all three shardable structures; fan-out queries scatter one
+   sub-operation per shard. *)
+let prop_point_plans_follow_route =
+  QCheck.Test.make ~name:"point plans land on route's shard" ~count:300
+    QCheck.(pair small_nat (2 -- 6))
+    (fun (key, shards) ->
+      let open Batched in
+      let expect = Shard.route ~shards key in
+      let point spec op =
+        match spec.Shard.plan ~shards op with
+        | Shard.Point s -> s = expect
+        | Shard.Fanout _ -> false
+      in
+      point Shard.skiplist (Skiplist.insert key)
+      && point Shard.skiplist (Skiplist.mem key)
+      && point Shard.skiplist (Skiplist.delete key)
+      && point Shard.hashtable (Hashtable.insert ~key ~value:0)
+      && point Shard.hashtable (Hashtable.lookup key)
+      && point Shard.ostree (Ostree.insert_op key)
+      && point Shard.ostree (Ostree.delete_op key)
+      &&
+      match
+        Shard.skiplist.Shard.plan ~shards (Skiplist.range ~lo:0 ~hi:10)
+      with
+      | Shard.Fanout { sub; _ } -> Array.length sub = shards
+      | Shard.Point _ -> false)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -186,6 +299,8 @@ let qcheck_cases =
       prop_default_traces_validate;
       prop_batched_beats_sequential;
       prop_random_configs_complete;
+      prop_route_total;
+      prop_point_plans_follow_route;
     ]
 
 let () =
@@ -204,6 +319,13 @@ let () =
             test_shrink_is_identity_on_passing;
           Alcotest.test_case "bound smoke" `Quick test_bound_smoke;
           Alcotest.test_case "attribution cross-check" `Quick test_cross_check;
+        ] );
+      ("sharded-conformance", shard_conf_cases);
+      ( "sharded-fuzz",
+        [
+          Alcotest.test_case "forced shard_k sweeps" `Quick test_sharded_sweep;
+          Alcotest.test_case "seeded cross-shard case shrinks" `Quick
+            test_sharded_shrink_reproducer;
         ] );
       ( "determinism",
         [

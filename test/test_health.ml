@@ -94,6 +94,47 @@ let test_stall_counter_fires () =
   Obs.Health.check_stalls ~now:(later + 20_000_000_000) hl;
   check "new episode after launch" 2 (Obs.Health.stall_count hl)
 
+(* The dedicated watchdog tick: before it, a stall was only noticed at
+   the next snapshot sample, so detection latency was stall_ns + the
+   sampler interval (50-100 ms in the soak configs). The tick domain
+   bounds it by stall_ns + tick_s independent of any sampler. Seed a
+   frozen structure and pin the new bound end to end, with slack for
+   scheduling noise on a loaded CI box — the ceiling asserted here is
+   still well under what any sampler-coupled path could promise. *)
+let test_watchdog_detection_latency () =
+  let inv = exact () in
+  let stall_ns = 30_000_000 in
+  let hl =
+    Obs.Health.create ~invariants:inv ~stall_ns ~workers:1 ~structures:1 ()
+  in
+  let wd = Obs.Health.watchdog_start ~tick_s:0.005 hl in
+  Fun.protect
+    ~finally:(fun () -> Obs.Health.watchdog_stop wd)
+    (fun () ->
+      (* A pending op that never launches: a stall episode opens once
+         stall_ns elapses, and only the watchdog is looking. *)
+      Obs.Health.op_issued hl ~sid:0;
+      let t0 = Obs.Clock.now_ns () in
+      let deadline = t0 + 2_000_000_000 in
+      while
+        Obs.Health.stall_count hl = 0 && Obs.Clock.now_ns () < deadline
+      do
+        Unix.sleepf 0.001
+      done;
+      let detected_ns = Obs.Clock.now_ns () - t0 in
+      check "stall detected" 1 (Obs.Health.stall_count hl);
+      check "folded into invariant counters" 1 (viol inv Obs.Recorder.Stall);
+      check_bool
+        (Printf.sprintf "detected in %.1f ms < stall + 70 ms"
+           (float_of_int detected_ns /. 1e6))
+        true
+        (detected_ns < stall_ns + 70_000_000));
+  (* Stop is idempotent and the disabled instance yields an inert
+     watchdog (no domain to leak). *)
+  Obs.Health.watchdog_stop wd;
+  let inert = Obs.Health.watchdog_start Obs.Health.null in
+  Obs.Health.watchdog_stop inert
+
 (* ---- checker mechanics ---- *)
 
 let test_sampled_mode () =
@@ -380,6 +421,8 @@ let () =
         [
           Alcotest.test_case "stall watchdog fires and re-arms" `Quick
             test_stall_counter_fires;
+          Alcotest.test_case "watchdog tick detection latency" `Quick
+            test_watchdog_detection_latency;
           Alcotest.test_case "phase histos merge; SLO burn" `Quick
             test_phase_histo_and_burn;
           Alcotest.test_case "heartbeat ages" `Quick test_heartbeat_age;

@@ -578,6 +578,56 @@ let test_pool_teardown_under_exception () =
   in
   Alcotest.(check int) "fresh pool still works" 4950 total
 
+(* Sharded extension of the teardown-under-exception regression: the
+   computation blows up while shard 0 has a batch in flight (its BOP is
+   mid-sleep on a worker) and shard 1 holds parked overflow ops (cap 1:
+   one op launched, the rest queued behind the flag). Teardown must
+   still join every domain, the exception must win the race, and the
+   runtime must stay healthy enough to run fresh sharded work. *)
+let test_shard_rt_teardown_in_flight () =
+  (match
+     with_pool 3 (fun pool ->
+         let rt =
+           Runtime.Shard_rt.create ~batch_cap:1 ~pool ~shards:2
+             ~state:(fun _ -> Batched.Counter.create ())
+             ~run_batch:(fun _pool st ops ->
+               Unix.sleepf 0.02;
+               Batched.Counter.run_batch st ops)
+             ()
+         in
+         Runtime.Pool.run pool (fun () ->
+             Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:6 (fun i ->
+                 if i = 5 then begin
+                   (* Let the submitters park and the BOPs start their
+                      service sleeps before blowing up underneath them. *)
+                   Unix.sleepf 0.005;
+                   failwith "shard-boom"
+                 end
+                 else
+                   Runtime.Shard_rt.batchify rt ~shard:(i land 1)
+                     (Batched.Counter.op 1))))
+   with
+  | () -> Alcotest.fail "expected the exception to propagate"
+  | exception Failure msg ->
+      Alcotest.(check string) "reraised" "shard-boom" msg);
+  let total =
+    with_pool 2 (fun pool ->
+        let rt =
+          Runtime.Shard_rt.create ~pool ~shards:2
+            ~state:(fun _ -> Batched.Counter.create ())
+            ~run_batch:(fun _pool st ops -> Batched.Counter.run_batch st ops)
+            ()
+        in
+        Runtime.Pool.run pool (fun () ->
+            Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:40 (fun i ->
+                Runtime.Shard_rt.batchify rt
+                  ~shard:(Batched.Shard.route ~shards:2 i)
+                  (Batched.Counter.op 1)));
+        Batched.Counter.value (Runtime.Shard_rt.state rt 0)
+        + Batched.Counter.value (Runtime.Shard_rt.state rt 1))
+  in
+  Alcotest.(check int) "fresh pool runs sharded work" 40 total
+
 let () =
   Alcotest.run "runtime"
     [
@@ -621,5 +671,7 @@ let () =
             test_batcher_rt_multiple_structures;
           Alcotest.test_case "sp-order under parallelism" `Quick test_batcher_rt_sp_order;
           Alcotest.test_case "randomized stress" `Slow test_batcher_rt_randomized_stress;
+          Alcotest.test_case "sharded teardown with batch in flight" `Quick
+            test_shard_rt_teardown_in_flight;
         ] );
     ]
