@@ -1,6 +1,6 @@
 (* Compare two BENCH_results.json files and print throughput deltas.
 
-   Usage: bench_diff.exe OLD.json NEW.json
+   Usage: bench_diff.exe [--gate-p99 PCT] OLD.json NEW.json
 
    Experiments are matched by id; rows are matched by the signature of
    their non-metric fields (every field except the recognized metric
@@ -8,8 +8,15 @@
    each matched row it prints old vs. new for the metric fields it
    knows ("ops_per_sec" and "throughput" count up, "ns", "ns_per_run"
    and "makespan" count down) with a percent delta. Rows present on
-   only one side are listed, not diffed. Exits 0 always — this is a
-   reporting tool, not a gate. *)
+   only one side are listed, not diffed.
+
+   Exits 0 by default — a reporting tool, not a gate — unless
+   --gate-p99 PCT is given, which turns the service rows' tail into CI
+   teeth: exit 1 when any matched row's "p99_ns" grew by more than PCT
+   percent. p99 is the gated percentile deliberately: p50 moves with
+   load-point luck and p999 of a short run is a handful of samples,
+   while a p99 shift is what a real batching/scheduling regression
+   looks like in the SVC rows. *)
 
 let metric_keys =
   (* key, higher_is_better *)
@@ -38,6 +45,18 @@ let metric_keys =
     ("attrib_sched", false);
     ("attrib_idle", false);
     ("attrib_wait", false);
+    (* Service rows (SVC): per-op-class latency digests and goodput
+       from the open-loop drivers. "requests" is a metric (not
+       identity) because the runtime leg's request count follows the
+       seeded arrival draw, not the config. *)
+    ("goodput", true);
+    ("requests", true);
+    ("p50_ns", false);
+    ("p99_ns", false);
+    ("p999_ns", false);
+    ("mean_ns", false);
+    ("max_ns", false);
+    ("max_batches_seen", false);
   ]
 
 let is_metric k = List.mem_assoc k metric_keys
@@ -93,6 +112,9 @@ let metrics row =
 let pct_delta ~old_v ~new_v =
   if old_v = 0.0 then nan else 100.0 *. (new_v -. old_v) /. old_v
 
+let gate_p99 : float option ref = ref None
+let p99_breaches : string list ref = ref []
+
 let diff_rows id old_rows new_rows =
   let old_tbl = Hashtbl.create 16 in
   List.iter (fun r -> Hashtbl.replace old_tbl (signature r) r) old_rows;
@@ -114,6 +136,14 @@ let diff_rows id old_rows new_rows =
                   let up = List.assoc k metric_keys in
                   let d = pct_delta ~old_v ~new_v in
                   let better = if up then d >= 0.0 else d <= 0.0 in
+                  (match !gate_p99 with
+                  | Some pct when k = "p99_ns" && (not (Float.is_nan d)) && d > pct
+                    ->
+                      p99_breaches :=
+                        Printf.sprintf "%s | %s: p99 %.0fns -> %.0fns (%+.1f%% > %g%%)"
+                          id sg old_v new_v d pct
+                        :: !p99_breaches
+                  | _ -> ());
                   Printf.printf
                     "  %s | %-40s  %s: %14.1f -> %14.1f  %+7.1f%% %s\n" id sg
                     k old_v new_v d
@@ -128,21 +158,45 @@ let diff_rows id old_rows new_rows =
   !matched
 
 let () =
-  if Array.length Sys.argv <> 3 then
-    die "usage: bench_diff.exe OLD.json NEW.json";
-  let old_j = load Sys.argv.(1) and new_j = load Sys.argv.(2) in
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--gate-p99" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some pct when pct >= 0.0 ->
+            gate_p99 := Some pct;
+            parse rest
+        | _ -> die (Printf.sprintf "--gate-p99 expects a percentage, got %S" v))
+    | a :: _ when String.length a > 1 && a.[0] = '-' ->
+        die (Printf.sprintf "unknown option %s" a)
+    | a :: rest ->
+        positional := a :: !positional;
+        parse rest
+  in
+  parse (Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1)));
+  let old_path, new_path =
+    match List.rev !positional with
+    | [ o; n ] -> (o, n)
+    | _ -> die "usage: bench_diff.exe [--gate-p99 PCT] OLD.json NEW.json"
+  in
+  let old_j = load old_path and new_j = load new_path in
   let old_exps = experiments old_j and new_exps = experiments new_j in
-  Printf.printf "bench diff: %s -> %s\n" Sys.argv.(1) Sys.argv.(2);
+  Printf.printf "bench diff: %s -> %s\n" old_path new_path;
   let total = ref 0 in
   List.iter
     (fun (id, new_rows) ->
       match List.assoc_opt id old_exps with
-      | None -> Printf.printf "  %s: only in %s\n" id Sys.argv.(2)
+      | None -> Printf.printf "  %s: only in %s\n" id new_path
       | Some old_rows -> total := !total + diff_rows id old_rows new_rows)
     new_exps;
   List.iter
     (fun (id, _) ->
       if not (List.mem_assoc id new_exps) then
-        Printf.printf "  %s: only in %s\n" id Sys.argv.(1))
+        Printf.printf "  %s: only in %s\n" id old_path)
     old_exps;
-  Printf.printf "%d row(s) compared\n" !total
+  Printf.printf "%d row(s) compared\n" !total;
+  match List.rev !p99_breaches with
+  | [] -> ()
+  | breaches ->
+      List.iter (fun b -> Printf.printf "GATE p99 regression: %s\n" b) breaches;
+      exit 1

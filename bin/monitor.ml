@@ -285,12 +285,37 @@ let () =
   let ofs = ref 0 in
   ofs := read_new path !ofs (feed st);
   if !follow then begin
+    (* Poll [Unix.stat] and only open the file when its mtime or size
+       moved — a quiescent stream costs one stat per tick, not an
+       open/seek/read (inotify would remove even the stat, but is
+       Linux-only and out of scope). A size below the current offset
+       means the writer truncated and restarted the file (a new run
+       reusing the path): start over from offset 0 rather than waiting
+       at a position past EOF forever. *)
     let idle = ref 0.0 in
+    let last_mtime = ref neg_infinity and last_size = ref (-1) in
     while !idle < !idle_timeout && st.worst = None do
       Unix.sleepf !interval;
-      let ofs' = read_new path !ofs (feed st) in
-      if ofs' > !ofs then idle := 0.0 else idle := !idle +. !interval;
-      ofs := ofs'
+      match Unix.stat path with
+      | exception Unix.Unix_error _ ->
+          (* Deleted mid-follow; keep waiting for it to reappear. *)
+          idle := !idle +. !interval
+      | s ->
+          let size = s.Unix.st_size in
+          if size < !ofs then begin
+            if not !quiet then
+              Printf.printf "file truncated (%d -> %d bytes); re-reading\n%!"
+                !ofs size;
+            ofs := 0
+          end;
+          if s.Unix.st_mtime <> !last_mtime || size <> !last_size then begin
+            last_mtime := s.Unix.st_mtime;
+            last_size := size;
+            let ofs' = read_new path !ofs (feed st) in
+            if ofs' > !ofs then idle := 0.0 else idle := !idle +. !interval;
+            ofs := ofs'
+          end
+          else idle := !idle +. !interval
     done
   end;
   exit (verdict st)

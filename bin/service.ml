@@ -1,0 +1,198 @@
+(* Open-loop KV-service runner: one named scenario, both executions.
+
+     dune exec bin/service.exe -- --scenario standard
+     dune exec bin/service.exe -- --scenario smoke --exec sim
+     dune exec bin/service.exe -- --list
+
+   The sim leg sweeps the scenario's worker counts on the virtual
+   clock (Sim.Openloop) and cross-checks every point's per-request
+   waits against the composed Theorem-1 bound terms
+   (Check.Bound.service_check); the runtime leg is a timed open-loop
+   run over Pool/Shard_rt per shard count, every request measured from
+   its scheduled arrival stamp. SVC rows are merged into the results
+   file, preserving other experiments and other scenarios' rows. *)
+
+let usage () =
+  prerr_endline
+    "usage: service [options]\n\n\
+     Runs one service scenario open-loop and merges SVC rows into the\n\
+     results file.\n\
+    \  --scenario NAME  scenario to run (default standard; see --list)\n\
+    \  --list           list scenarios and exit\n\
+    \  --exec MODE      sim | runtime | both (default both)\n\
+    \  --workers N      runtime pool size (default: recommended count,\n\
+    \                   min 2 -- the dispatcher owns a worker)\n\
+    \  --duration S     override the runtime leg's measured seconds\n\
+    \  --seed N         override the scenario's seed\n\
+    \  --out PATH       results file (default BENCH_results.json)\n\
+    \  --snapshot PATH  stream Obs.Snapshot JSONL (runtime leg) to PATH\n\
+    \  --quiet          print only failures and the final summary\n\
+     Exit status: 0 ok, 1 a sim point escaped the Theorem-1 wait\n\
+     budget, 2 usage error."
+
+let die fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("service: " ^ m);
+      usage ();
+      exit 2)
+    fmt
+
+let kns ns = Printf.sprintf "%.1f" (ns /. 1e3)
+
+let print_classes ~quiet classes =
+  if not quiet then
+    List.iter
+      (fun (c : Svc.Latency.class_stats) ->
+        Printf.printf "    %-6s n=%-7d p50=%sus p99=%sus p999=%sus max=%sus\n"
+          c.Svc.Latency.cls c.Svc.Latency.requests
+          (kns c.Svc.Latency.p50_ns)
+          (kns c.Svc.Latency.p99_ns)
+          (kns c.Svc.Latency.p999_ns)
+          (kns c.Svc.Latency.max_ns))
+      classes
+
+let () =
+  let scenario = ref "standard" in
+  let list_only = ref false in
+  let exec = ref "both" in
+  let workers = ref None in
+  let duration = ref None in
+  let seed = ref None in
+  let out = ref "BENCH_results.json" in
+  let snapshot = ref None in
+  let quiet = ref false in
+  let args = Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1)) in
+  let rec go = function
+    | [] -> ()
+    | "--list" :: rest ->
+        list_only := true;
+        go rest
+    | "--quiet" :: rest ->
+        quiet := true;
+        go rest
+    | "--scenario" :: v :: rest ->
+        scenario := v;
+        go rest
+    | "--exec" :: v :: rest ->
+        if v <> "sim" && v <> "runtime" && v <> "both" then
+          die "--exec expects sim|runtime|both, got %S" v;
+        exec := v;
+        go rest
+    | "--workers" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+            workers := Some n;
+            go rest
+        | _ -> die "--workers expects a positive integer, got %S" v)
+    | "--duration" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some d when d > 0.0 ->
+            duration := Some d;
+            go rest
+        | _ -> die "--duration expects positive seconds, got %S" v)
+    | "--seed" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n ->
+            seed := Some n;
+            go rest
+        | _ -> die "--seed expects an integer, got %S" v)
+    | "--out" :: v :: rest ->
+        out := v;
+        go rest
+    | "--snapshot" :: v :: rest ->
+        snapshot := Some v;
+        go rest
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | arg :: _ -> die "unknown argument %s" arg
+  in
+  go args;
+  if !list_only then begin
+    List.iter
+      (fun (s : Svc.Scenario.t) ->
+        Printf.printf "%-14s %s\n" s.Svc.Scenario.name
+          s.Svc.Scenario.descr)
+      Svc.Scenario.all;
+    exit 0
+  end;
+  let sc =
+    match Svc.Scenario.find !scenario with
+    | Some sc -> sc
+    | None ->
+        die "unknown scenario %S (have: %s)" !scenario
+          (String.concat ", " (Svc.Scenario.names ()))
+  in
+  let sc =
+    match !seed with
+    | None -> sc
+    | Some s -> { sc with Svc.Scenario.seed = s }
+  in
+  let bound_failures = ref [] in
+  let all_rows = ref [] in
+  if !exec = "sim" || !exec = "both" then begin
+    if not !quiet then
+      Printf.printf "[svc] sim leg: %s, shards=%d, %d requests, P sweep %s\n%!"
+        sc.Svc.Scenario.name sc.Svc.Scenario.sim_shards
+        sc.Svc.Scenario.sim_requests
+        (String.concat ","
+           (List.map string_of_int sc.Svc.Scenario.sim_p));
+    List.iter
+      (fun (pt : Svc.Sim_driver.point) ->
+        if not !quiet then
+          Printf.printf
+            "  P=%-3d goodput=%.0f req/s batches=%d max_batch=%d m=%d \
+             in_system<=%d %s\n"
+            pt.Svc.Sim_driver.p pt.Svc.Sim_driver.goodput
+            pt.Svc.Sim_driver.batches pt.Svc.Sim_driver.max_batch
+            pt.Svc.Sim_driver.max_batches_seen
+            pt.Svc.Sim_driver.max_in_system
+            (match pt.Svc.Sim_driver.bound with
+            | Ok () -> "bound OK"
+            | Error _ -> "bound FAIL");
+        print_classes ~quiet:!quiet pt.Svc.Sim_driver.classes;
+        (match pt.Svc.Sim_driver.bound with
+        | Ok () -> ()
+        | Error e ->
+            bound_failures :=
+              Printf.sprintf "P=%d: %s" pt.Svc.Sim_driver.p e
+              :: !bound_failures);
+        all_rows := !all_rows @ Svc.Report.rows_of_sim sc pt)
+      (Svc.Sim_driver.run sc)
+  end;
+  if !exec = "runtime" || !exec = "both" then begin
+    if not !quiet then
+      Printf.printf "[svc] runtime leg: %s, K sweep %s, %.1fs measured\n%!"
+        sc.Svc.Scenario.name
+        (String.concat ","
+           (List.map string_of_int sc.Svc.Scenario.rt_shards))
+        (match !duration with
+        | Some d -> d
+        | None -> sc.Svc.Scenario.duration_s);
+    List.iter
+      (fun (pt : Svc.Rt_driver.point) ->
+        if not !quiet then
+          Printf.printf
+            "  K=%-2d P=%d n=%d goodput=%.0f req/s batches=%d max_batch=%d \
+             stalls=%d burns=%d\n"
+            pt.Svc.Rt_driver.shards pt.Svc.Rt_driver.workers
+            pt.Svc.Rt_driver.requests pt.Svc.Rt_driver.goodput
+            pt.Svc.Rt_driver.batches pt.Svc.Rt_driver.max_batch
+            pt.Svc.Rt_driver.stalls pt.Svc.Rt_driver.slo_burns;
+        print_classes ~quiet:!quiet pt.Svc.Rt_driver.classes;
+        all_rows := !all_rows @ Svc.Report.rows_of_rt sc pt)
+      (Svc.Rt_driver.run ?workers:!workers ?snapshot_path:!snapshot
+         ?duration_s:!duration sc)
+  end;
+  Svc.Report.merge_svc ~path:!out ~scenario:sc.Svc.Scenario.name
+    !all_rows;
+  Printf.printf "[svc] merged %d SVC rows for %s into %s\n%!"
+    (List.length !all_rows) sc.Svc.Scenario.name !out;
+  match !bound_failures with
+  | [] -> ()
+  | fails ->
+      List.iter
+        (fun f -> Printf.printf "[svc] FAIL Theorem-1 wait budget: %s\n" f)
+        (List.rev fails);
+      exit 1

@@ -50,6 +50,43 @@ let check ?(factor = 16.0) ~workload ~metrics () =
          "Theorem 1 bound exceeded: makespan %d > %g x predicted %d (ratio %.2f)"
          metrics.Sim.Metrics.makespan factor predicted r)
 
+(* Open-loop service runs: the composed Theorem-1 terms as a
+   per-request wait budget. A request's arrival-to-completion wait is
+   paid for by (a) its amortized share of everything the run collected
+   and executed — the (W + Σᵢ nᵢ·sᵢ)/P term, with the whole run's work
+   standing in for the backlog the request actually waited behind — and
+   (b) the batches serialized ahead of it on its own shard, m·maxᵢ sᵢ
+   with m the *measured* max batches-seen-while-waiting (the open-loop
+   Lemma-2 figure: ~2 when the system keeps up, growing with backlog
+   under overload, so the budget tracks the load instead of lying about
+   it). An additive maxᵢ sᵢ covers a wait straddling a single batch.
+   Same in-expectation caveat as [check]: the factor is a regression
+   tripwire, not a theorem. *)
+let service_budget ~p ~total_work ~per_shard_ops ~per_shard_span ~m =
+  if Array.length per_shard_ops <> Array.length per_shard_span then
+    invalid_arg "service_budget: per-shard arrays must align";
+  let ns_sum = ref 0 and s_max = ref 0 in
+  Array.iteri
+    (fun i n_i ->
+      let s_i = per_shard_span.(i) in
+      ns_sum := !ns_sum + (n_i * s_i);
+      if s_i > !s_max then s_max := s_i)
+    per_shard_ops;
+  max 1 (((total_work + !ns_sum) / p) + (m * !s_max) + !s_max)
+
+let service_check ?(factor = 4.0) ~p ~wait_max ~total_work ~per_shard_ops
+    ~per_shard_span ~m () =
+  let budget = service_budget ~p ~total_work ~per_shard_ops ~per_shard_span ~m in
+  if float_of_int wait_max <= factor *. float_of_int budget then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "service wait bound exceeded: max wait %d > %g x ((W+Σnᵢsᵢ)/P + \
+          m·s_max + s_max) = %g (W=%d m=%d P=%d)"
+         wait_max factor
+         (factor *. float_of_int budget)
+         total_work m p)
+
 (* Cross-validate the recorder-derived attribution against the
    simulator's own counters and against the bound's structure. The two
    accountings are produced by disjoint code paths (Work/Steal events

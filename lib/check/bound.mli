@@ -44,6 +44,38 @@ val check :
 (** [Error] when makespan exceeds [factor] (default 16.0) times
     {!theorem1}, with a description naming both sides. *)
 
+val service_budget :
+  p:int ->
+  total_work:int ->
+  per_shard_ops:int array ->
+  per_shard_span:int array ->
+  m:int ->
+  int
+(** The composed bound's batching terms as a per-request wait budget
+    for {e open-loop} service runs ([Sim.Openloop]):
+    (W + Σᵢ nᵢ·sᵢ)/P + m·maxᵢ sᵢ + maxᵢ sᵢ, where W is the run's
+    total batch work (setup included), nᵢ/sᵢ are shard i's collected
+    ops and widest batch span (setup span included), and [m] is the
+    measured max batches-seen-while-waiting — the open-loop Lemma-2
+    figure, which grows with backlog under overload so the budget
+    follows the offered load. At least 1. *)
+
+val service_check :
+  ?factor:float ->
+  p:int ->
+  wait_max:int ->
+  total_work:int ->
+  per_shard_ops:int array ->
+  per_shard_span:int array ->
+  m:int ->
+  unit ->
+  (unit, string) result
+(** [Error] when the run's max per-request wait exceeds [factor]
+    (default 4.0) times {!service_budget} — the tail of an open-loop
+    sim run escaping the bound terms that are supposed to pay for it
+    flags a batching/scheduling regression. In-expectation caveat as
+    {!check}: choose the factor generously. *)
+
 val cross_check :
   ?ms_factor:float ->
   workload:Sim.Workload.t ->

@@ -1,6 +1,7 @@
 type t = {
   rc : Recorder.t;
   health : Health.t;
+  extra : unit -> (string * Json.t) list;
   oc : out_channel;
   owns_oc : bool;
   mutable prev : int array;
@@ -23,10 +24,13 @@ let tag_names =
 
 let () = assert (Array.length tag_names = Recorder.n_tags)
 
-let to_channel ?(health = Health.null) rc oc =
+let no_extra () = []
+
+let to_channel ?(health = Health.null) ?(extra = no_extra) rc oc =
   {
     rc;
     health;
+    extra;
     oc;
     owns_oc = false;
     prev = Array.make Recorder.n_tags 0;
@@ -34,11 +38,12 @@ let to_channel ?(health = Health.null) rc oc =
     closed = false;
   }
 
-let to_file ?(health = Health.null) rc ~path =
+let to_file ?(health = Health.null) ?(extra = no_extra) rc ~path =
   let oc = open_out path in
   {
     rc;
     health;
+    extra;
     oc;
     owns_oc = true;
     prev = Array.make Recorder.n_tags 0;
@@ -83,7 +88,7 @@ let sample ?time t =
            ("totals", counters_json totals);
            ("deltas", counters_json deltas);
          ]
-        @ health_fields)
+        @ health_fields @ t.extra ())
     in
     output_string t.oc (Json.to_string line);
     output_char t.oc '\n';

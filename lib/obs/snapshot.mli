@@ -26,8 +26,24 @@
 
 type t
 
-val to_channel : ?health:Health.t -> Recorder.t -> out_channel -> t
-val to_file : ?health:Health.t -> Recorder.t -> path:string -> t
+val to_channel :
+  ?health:Health.t ->
+  ?extra:(unit -> (string * Json.t) list) ->
+  Recorder.t ->
+  out_channel ->
+  t
+
+val to_file :
+  ?health:Health.t ->
+  ?extra:(unit -> (string * Json.t) list) ->
+  Recorder.t ->
+  path:string ->
+  t
+(** [extra] (default none) is polled at each {!sample}; its fields are
+    appended to the line after ["health"] — how a driver puts its own
+    gauges (e.g. the service harness's goodput and queue-depth series)
+    on the same stream the monitor tails. It runs on the sampler
+    thread, so it must only read state that is safe to read live. *)
 
 val sample : ?time:int -> t -> unit
 (** Append one snapshot line. No-op after {!close}. *)

@@ -21,10 +21,10 @@ type impl = Pending_array | Atomic_list
    [Pending_array] is the paper's BATCHER scheme: a preallocated array
    of [batch_cap] slots (size P by default) that submitters claim with
    one fetch-and-add on [claims] — O(1) non-retrying work per op on the
-   common path — plus a two-list FIFO overflow queue for ops that claim
-   an index past the array ([ovf_back] is a CAS-consed LIFO stack;
-   the launcher reverses it onto the launcher-private [ovf_front], so
-   admission across batches is oldest-first). [n_pending] counts
+   common path — plus a FIFO overflow queue for ops that claim an
+   index past the array ([ovf_back] is a CAS-consed LIFO stack; the
+   launcher reverses it onto the launcher-private [ovf_front] queue,
+   so admission across batches is oldest-first). [n_pending] counts
    published-but-uncollected records and is the launch guard.
 
    Publication protocol: claim index [i] by FAA; if [i < batch_cap],
@@ -35,9 +35,15 @@ type impl = Pending_array | Atomic_list
    [i >= batch_cap], go to overflow directly. Only after the record is
    reachable (slot or overflow) is [n_pending] incremented, and every
    submitter calls [try_launch] after its increment, so there are no
-   lost wakeups and the launcher never has to spin on a slot: it just
-   drains front queue, all [batch_cap] slots, and back queue — Θ(P)
-   work per launch, the paper's LAUNCHBATCH setup bound.
+   lost wakeups and the launcher never has to spin on a slot: it pops
+   up to [batch_cap] records from the front queue and, only when the
+   batch still has room, drains the slots and the reversed back stack
+   (leftovers append to the front queue) — Θ(P) work per launch, the
+   paper's LAUNCHBATCH setup bound, {e independent of the backlog}. An
+   open-loop burst past capacity parks thousands of records here; a
+   launch that touched them all (the front queue was once rebuilt in
+   full per launch) turns the drain quadratic in the backlog and a
+   transient overload into a collapse.
 
    [Atomic_list] is the seed's implementation — a single CAS-retry
    ['op record list Atomic.t] cons stack (allocating, contended, and
@@ -64,7 +70,7 @@ type ('s, 'op) t = {
   (* -- Pending_array state -- *)
   slots : 'op record option Atomic.t array;  (* size [batch_cap] *)
   claims : int Atomic.t;  (* FAA ticket; reset to 0 by each launcher *)
-  ovf_front : 'op record list Atomic.t;  (* oldest first; launcher-only *)
+  ovf_front : 'op record Queue.t;  (* oldest first; flag-holder-only *)
   ovf_back : 'op record list Atomic.t;  (* newest first; CAS-consed *)
   n_pending : int Atomic.t;  (* published and not yet collected *)
   mutable batch_buf : 'op record array;  (* reused by every launch *)
@@ -115,7 +121,7 @@ let create ?batch_cap ?(impl = Pending_array) ?(sid = 0) ?invariants ~pool
       || Obs.Invariants.active inv;
     slots = Array.init cap (fun _ -> Atomic.make None);
     claims = Atomic.make 0;
-    ovf_front = Atomic.make [];
+    ovf_front = Queue.create ();
     ovf_back = Atomic.make [];
     n_pending = Atomic.make 0;
     batch_buf = [||];
@@ -229,12 +235,7 @@ let submit_array t r =
 let rec try_launch_array t =
   if Atomic.get t.n_pending > 0 && Atomic.compare_and_set t.flag false true
   then begin
-    (* Drain epoch: reset the ticket counter first so concurrent
-       submitters start filling slots for the *next* batch while we
-       collect this one. *)
-    ignore (Atomic.exchange t.claims 0);
     let len = ref 0 in
-    let excess = ref [] in
     let add r =
       if !len < t.batch_cap then begin
         if Array.length t.batch_buf = 0 then
@@ -242,20 +243,32 @@ let rec try_launch_array t =
         t.batch_buf.(!len) <- r;
         incr len
       end
-      else excess := r :: !excess
+      else Queue.push r t.ovf_front
     in
     (* Admission order: overflow front (oldest), then the slot array,
-       then the reversed back stack — FIFO across batches. *)
-    List.iter add (Atomic.exchange t.ovf_front []);
-    for i = 0 to t.batch_cap - 1 do
-      match Atomic.exchange t.slots.(i) None with
-      | None -> ()
-      | Some r -> add r
+       then the reversed back stack — FIFO across batches. The front
+       queue supplies at most [batch_cap] records; only a batch with
+       room left drains the slots and the back stack (whose leftovers
+       land back on the — then empty — front queue in admission
+       order), so a launch is Θ(batch_cap) no matter how deep the
+       overload backlog is. *)
+    while !len < t.batch_cap && not (Queue.is_empty t.ovf_front) do
+      add (Queue.pop t.ovf_front)
     done;
-    List.iter add (List.rev (Atomic.exchange t.ovf_back []));
-    (match List.rev !excess with
-    | [] -> ()
-    | l -> Atomic.set t.ovf_front l);
+    if !len < t.batch_cap then begin
+      (* Drain epoch: reset the ticket counter so concurrent
+         submitters start filling slots for the *next* batch while we
+         collect this one. While the batch fills from the front queue
+         alone, [claims] stays put and submitters keep overflowing to
+         the back stack — everything serializes through the FIFO. *)
+      ignore (Atomic.exchange t.claims 0);
+      for i = 0 to t.batch_cap - 1 do
+        match Atomic.exchange t.slots.(i) None with
+        | None -> ()
+        | Some r -> add r
+      done;
+      List.iter add (List.rev (Atomic.exchange t.ovf_back []))
+    end;
     let len = !len in
     if len = 0 then begin
       (* [n_pending > 0] raced a record that is transiently in a

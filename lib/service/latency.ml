@@ -1,0 +1,41 @@
+type class_stats = {
+  cls : string;
+  requests : int;
+  p50_ns : float;
+  p99_ns : float;
+  p999_ns : float;
+  mean_ns : float;
+  max_ns : float;
+}
+
+let digest cls samples =
+  let n = Array.length samples in
+  {
+    cls;
+    requests = n;
+    p50_ns = Util.Stats.percentile samples 0.5;
+    p99_ns = Util.Stats.percentile samples 0.99;
+    p999_ns = Util.Stats.percentile samples 0.999;
+    mean_ns = Util.Stats.mean samples;
+    max_ns = Array.fold_left max samples.(0) samples;
+  }
+
+let of_samples named =
+  let total = List.fold_left (fun a (_, s) -> a + Array.length s) 0 named in
+  let all = Array.make (max 1 total) 0.0 in
+  let pos = ref 0 in
+  List.iter
+    (fun (_, s) ->
+      Array.blit s 0 all !pos (Array.length s);
+      pos := !pos + Array.length s)
+    named;
+  let classes =
+    List.filter_map
+      (fun (name, s) ->
+        if Array.length s = 0 then None else Some (digest name s))
+      named
+  in
+  if total = 0 then classes
+  else digest "all" (Array.sub all 0 total) :: classes
+
+let all_of classes = List.find (fun c -> c.cls = "all") classes

@@ -1,0 +1,127 @@
+let class_row ~exec ~scenario ~store ~p ~shards ~extra
+    (c : Latency.class_stats) =
+  Obs.Json.Obj
+    ([
+       ("exec", Obs.Json.Str exec);
+       ("scenario", Obs.Json.Str scenario);
+       ("store", Obs.Json.Str store);
+       ("p", Obs.Json.Int p);
+       ("shards", Obs.Json.Int shards);
+       ("cls", Obs.Json.Str c.Latency.cls);
+       ("requests", Obs.Json.Int c.Latency.requests);
+       ("p50_ns", Obs.Json.Float c.Latency.p50_ns);
+       ("p99_ns", Obs.Json.Float c.Latency.p99_ns);
+       ("p999_ns", Obs.Json.Float c.Latency.p999_ns);
+       ("mean_ns", Obs.Json.Float c.Latency.mean_ns);
+       ("max_ns", Obs.Json.Float c.Latency.max_ns);
+     ]
+    @ extra)
+
+let rows ~exec ~scenario ~store ~p ~shards ~all_extra classes =
+  List.map
+    (fun (c : Latency.class_stats) ->
+      let extra = if c.Latency.cls = "all" then all_extra else [] in
+      class_row ~exec ~scenario ~store ~p ~shards ~extra c)
+    classes
+
+let store_name (sc : Scenario.t) =
+  let (module S : Store.STORE) = sc.Scenario.store in
+  S.name
+
+let rows_of_sim (sc : Scenario.t) (pt : Sim_driver.point) =
+  rows ~exec:"sim" ~scenario:sc.Scenario.name ~store:(store_name sc)
+    ~p:pt.Sim_driver.p ~shards:pt.Sim_driver.shards
+    ~all_extra:
+      [
+        ("goodput", Obs.Json.Float pt.Sim_driver.goodput);
+        ("total_batches", Obs.Json.Int pt.Sim_driver.batches);
+        ("max_batch", Obs.Json.Int pt.Sim_driver.max_batch);
+        ("max_batches_seen", Obs.Json.Int pt.Sim_driver.max_batches_seen);
+      ]
+    pt.Sim_driver.classes
+
+let rows_of_rt (sc : Scenario.t) (pt : Rt_driver.point) =
+  rows ~exec:"runtime" ~scenario:sc.Scenario.name ~store:(store_name sc)
+    ~p:pt.Rt_driver.workers ~shards:pt.Rt_driver.shards
+    ~all_extra:
+      [
+        ("goodput", Obs.Json.Float pt.Rt_driver.goodput);
+        ("total_batches", Obs.Json.Int pt.Rt_driver.batches);
+        ("max_batch", Obs.Json.Int pt.Rt_driver.max_batch);
+      ]
+    pt.Rt_driver.classes
+
+let read_existing path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Obs.Json.parse s with
+    | Ok (Obs.Json.Obj fields) -> Some fields
+    | Ok _ | Error _ -> None
+  end
+
+let row_scenario row =
+  match Obs.Json.member "scenario" row with
+  | Some (Obs.Json.Str s) -> Some s
+  | _ -> None
+
+let merge_svc ~path ~scenario new_rows =
+  let fields =
+    match read_existing path with
+    | Some fields -> fields
+    | None ->
+        [
+          ("schema_version", Obs.Json.Int 1);
+          ("generated_by", Obs.Json.Str "bin/service.exe");
+          ("quick", Obs.Json.Bool false);
+          ("only", Obs.Json.Null);
+          ("experiments", Obs.Json.List []);
+        ]
+  in
+  let old_exps =
+    match List.assoc_opt "experiments" fields with
+    | Some (Obs.Json.List l) -> l
+    | _ -> []
+  in
+  let is_svc e =
+    match Obs.Json.member "id" e with
+    | Some (Obs.Json.Str "SVC") -> true
+    | _ -> false
+  in
+  let kept_rows =
+    List.concat_map
+      (fun e ->
+        if not (is_svc e) then []
+        else
+          match Obs.Json.member "rows" e with
+          | Some (Obs.Json.List rows) ->
+              List.filter (fun r -> row_scenario r <> Some scenario) rows
+          | _ -> [])
+      old_exps
+  in
+  let svc =
+    Obs.Json.Obj
+      [
+        ("id", Obs.Json.Str "SVC");
+        ( "title",
+          Obs.Json.Str
+            "SVC — open-loop service: end-to-end tail latency, sim P-sweep + \
+             runtime K-sweep" );
+        ("rows", Obs.Json.List (kept_rows @ new_rows));
+      ]
+  in
+  let exps = List.filter (fun e -> not (is_svc e)) old_exps @ [ svc ] in
+  let fields =
+    if List.mem_assoc "experiments" fields then
+      List.map
+        (fun (k, v) ->
+          if k = "experiments" then (k, Obs.Json.List exps) else (k, v))
+        fields
+    else fields @ [ ("experiments", Obs.Json.List exps) ]
+  in
+  Batcher_core.Report_json.write_file ~path (Obs.Json.Obj fields)

@@ -1,0 +1,21 @@
+(** SVC rows for BENCH_results.json.
+
+    Row identity (the fields [bin/bench_diff.exe] signatures on) is
+    [exec]/[scenario]/[store]/[p]/[shards]/[cls]; everything
+    run-varying — the latency digest, goodput, batch counts — is
+    emitted under recognized metric keys so rows keep matching across
+    runs and regressions show as metric deltas, not row churn. *)
+
+val rows_of_sim : Scenario.t -> Sim_driver.point -> Obs.Json.t list
+(** One ["all"] row (goodput and batch counters included) plus one row
+    per op class. [exec = "sim"]; latencies are virtual-clock ns. *)
+
+val rows_of_rt : Scenario.t -> Rt_driver.point -> Obs.Json.t list
+(** Same shape with [exec = "runtime"] and wall-clock ns; [p] is the
+    worker count. *)
+
+val merge_svc : path:string -> scenario:string -> Obs.Json.t list -> unit
+(** Merge rows into the ["SVC"] experiment of the results file at
+    [path]: rows of the same scenario are replaced, rows of other
+    scenarios and all other experiments are preserved; a skeleton file
+    is created when missing. *)

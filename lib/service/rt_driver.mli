@@ -1,0 +1,43 @@
+(** The runtime leg: a timed open-loop run over the real
+    effects-based pool and {!Runtime.Shard_rt}, one per shard count in
+    the scenario's K-sweep.
+
+    The dispatcher (the root task of [Pool.run]) walks the
+    pre-generated schedule and releases each request at
+    [t0 + arrive_ns] wall-clock; the serving task measures its latency
+    from that {e scheduled} stamp when it completes — a request that
+    sat behind a backlog is charged the sit, which is what rules out
+    coordinated omission. Stores are prepopulated before the clock
+    starts. *)
+
+type point = {
+  shards : int;
+  workers : int;
+  requests : int;
+  elapsed_ns : float;  (** wall time, first release to last completion *)
+  goodput : float;  (** completed requests per wall second *)
+  classes : Latency.class_stats list;  (** ["all"] first *)
+  batches : int;
+  max_batch : int;
+  stalls : int;  (** {!Obs.Health} stall-watchdog trips *)
+  slo_burns : int;  (** end-to-end phase SLO burns, summed over shards *)
+}
+
+val run_point :
+  ?workers:int ->
+  ?snapshot_path:string ->
+  ?duration_s:float ->
+  Scenario.t ->
+  shards:int ->
+  point
+(** One timed run. [workers] defaults to
+    [Domain.recommended_domain_count ()]; [snapshot_path] attaches an
+    {!Obs.Snapshot} JSONL stream (sampled every 100 ms from a separate
+    domain) carrying goodput and queue-depth gauges for
+    [bin/monitor.exe]; [duration_s] overrides the scenario's. *)
+
+val run :
+  ?workers:int -> ?snapshot_path:string -> ?duration_s:float ->
+  Scenario.t -> point list
+(** The full K-sweep, [Scenario.rt_shards] in order. The snapshot file
+    (when given) is truncated per point — last point wins. *)

@@ -1,0 +1,121 @@
+type t = {
+  name : string;
+  descr : string;
+  store : Store.t;
+  n_keys : int;
+  theta : float;
+  rate : float;
+  rt_rate : float;
+  burst : Gen.burst option;
+  mix : Gen.mix;
+  locality : float;
+  recent_window : int;
+  range_width : int;
+  seed : int;
+  duration_s : float;
+  rt_shards : int list;
+  rt_keys_cap : int;
+  sim_requests : int;
+  sim_p : int list;
+  sim_shards : int;
+  sim_ns_per_unit : int;
+  bound_factor : float;
+}
+
+let effective_mix t =
+  let (module S : Store.STORE) = t.store in
+  if S.supports_range then t.mix else Gen.fold_range_into_get t.mix
+
+let gen_keys t ~rate ~n_keys =
+  Gen.make ~theta:t.theta ~burst:t.burst ~mix:(effective_mix t)
+    ~locality:t.locality ~recent_window:t.recent_window
+    ~range_width:t.range_width ~seed:t.seed ~n_keys ~rate ()
+
+let gen t ~rate = gen_keys t ~rate ~n_keys:t.n_keys
+let gen_rt t = gen_keys t ~rate:t.rt_rate ~n_keys:(min t.n_keys t.rt_keys_cap)
+let gen_sim t = gen_keys t ~rate:t.rate ~n_keys:t.n_keys
+
+(* Calibration notes (this 1-CPU box, skiplist, ns_per_unit = 1000):
+   the standard sim point P=1/K=4 sees inter-arrivals of ~10 units
+   against ~21 units of batch work per request amortized, i.e. a
+   deliberately loaded base (ρ ≈ 0.5 with burst excursions past
+   saturation) so the tail is real; P=8 rides comfortably; P=64 is the
+   headroom end of the sweep. rt_rate is sized under this box's
+   measured ~75k req/s open-loop capacity (dispatcher and workers
+   share the single CPU): the base keeps up, the 4x bursts transiently
+   exceed it, so the runtime tail shows burst queueing rather than
+   open-loop divergence. *)
+let standard =
+  {
+    name = "standard";
+    descr =
+      "read-heavy skiplist KV, 1M keys, Zipf 0.99, 4x bursts, 10% locality";
+    store = Store.skiplist;
+    n_keys = 1_000_000;
+    theta = 0.99;
+    rate = 100_000.0;
+    rt_rate = 20_000.0;
+    burst = Some { Gen.on_s = 0.2; off_s = 0.8; mult = 4.0 };
+    mix = Gen.default_mix;
+    locality = 0.1;
+    recent_window = 4096;
+    range_width = 64;
+    seed = 42;
+    duration_s = 5.0;
+    rt_shards = [ 1; 4 ];
+    rt_keys_cap = 1_000_000;
+    sim_requests = 20_000;
+    sim_p = [ 1; 8; 64 ];
+    sim_shards = 4;
+    sim_ns_per_unit = 1000;
+    bound_factor = 4.0;
+  }
+
+let smoke =
+  {
+    standard with
+    name = "smoke";
+    descr = "tiny skiplist scenario for CI: seconds, both executions";
+    n_keys = 16_384;
+    theta = 0.9;
+    rate = 20_000.0;
+    rt_rate = 10_000.0;
+    burst = Some { Gen.on_s = 0.05; off_s = 0.15; mult = 3.0 };
+    locality = 0.05;
+    recent_window = 256;
+    range_width = 16;
+    duration_s = 1.0;
+    rt_shards = [ 1; 2 ];
+    rt_keys_cap = 16_384;
+    sim_requests = 2_000;
+    sim_p = [ 1; 4 ];
+    sim_shards = 2;
+  }
+
+let hashtable_hot =
+  {
+    standard with
+    name = "hashtable-hot";
+    descr = "hashtable under a hotter Zipf 1.1 skew, 4M keys";
+    store = Store.hashtable;
+    n_keys = 4_000_000;
+    theta = 1.1;
+    rt_keys_cap = 1_000_000;
+    range_width = 0;
+  }
+
+let tree_100m =
+  {
+    standard with
+    name = "tree-100m";
+    descr = "2-3 tree over a 100M-key space (sim); runtime capped at 200k";
+    store = Store.two_three;
+    n_keys = 100_000_000;
+    rt_rate = 10_000.0;
+    rt_keys_cap = 200_000;
+    sim_requests = 10_000;
+  }
+
+let all = [ smoke; standard; hashtable_hot; tree_100m ]
+let find name = List.find_opt (fun s -> s.name = name) all
+let names () = List.map (fun s -> s.name) all

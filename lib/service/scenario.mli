@@ -1,0 +1,46 @@
+(** Named service scenarios: one record bundling the workload model
+    with both executions' run shapes, so [bin/service.exe --scenario X]
+    is reproducible from the name and a seed alone. *)
+
+type t = {
+  name : string;
+  descr : string;
+  store : Store.t;
+  n_keys : int;  (** sim key space; runtime uses [min n_keys rt_keys_cap] *)
+  theta : float;
+  rate : float;  (** sim base arrivals, requests/second *)
+  rt_rate : float;  (** runtime base arrivals — lower, sized to this box *)
+  burst : Gen.burst option;
+  mix : Gen.mix;
+  locality : float;
+  recent_window : int;
+  range_width : int;
+  seed : int;
+  duration_s : float;  (** runtime measured-run length *)
+  rt_shards : int list;  (** runtime leg: one timed run per K *)
+  rt_keys_cap : int;  (** bound on runtime prepopulation cost *)
+  sim_requests : int;  (** open-loop sim: requests per (P, K) point *)
+  sim_p : int list;  (** honest P-sweep on the virtual clock *)
+  sim_shards : int;
+  sim_ns_per_unit : int;  (** arrival-ns → sim-timestep conversion *)
+  bound_factor : float;  (** Check.Bound.service_check factor, sim leg *)
+}
+
+val effective_mix : t -> Gen.mix
+(** The scenario's mix, with the range share folded into gets when the
+    store has no range operation. *)
+
+val gen : t -> rate:float -> Gen.t
+(** The workload model at the given base [rate] (callers pass [t.rate]
+    or [t.rt_rate]), over [n_keys] capped for the runtime by the
+    caller. *)
+
+val gen_rt : t -> Gen.t
+(** Runtime leg: [rt_rate] over [min n_keys rt_keys_cap] keys. *)
+
+val gen_sim : t -> Gen.t
+(** Simulator leg: [rate] over the full [n_keys]. *)
+
+val all : t list
+val find : string -> t option
+val names : unit -> string list

@@ -1,0 +1,79 @@
+type point = {
+  p : int;
+  shards : int;
+  requests : int;
+  makespan_ns : float;
+  goodput : float;
+  classes : Latency.class_stats list;
+  batches : int;
+  max_batch : int;
+  max_batches_seen : int;
+  max_in_system : int;
+  bound : (unit, string) result;
+}
+
+let class_of_index = [| Gen.Get; Gen.Put; Gen.Delete; Gen.Range |]
+
+let run_point (sc : Scenario.t) ~p =
+  let (module S : Store.STORE) = sc.Scenario.store in
+  let shards = sc.Scenario.sim_shards in
+  let unit_ns = sc.Scenario.sim_ns_per_unit in
+  let reqs = Gen.generate_n (Scenario.gen_sim sc) ~n:sc.Scenario.sim_requests in
+  (* Range requests route by their start key as point submissions: the
+     virtual-clock engine has no scatter/merge, and charging the full
+     batch protocol on one shard is the load that matters here. The
+     runtime leg executes the real fan-out. *)
+  let olreqs =
+    Array.map
+      (fun (r : Gen.request) ->
+        {
+          Sim.Openloop.at = r.Gen.arrive_ns / unit_ns;
+          shard = Batched.Shard.route ~shards r.Gen.key;
+          cls = Gen.class_index r.Gen.cls;
+        })
+      reqs
+  in
+  let models =
+    Array.init shards (fun i -> S.model ~n_keys:sc.Scenario.n_keys ~shards i)
+  in
+  let cfg = Sim.Openloop.config ~p ~shards () in
+  let res = Sim.Openloop.run cfg ~models olreqs in
+  let n = Array.length res.Sim.Openloop.waits in
+  let per_class = Array.make Gen.n_classes [] in
+  let wait_max = ref 0 in
+  Array.iteri
+    (fun i w ->
+      if w > !wait_max then wait_max := w;
+      let c = olreqs.(i).Sim.Openloop.cls in
+      per_class.(c) <- float_of_int (w * unit_ns) :: per_class.(c))
+    res.Sim.Openloop.waits;
+  let named =
+    Array.to_list
+      (Array.mapi
+         (fun i samples ->
+           (Gen.class_name class_of_index.(i), Array.of_list samples))
+         per_class)
+  in
+  let makespan_ns = float_of_int (res.Sim.Openloop.makespan * unit_ns) in
+  let bound =
+    Check.Bound.service_check ~factor:sc.Scenario.bound_factor ~p
+      ~wait_max:!wait_max ~total_work:res.Sim.Openloop.total_work
+      ~per_shard_ops:res.Sim.Openloop.per_shard_ops
+      ~per_shard_span:res.Sim.Openloop.per_shard_span_max
+      ~m:res.Sim.Openloop.max_batches_seen ()
+  in
+  {
+    p;
+    shards;
+    requests = n;
+    makespan_ns;
+    goodput = (if makespan_ns > 0.0 then float_of_int n /. (makespan_ns /. 1e9) else 0.0);
+    classes = Latency.of_samples named;
+    batches = res.Sim.Openloop.batches;
+    max_batch = res.Sim.Openloop.max_batch;
+    max_batches_seen = res.Sim.Openloop.max_batches_seen;
+    max_in_system = res.Sim.Openloop.max_in_system;
+    bound;
+  }
+
+let run sc = List.map (fun p -> run_point sc ~p) sc.Scenario.sim_p

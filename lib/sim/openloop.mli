@@ -1,0 +1,72 @@
+(** Open-loop service simulation on the virtual clock.
+
+    The closed-loop simulator ({!Batcher}) runs a core DAG to
+    completion: every operation is issued the moment a worker is free
+    to issue it, so measured latency can never show queueing delay the
+    load itself creates — the coordinated-omission trap. This engine is
+    the open-loop complement for service workloads: requests carry
+    {e arrival times} fixed before the run, the virtual clock advances
+    event-by-event (arrival or batch completion, whichever is next),
+    and a request's wait is measured from its scheduled arrival — never
+    from when the system got around to admitting it.
+
+    The batching protocol is the paper's, per shard: each of [shards]
+    structure instances has its own batch flag (Invariant 1 per shard),
+    a launch collects up to [batch_cap] queued requests FIFO (the
+    pending-array + overflow-queue admission of the real runtime), and
+    every launch is wrapped in the Θ(P)-work / Θ(lg P)-span
+    LAUNCHBATCH setup and cleanup stages. A batch's duration is the
+    Brent bound of its cost DAG — (setup + BOP work)/p' + setup span +
+    BOP span — with the worker share p' = max(1, P/K) statically
+    partitioned across shards, a deliberately conservative model of K
+    batches contending for one pool (when only one shard is busy it
+    underestimates available workers, never the other way).
+
+    Everything is deterministic: same config, models, and request
+    array give byte-identical results. P is just an integer here, so a
+    sweep to hundreds of workers is honest on a 1-CPU box. *)
+
+type req = {
+  at : int;  (** scheduled arrival, in cost units from time 0 *)
+  shard : int;  (** owning shard, in [0, shards) *)
+  cls : int;  (** opaque op-class label, reported back per request *)
+}
+
+type config = {
+  p : int;  (** workers *)
+  shards : int;
+  batch_cap : int;  (** records per launch; the paper's cap is [p] *)
+}
+
+val config : ?batch_cap:int -> p:int -> shards:int -> unit -> config
+(** [batch_cap] defaults to [p] (Invariant 2). *)
+
+type result = {
+  waits : int array;
+      (** per request (same index as the input array): completion time
+          minus scheduled arrival — end-to-end, queueing included *)
+  makespan : int;  (** last batch completion *)
+  batches : int;
+  max_batch : int;
+  total_work : int;  (** W: BOP plus setup/cleanup units over all batches *)
+  batch_details : Metrics.batch_detail list;
+      (** per launch, most recent first; [bd_sid] is the shard *)
+  per_shard_ops : int array;  (** nᵢ of the composed Theorem-1 bound *)
+  per_shard_span_max : int array;
+      (** sᵢ: widest observed BOP span plus a launch's setup/cleanup
+          span, per shard; 0 for untargeted shards *)
+  max_batches_seen : int;
+      (** max, over requests, of launches on the request's own shard
+          between its arrival and its completion (its own batch
+          included) — the open-loop Lemma-2 figure; grows with backlog
+          under overload, ~2 when the system keeps up *)
+  max_in_system : int;  (** peak arrived-but-not-completed count *)
+}
+
+val run : config -> models:Batched.Model.t array -> req array -> result
+(** Simulate to completion (the arrival process is finite; every
+    request is eventually served). [models.(i)] is shard [i]'s cost
+    model ([Array.length models = shards]); models are [reset] before
+    the run. The request array need not be sorted; it is processed in
+    arrival order. Raises [Invalid_argument] on a request with a shard
+    out of range or a negative arrival time. *)

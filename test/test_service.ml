@@ -1,0 +1,508 @@
+(* Tests for the service workload subsystem: statistical sanity of the
+   generator (Zipf skew, Poisson/burst arrival rates), byte-identical
+   replay from a fixed seed, the open-loop virtual-clock engine, and
+   the driver/report plumbing. The generator's RNG is the repo's own
+   deterministic Xoshiro, so the statistical assertions are exact
+   reruns — tolerances guard against algorithmic drift, not against
+   sampling luck. *)
+
+module Gen = Svc.Gen
+
+let fi = float_of_int
+
+(* ---------- Zipf sampler ---------- *)
+
+(* Rank-frequency must be monotone (up to noise): bucket the ranks
+   logarithmically and require each bucket's *per-rank* mass to exceed
+   the next bucket's. 200k draws over 1000 ranks at theta = 0.99 puts
+   thousands of samples in every bucket, so a violation means the
+   sampler is wrong, not unlucky. *)
+let test_zipf_rank_frequency_monotone () =
+  let n = 1000 and draws = 200_000 in
+  let z = Gen.zipf ~n ~theta:0.99 in
+  let rng = Util.Rng.create ~seed:7 in
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let r = Gen.zipf_sample rng z in
+    Alcotest.(check bool) "rank in range" true (r >= 0 && r < n);
+    counts.(r) <- counts.(r) + 1
+  done;
+  let bucket lo hi =
+    let s = ref 0 in
+    for i = lo to hi - 1 do
+      s := !s + counts.(i)
+    done;
+    fi !s /. fi (hi - lo)
+  in
+  let buckets =
+    [ bucket 0 1; bucket 1 10; bucket 10 100; bucket 100 1000 ]
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "per-rank mass decreasing (%.1f > %.1f)" a b)
+          true (a > b);
+        monotone rest
+    | _ -> ()
+  in
+  monotone buckets;
+  (* The head must dominate: rank 0 carries orders of magnitude more
+     than a mid-tail rank at theta ~ 1. *)
+  Alcotest.(check bool) "rank 0 dominates rank 500" true
+    (counts.(0) > 20 * max 1 counts.(500))
+
+(* theta = 0 must degenerate to uniform: every rank within 25% of the
+   uniform expectation (80k draws over 100 ranks = 800 expected per
+   rank, sd ~ 28, so 25% = 7 sd). *)
+let test_zipf_theta0_uniform () =
+  let n = 100 and draws = 80_000 in
+  let z = Gen.zipf ~n ~theta:0.0 in
+  let rng = Util.Rng.create ~seed:11 in
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let r = Gen.zipf_sample rng z in
+    counts.(r) <- counts.(r) + 1
+  done;
+  let expect = fi draws /. fi n in
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rank %d count %d ~ uniform %.0f" i c expect)
+        true
+        (fi c > 0.75 *. expect && fi c < 1.25 *. expect))
+    counts
+
+(* The theta ~ 1 harmonic special case must not crash or leave the
+   range (it switches H to ln x internally). *)
+let test_zipf_theta_one () =
+  let z = Gen.zipf ~n:5000 ~theta:1.0 in
+  let rng = Util.Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let r = Gen.zipf_sample rng z in
+    Alcotest.(check bool) "in range at theta=1" true (r >= 0 && r < 5000)
+  done
+
+(* scramble is a bijection on [0, n): mapping every rank must hit
+   every key exactly once — for n both a power of two and odd. *)
+let test_scramble_bijection () =
+  List.iter
+    (fun n ->
+      let seen = Array.make n false in
+      for r = 0 to n - 1 do
+        let k = Gen.scramble ~n_keys:n r in
+        Alcotest.(check bool) "key in range" true (k >= 0 && k < n);
+        Alcotest.(check bool)
+          (Printf.sprintf "n=%d key %d hit once" n k)
+          false seen.(k);
+        seen.(k) <- true
+      done)
+    [ 16_384; 99_991; 1000 ]
+
+(* ---------- arrival process ---------- *)
+
+(* Plain Poisson: the realized count over a long horizon must sit
+   within 3% of rate x duration (sd/mean ~ 0.3% here). *)
+let test_poisson_mean_rate () =
+  let g = Gen.make ~theta:0.5 ~seed:123 ~n_keys:1000 ~rate:50_000.0 () in
+  let reqs = Gen.generate g ~duration_s:2.0 in
+  let n = fi (Array.length reqs) in
+  let expect = 100_000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "poisson count %.0f ~ %.0f" n expect)
+    true
+    (n > 0.97 *. expect && n < 1.03 *. expect);
+  (* arrival order, in-horizon stamps *)
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check bool) "stamp in horizon" true
+        (r.Gen.arrive_ns >= 0 && r.Gen.arrive_ns < 2_000_000_000);
+      if i > 0 then
+        Alcotest.(check bool) "arrival order" true
+          (reqs.(i - 1).Gen.arrive_ns <= r.Gen.arrive_ns))
+    reqs
+
+(* On/off bursts: over a horizon covering many episodes, the realized
+   rate must approach expected_rate (within 15% — ~100 exponential
+   episodes of variance). *)
+let test_burst_mean_rate () =
+  let burst = Some { Gen.on_s = 0.05; off_s = 0.15; mult = 3.0 } in
+  let g = Gen.make ~theta:0.5 ~burst ~seed:17 ~n_keys:1000 ~rate:20_000.0 () in
+  let dur = 20.0 in
+  let expect = Gen.expected_rate g *. dur in
+  Alcotest.(check (float 0.001)) "expected_rate formula" 30_000.0
+    (Gen.expected_rate g);
+  let n = fi (Array.length (Gen.generate g ~duration_s:dur)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "burst count %.0f ~ %.0f" n expect)
+    true
+    (n > 0.85 *. expect && n < 1.15 *. expect)
+
+(* ---------- replay determinism ---------- *)
+
+let test_replay_identical () =
+  let mk seed =
+    Gen.make ~theta:0.99
+      ~burst:(Some { Gen.on_s = 0.1; off_s = 0.3; mult = 4.0 })
+      ~locality:0.2 ~recent_window:64 ~seed ~n_keys:100_000 ~rate:30_000.0 ()
+  in
+  let g = mk 42 in
+  let a = Gen.generate_n g ~n:5_000 in
+  let b = Gen.generate_n g ~n:5_000 in
+  Alcotest.(check bool) "same seed, same stream" true (a = b);
+  let c = Gen.generate g ~duration_s:0.05 in
+  let d = Gen.generate g ~duration_s:0.05 in
+  Alcotest.(check bool) "generate replays too" true (c = d);
+  (* generate and generate_n walk one stream: the horizon run is a
+     prefix of the counted run *)
+  let e = Gen.generate_n g ~n:(Array.length c) in
+  Alcotest.(check bool) "same stream prefix" true (c = e);
+  let other = Gen.generate_n (mk 43) ~n:5_000 in
+  Alcotest.(check bool) "different seed differs" true (a <> other)
+
+let test_locality_replays_recent () =
+  (* With locality = 1 every draw past the first replays the ring, so a
+     tiny window forces repeats. *)
+  let g =
+    Gen.make ~theta:0.5 ~locality:1.0 ~recent_window:4 ~seed:5
+      ~n_keys:1_000_000 ~rate:10_000.0 ()
+  in
+  let reqs = Gen.generate_n g ~n:200 in
+  let distinct = Hashtbl.create 16 in
+  Array.iter (fun r -> Hashtbl.replace distinct r.Gen.key ()) reqs;
+  Alcotest.(check bool)
+    (Printf.sprintf "only %d distinct keys" (Hashtbl.length distinct))
+    true
+    (Hashtbl.length distinct <= 8)
+
+(* ---------- open-loop virtual-clock engine ---------- *)
+
+let openloop_fixture () =
+  let g = Gen.make ~theta:0.9 ~seed:9 ~n_keys:10_000 ~rate:40_000.0 () in
+  let reqs = Gen.generate_n g ~n:400 in
+  let shards = 2 in
+  let olreqs =
+    Array.map
+      (fun r ->
+        {
+          Sim.Openloop.at = r.Gen.arrive_ns / 1000;
+          shard = Batched.Shard.route ~shards r.Gen.key;
+          cls = Gen.class_index r.Gen.cls;
+        })
+      reqs
+  in
+  let models =
+    Array.init shards (fun _ ->
+        Batched.Skiplist.sim_model ~initial_size:4096 ())
+  in
+  (olreqs, models)
+
+let test_openloop_deterministic () =
+  let olreqs, models = openloop_fixture () in
+  let cfg = Sim.Openloop.config ~p:4 ~shards:2 () in
+  let r1 = Sim.Openloop.run cfg ~models olreqs in
+  let r2 = Sim.Openloop.run cfg ~models olreqs in
+  Alcotest.(check bool) "waits identical" true
+    (r1.Sim.Openloop.waits = r2.Sim.Openloop.waits);
+  Alcotest.(check int) "makespan identical" r1.Sim.Openloop.makespan
+    r2.Sim.Openloop.makespan;
+  Alcotest.(check int) "batches identical" r1.Sim.Openloop.batches
+    r2.Sim.Openloop.batches
+
+let test_openloop_sanity () =
+  let olreqs, models = openloop_fixture () in
+  let cfg = Sim.Openloop.config ~p:4 ~shards:2 () in
+  let r = Sim.Openloop.run cfg ~models olreqs in
+  let n = Array.length olreqs in
+  Alcotest.(check int) "every request served" n
+    (Array.length r.Sim.Openloop.waits);
+  Array.iter
+    (fun w -> Alcotest.(check bool) "wait positive" true (w > 0))
+    r.Sim.Openloop.waits;
+  Alcotest.(check int) "per-shard ops conserve" n
+    (Array.fold_left ( + ) 0 r.Sim.Openloop.per_shard_ops);
+  Alcotest.(check bool) "cap respected" true
+    (r.Sim.Openloop.max_batch <= cfg.Sim.Openloop.batch_cap);
+  Alcotest.(check bool) "makespan past last arrival" true
+    (r.Sim.Openloop.makespan
+    >= Array.fold_left (fun a q -> max a q.Sim.Openloop.at) 0 olreqs);
+  (* The wait tail must stay within the composed Theorem-1 budget. *)
+  let wait_max = Array.fold_left max 0 r.Sim.Openloop.waits in
+  (match
+     Check.Bound.service_check ~p:4 ~wait_max
+       ~total_work:r.Sim.Openloop.total_work
+       ~per_shard_ops:r.Sim.Openloop.per_shard_ops
+       ~per_shard_span:r.Sim.Openloop.per_shard_span_max
+       ~m:r.Sim.Openloop.max_batches_seen ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* More workers never slow the virtual clock down. *)
+  let r64 =
+    Sim.Openloop.run (Sim.Openloop.config ~p:64 ~shards:2 ()) ~models olreqs
+  in
+  Alcotest.(check bool) "P=64 makespan <= P=4" true
+    (r64.Sim.Openloop.makespan <= r.Sim.Openloop.makespan)
+
+(* An idle system (arrivals far apart) must show the paper's Lemma-2
+   figure: at most own batch + one in flight. *)
+let test_openloop_lemma2_when_underloaded () =
+  let olreqs =
+    Array.init 50 (fun i -> { Sim.Openloop.at = i * 100_000; shard = 0; cls = 0 })
+  in
+  let models = [| Batched.Counter.sim_model () |] in
+  let r =
+    Sim.Openloop.run (Sim.Openloop.config ~p:4 ~shards:1 ()) ~models olreqs
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "m = %d <= 2" r.Sim.Openloop.max_batches_seen)
+    true
+    (r.Sim.Openloop.max_batches_seen <= 2)
+
+(* ---------- sim driver end-to-end ---------- *)
+
+let smoke () =
+  match Svc.Scenario.find "smoke" with
+  | Some sc -> sc
+  | None -> Alcotest.fail "smoke scenario missing"
+
+let test_sim_driver_smoke () =
+  let sc = smoke () in
+  let pt = Svc.Sim_driver.run_point sc ~p:4 in
+  Alcotest.(check int) "all requests" sc.Svc.Scenario.sim_requests
+    pt.Svc.Sim_driver.requests;
+  (match pt.Svc.Sim_driver.bound with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let all = Svc.Latency.all_of pt.Svc.Sim_driver.classes in
+  Alcotest.(check bool) "p50 <= p99" true
+    (all.Svc.Latency.p50_ns <= all.Svc.Latency.p99_ns);
+  Alcotest.(check bool) "p99 <= p999" true
+    (all.Svc.Latency.p99_ns <= all.Svc.Latency.p999_ns);
+  Alcotest.(check bool) "p999 <= max" true
+    (all.Svc.Latency.p999_ns <= all.Svc.Latency.max_ns);
+  Alcotest.(check bool) "non-degenerate tail" true
+    (all.Svc.Latency.p50_ns < all.Svc.Latency.p999_ns);
+  Alcotest.(check bool) "goodput positive" true
+    (pt.Svc.Sim_driver.goodput > 0.0);
+  (* Determinism across driver invocations. *)
+  let pt2 = Svc.Sim_driver.run_point sc ~p:4 in
+  Alcotest.(check (float 0.0)) "deterministic p999"
+    all.Svc.Latency.p999_ns
+    (Svc.Latency.all_of pt2.Svc.Sim_driver.classes).Svc.Latency.p999_ns
+
+(* ---------- runtime driver, tiny ---------- *)
+
+let test_rt_driver_tiny () =
+  let sc = smoke () in
+  let pt = Svc.Rt_driver.run_point ~workers:2 ~duration_s:0.3 sc ~shards:1 in
+  Alcotest.(check bool) "served some requests" true
+    (pt.Svc.Rt_driver.requests > 100);
+  Alcotest.(check bool) "goodput positive" true (pt.Svc.Rt_driver.goodput > 0.0);
+  Alcotest.(check bool) "batches ran" true (pt.Svc.Rt_driver.batches > 0);
+  let all = Svc.Latency.all_of pt.Svc.Rt_driver.classes in
+  Alcotest.(check int) "every request measured" pt.Svc.Rt_driver.requests
+    all.Svc.Latency.requests;
+  Alcotest.(check bool) "latencies positive" true (all.Svc.Latency.p50_ns > 0.0);
+  Alcotest.(check bool) "ordered digests" true
+    (all.Svc.Latency.p50_ns <= all.Svc.Latency.p99_ns
+    && all.Svc.Latency.p99_ns <= all.Svc.Latency.p999_ns
+    && all.Svc.Latency.p999_ns <= all.Svc.Latency.max_ns)
+
+(* ---------- latency digests ---------- *)
+
+let test_latency_digest () =
+  let samples = Array.init 1000 (fun i -> fi (i + 1)) in
+  let classes = Svc.Latency.of_samples [ ("get", samples); ("put", [||]) ] in
+  Alcotest.(check int) "empty class dropped, all added" 2
+    (List.length classes);
+  let all = Svc.Latency.all_of classes in
+  Alcotest.(check (float 0.5)) "p50 exact" 500.5 all.Svc.Latency.p50_ns;
+  Alcotest.(check (float 0.5)) "p99 exact" 990.01 all.Svc.Latency.p99_ns;
+  Alcotest.(check (float 0.0)) "max exact" 1000.0 all.Svc.Latency.max_ns
+
+(* ---------- snapshot extra fields ---------- *)
+
+let test_snapshot_extra_fields () =
+  let path = Filename.temp_file "svc_snap" ".jsonl" in
+  let rc = Obs.Recorder.create ~capacity:64 ~clock:Obs.Recorder.Nanoseconds ~workers:1 () in
+  let snap =
+    Obs.Snapshot.to_file
+      ~extra:(fun () -> [ ("svc_queue_depth", Obs.Json.Int 17) ])
+      rc ~path
+  in
+  Obs.Snapshot.sample snap;
+  Obs.Snapshot.close snap;
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  (match Obs.Json.parse line with
+  | Ok j -> (
+      match Obs.Json.member "svc_queue_depth" j with
+      | Some (Obs.Json.Int 17) -> ()
+      | _ -> Alcotest.fail "extra field missing or wrong")
+  | Error e -> Alcotest.fail ("unparseable snapshot line: " ^ e))
+
+(* ---------- report merge ---------- *)
+
+let row ~scenario v =
+  Obs.Json.Obj
+    [
+      ("exec", Obs.Json.Str "sim");
+      ("scenario", Obs.Json.Str scenario);
+      ("cls", Obs.Json.Str "all");
+      ("p99_ns", Obs.Json.Float v);
+    ]
+
+let svc_rows j =
+  match Obs.Json.member "experiments" j with
+  | Some (Obs.Json.List exps) -> (
+      match
+        List.find_opt
+          (fun e -> Obs.Json.member "id" e = Some (Obs.Json.Str "SVC"))
+          exps
+      with
+      | Some e -> (
+          match Obs.Json.member "rows" e with
+          | Some (Obs.Json.List rows) -> rows
+          | _ -> [])
+      | None -> [])
+  | _ -> []
+
+let test_report_merge_preserves () =
+  let path = Filename.temp_file "svc_bench" ".json" in
+  (* Seed the file with a foreign experiment that must survive. *)
+  Batcher_core.Report_json.write_file ~path
+    (Obs.Json.Obj
+       [
+         ("schema_version", Obs.Json.Int 1);
+         ( "experiments",
+           Obs.Json.List
+             [
+               Obs.Json.Obj
+                 [ ("id", Obs.Json.Str "E1"); ("rows", Obs.Json.List []) ];
+             ] );
+       ]);
+  Svc.Report.merge_svc ~path ~scenario:"a" [ row ~scenario:"a" 1.0 ];
+  Svc.Report.merge_svc ~path ~scenario:"b" [ row ~scenario:"b" 2.0 ];
+  (* Re-running scenario a replaces its rows, keeps b's. *)
+  Svc.Report.merge_svc ~path ~scenario:"a" [ row ~scenario:"a" 3.0 ];
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  match Obs.Json.parse s with
+  | Error e -> Alcotest.fail e
+  | Ok j ->
+      let rows = svc_rows j in
+      Alcotest.(check int) "one row per scenario" 2 (List.length rows);
+      let p99_of scen =
+        List.find_map
+          (fun r ->
+            if Obs.Json.member "scenario" r = Some (Obs.Json.Str scen) then
+              Option.bind (Obs.Json.member "p99_ns" r) Obs.Json.to_float_opt
+            else None)
+          rows
+      in
+      Alcotest.(check (option (float 0.0))) "a replaced" (Some 3.0) (p99_of "a");
+      Alcotest.(check (option (float 0.0))) "b kept" (Some 2.0) (p99_of "b");
+      (match Obs.Json.member "experiments" j with
+      | Some (Obs.Json.List exps) ->
+          Alcotest.(check int) "foreign experiment preserved" 2
+            (List.length exps)
+      | _ -> Alcotest.fail "experiments missing")
+
+(* ---------- stores ---------- *)
+
+let test_store_registry () =
+  List.iter
+    (fun name ->
+      match Svc.Store.find name with
+      | Some (module S : Svc.Store.STORE) ->
+          Alcotest.(check string) "name matches" name S.name
+      | None -> Alcotest.fail ("missing store " ^ name))
+    [ "skiplist"; "hashtable"; "two_three" ];
+  Alcotest.(check bool) "unknown store rejected" true
+    (Svc.Store.find "btree" = None)
+
+let test_mix_folding () =
+  let m = Gen.fold_range_into_get Gen.default_mix in
+  Alcotest.(check (float 1e-9)) "range zero" 0.0 m.Gen.range;
+  Alcotest.(check (float 1e-9)) "share conserved"
+    (Gen.default_mix.Gen.get +. Gen.default_mix.Gen.range)
+    m.Gen.get
+
+(* ---------- qcheck properties ---------- *)
+
+let qcheck_zipf_in_range =
+  QCheck.Test.make ~name:"zipf sample always lands in [0,n)" ~count:200
+    QCheck.(pair (1 -- 5_000) (0 -- 300))
+    (fun (n, theta_pct) ->
+      let z = Gen.zipf ~n ~theta:(fi theta_pct /. 100.0) in
+      let rng = Util.Rng.create ~seed:(n + theta_pct) in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let r = Gen.zipf_sample rng z in
+        if r < 0 || r >= n then ok := false
+      done;
+      !ok)
+
+let qcheck_replay =
+  QCheck.Test.make ~name:"generate_n replays byte-identically per seed"
+    ~count:60
+    QCheck.(0 -- 1_000_000)
+    (fun seed ->
+      let g = Gen.make ~seed ~n_keys:10_000 ~rate:25_000.0 () in
+      Gen.generate_n g ~n:200 = Gen.generate_n g ~n:200)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "zipf",
+        [
+          Alcotest.test_case "rank-frequency monotone" `Quick
+            test_zipf_rank_frequency_monotone;
+          Alcotest.test_case "theta=0 is uniform" `Quick
+            test_zipf_theta0_uniform;
+          Alcotest.test_case "theta=1 special case" `Quick test_zipf_theta_one;
+          Alcotest.test_case "scramble bijection" `Quick
+            test_scramble_bijection;
+        ] );
+      ( "arrivals",
+        [
+          Alcotest.test_case "poisson mean rate" `Quick test_poisson_mean_rate;
+          Alcotest.test_case "burst mean rate" `Quick test_burst_mean_rate;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "fixed seed is byte-identical" `Quick
+            test_replay_identical;
+          Alcotest.test_case "locality replays recent keys" `Quick
+            test_locality_replays_recent;
+        ] );
+      ( "openloop",
+        [
+          Alcotest.test_case "deterministic" `Quick test_openloop_deterministic;
+          Alcotest.test_case "sanity + wait bound" `Quick test_openloop_sanity;
+          Alcotest.test_case "lemma-2 when underloaded" `Quick
+            test_openloop_lemma2_when_underloaded;
+        ] );
+      ( "drivers",
+        [
+          Alcotest.test_case "sim smoke point" `Quick test_sim_driver_smoke;
+          Alcotest.test_case "runtime tiny point" `Quick test_rt_driver_tiny;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "latency digests exact" `Quick test_latency_digest;
+          Alcotest.test_case "snapshot extra fields" `Quick
+            test_snapshot_extra_fields;
+          Alcotest.test_case "report merge preserves" `Quick
+            test_report_merge_preserves;
+          Alcotest.test_case "store registry" `Quick test_store_registry;
+          Alcotest.test_case "mix folding" `Quick test_mix_folding;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ qcheck_zipf_in_range; qcheck_replay ]
+      );
+    ]
