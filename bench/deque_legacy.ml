@@ -1,0 +1,151 @@
+(* Bench-only baseline: the two-atomic Chase-Lev deque that
+   [Runtime.Wsdeque] used before the single-atomic packed-word rewrite.
+   Kept verbatim so M2 can report both variants head-to-head
+   ([variant = two_atomic] rows); not part of the runtime library.
+
+   Chase & Lev, "Dynamic circular work-stealing deque" (SPAA 2005), in
+   the C11 formulation of Lê, Pop, Cohen & Zappa Nardelli ("Correct and
+   efficient work-stealing for weak memory models", PPoPP 2013), adapted
+   to OCaml 5 Atomics.
+
+   Memory-ordering argument (DESIGN.md §8): OCaml 5's [Atomic] operations
+   are all sequentially consistent, which is strictly stronger than every
+   ordering the C11 protocol requires, so each annotated access maps to a
+   plain [Atomic] op and the standalone fences disappear:
+
+   - [push]'s release store of [bottom] (publishes the element written
+     just before it) is the SC [Atomic.set t.bottom].
+   - [pop]'s seq_cst fence between the [bottom] decrement and the [top]
+     load is subsumed by those two accesses themselves being SC.
+   - [steal] loads [top] BEFORE [bottom] (both SC) and then races on a
+     CAS of [top]; the load order is what makes the owner's
+     no-CAS fast path for [bottom - 1 > top] sound, so keep it.
+
+   What this rewrite changes versus the all-[Atomic.set] original is the
+   *data path*, not the protocol:
+
+   - Elements are stored directly in an [Obj.t array] instead of an
+     ['a option array], so [push] no longer boxes a [Some] per element
+     and [grow] no longer copies options.
+   - The owner keeps a monotone cache of [top] ([top_cache <= top],
+     owner-written only) and consults the real [top] only when the
+     cached window says the buffer might be full, so the common [push]
+     is one SC load + one array store + one SC store.
+   - The owner clears a slot it successfully popped (the protocol above
+     guarantees no thief can still be reading it), so popped elements
+     are not retained by the buffer. Thieves never write — a stolen
+     slot is reclaimed when the owner next wraps over it, so at most
+     [capacity] stale references persist, never unboundedly many. *)
+
+type buffer = {
+  mask : int;  (* capacity - 1; capacity is a power of two *)
+  data : Obj.t array;
+}
+
+let slot_empty : Obj.t = Obj.repr ()
+
+let make_buffer log_size =
+  { mask = (1 lsl log_size) - 1; data = Array.make (1 lsl log_size) slot_empty }
+
+let buf_get b i = Array.unsafe_get b.data (i land b.mask)
+let buf_put b i x = Array.unsafe_set b.data (i land b.mask) x
+
+type 'a t = {
+  top : int Atomic.t;  (* only increases; thieves CAS it *)
+  bottom : int Atomic.t;  (* owner-written; thieves only read *)
+  buf : buffer Atomic.t;  (* owner-written; thieves only read *)
+  mutable top_cache : int;  (* owner-only lower bound on [top] *)
+}
+
+let create () =
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (make_buffer 8);
+    top_cache = 0;
+  }
+
+let size t =
+  let b = Atomic.get t.bottom and tp = Atomic.get t.top in
+  max 0 (b - tp)
+
+(* Owner only, from [push]. The old buffer is retired, never reused or
+   overwritten, so a thief holding it still reads a valid element for
+   any [top] position its CAS can win (see .mli). *)
+let grow t b top_ =
+  let old = Atomic.get t.buf in
+  let nb = { mask = (old.mask * 2) + 1; data = Array.make ((old.mask + 1) * 2) slot_empty } in
+  for i = top_ to b - 1 do
+    buf_put nb i (buf_get old i)
+  done;
+  Atomic.set t.buf nb
+
+let push t x =
+  let b = Atomic.get t.bottom in
+  let buf = Atomic.get t.buf in
+  let buf =
+    if b - t.top_cache > buf.mask then begin
+      (* Full for all the owner knows: refresh the cache and re-check. *)
+      t.top_cache <- Atomic.get t.top;
+      if b - t.top_cache > buf.mask then begin
+        grow t b t.top_cache;
+        Atomic.get t.buf
+      end
+      else buf
+    end
+    else buf
+  in
+  buf_put buf b (Obj.repr x);
+  (* SC store: publishes the element to thieves (C11 release). *)
+  Atomic.set t.bottom (b + 1)
+
+let pop (type a) (t : a t) : a option =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  (* Both accesses SC: subsumes the C11 seq_cst fence here. *)
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Empty: restore. *)
+    Atomic.set t.bottom (b + 1);
+    None
+  end
+  else begin
+    let buf = Atomic.get t.buf in
+    let v = buf_get buf b in
+    if b > tp then begin
+      (* More than one element: no thief can take index [b] (a thief
+         must read [top] before [bottom], and any thief that could see
+         [top = b] reads [bottom] afterwards and finds [<= b]), so no
+         CAS — and clearing the slot cannot race a thief's read. *)
+      buf_put buf b slot_empty;
+      t.top_cache <- tp;
+      Some (Obj.obj v : a)
+    end
+    else begin
+      (* Last element: race with thieves via CAS on top. *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (b + 1);
+      if won then begin
+        buf_put buf b slot_empty;
+        t.top_cache <- tp + 1;
+        Some (Obj.obj v : a)
+      end
+      else None
+    end
+  end
+
+let steal (type a) (t : a t) : a option =
+  (* [top] first, then [bottom] — the order the owner's fast path in
+     [pop] relies on. *)
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else begin
+    (* Read the element before the CAS: after a successful CAS the
+       owner may reuse the slot. A stale [buf] read is safe because
+       retired buffers keep their elements (see [grow]). The raw slot
+       is only viewed at type [a] once the CAS has won. *)
+    let v = buf_get (Atomic.get t.buf) tp in
+    if Atomic.compare_and_set t.top tp (tp + 1) then Some (Obj.obj v : a)
+    else None
+  end

@@ -1,13 +1,16 @@
-(* Runtime hot-path microbenchmarks (this PR's before/after evidence):
+(* Runtime hot-path microbenchmarks (the PR-by-PR before/after evidence):
 
      M1  contended submit — ops/s of [Batcher_rt.batchify] from a
-         grain-1 parallel loop, pending-array vs. the legacy atomic-list
-         submission path, across worker counts. This is the workload
-         the pending-array rewrite targets: every op claims a slot in
-         the size-P array with one fetch-and-add instead of fighting a
-         CAS-retry cons stack.
+         grain-1 parallel loop across the four batch-path modes
+         (pending_array = FAA slots, worker_id = paper-verbatim
+         per-worker slots, par_combine = parallel combining,
+         atomic_list = legacy CAS stack) and across worker counts.
+         Every row reports minor words per op: exact single-domain
+         arithmetic at workers=1, and a per-worker barrier-sampled sum
+         at workers>1 (Gc.minor_words is domain-local).
      M2  Chase-Lev deque — owner push/pop throughput and a cross-domain
-         steal drain, exercising the no-option-boxing data path.
+         steal drain, for both the current single-atomic packed-word
+         deque and the retired two-atomic variant (bench/deque_legacy).
      M3  sharded contended submit — the M1 workload against K
          [Shard_rt] shards of a linear-service structure (batch cost
          s(n/K), modeled by a calibrated sleep), K in {1,2,4,8}.
@@ -15,9 +18,11 @@
          batches across workers while each batch gets K times cheaper.
 
    Results are MERGED into BENCH_results.json (default; OUT= overrides):
-   existing experiment records are preserved, M1/M2/M3 records are
+   existing experiment records are preserved, regenerated records are
    replaced, so the perf trajectory accumulates across PRs next to the
-   main bench tables. QUICK=1 shrinks op counts for CI.
+   main bench tables. QUICK=1 shrinks op counts for CI; ONLY=M1[,M2...]
+   restricts which experiments run (the @mode-smoke alias uses ONLY=M1
+   to sweep the modes in seconds).
 
    Timing is wall-clock best-of-N via Obs.Clock.now_ns — bechamel's OLS
    is overkill here because one "run" is a whole pool run with domain
@@ -28,6 +33,13 @@ let quick = Sys.getenv_opt "QUICK" <> None
 
 let out_path =
   match Sys.getenv_opt "OUT" with Some p -> p | None -> "BENCH_results.json"
+
+let only =
+  match Sys.getenv_opt "ONLY" with
+  | None -> None
+  | Some s -> Some (String.split_on_char ',' (String.uppercase_ascii s))
+
+let want id = match only with None -> true | Some l -> List.mem id l
 
 (* Best-of-N repetitions. Scheduler noise is one-sided (preemption only
    ever adds time), so on oversubscribed machines the best-of over more
@@ -67,9 +79,7 @@ let ops_per_sec ~ops ~ns =
 
 (* ---------- M1: contended submit ---------- *)
 
-let impl_name = function
-  | Runtime.Batcher_rt.Pending_array -> "pending_array"
-  | Runtime.Batcher_rt.Atomic_list -> "atomic_list"
+let mode_name = Runtime.Batcher_rt.mode_name
 
 (* BACKOFF=flat | spin selects an ablation of the pool's backoff policy
    (flat 0.2ms sleeps, or pure spinning); default is the tuned ramp.
@@ -92,7 +102,39 @@ let bench_backoff =
         }
   | _ -> None
 
-let contended_submit ~impl ~workers ~n_ops =
+(* Sum of minor words allocated across all worker domains while [f]
+   runs. [Gc.minor_words] is domain-local, so each worker samples its
+   own counter from inside a barrier task: [workers] tasks each spin
+   until all have started, which pins them to distinct workers (a
+   worker cannot start a second task while its first is spinning), and
+   each then reads its domain's counter into its worker's slot. The two
+   barrier passes themselves allocate a few hundred words — noise at
+   thousands of ops. *)
+let minor_words_all ~pool ~workers f =
+  let sample out =
+    let arrived = Atomic.make 0 in
+    Runtime.Pool.run pool (fun () ->
+        Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:workers (fun _ ->
+            let w =
+              match Runtime.Pool.worker_index () with Some w -> w | None -> 0
+            in
+            Atomic.incr arrived;
+            while Atomic.get arrived < workers do
+              Domain.cpu_relax ()
+            done;
+            out.(w) <- Gc.minor_words ()))
+  in
+  let before = Array.make workers 0.0 and after = Array.make workers 0.0 in
+  sample before;
+  f ();
+  sample after;
+  let sum = ref 0.0 in
+  for w = 0 to workers - 1 do
+    sum := !sum +. after.(w) -. before.(w)
+  done;
+  !sum
+
+let contended_submit ~mode ~workers ~n_ops =
   let pool =
     Runtime.Pool.create ?backoff:bench_backoff ~num_workers:workers ()
   in
@@ -101,7 +143,7 @@ let contended_submit ~impl ~workers ~n_ops =
     (fun () ->
       let counter = Batched.Counter.create () in
       let b =
-        Runtime.Batcher_rt.create ~impl ~pool ~state:counter
+        Runtime.Batcher_rt.create ~mode ~pool ~state:counter
           ~run_batch:(fun _pool st ops -> Batched.Counter.run_batch st ops)
           ()
       in
@@ -112,18 +154,19 @@ let contended_submit ~impl ~workers ~n_ops =
       in
       submit_all (min 256 n_ops);  (* warmup: faults pages, wakes domains *)
       (* Scheduler-independent cost proxy: minor words allocated per op.
-         Exact at workers=1 (everything runs on this domain); at
-         workers>1 it only counts this domain's share, so we report it
-         for the single-worker rows alone. *)
+         Exact single-domain arithmetic at workers=1; a barrier-sampled
+         per-worker sum otherwise. *)
       let words_per_op =
-        if workers > 1 then None
-        else begin
+        if workers = 1 then begin
           let w0 = Gc.minor_words () in
           submit_all n_ops;
-          Some ((Gc.minor_words () -. w0) /. float_of_int n_ops)
+          (Gc.minor_words () -. w0) /. float_of_int n_ops
         end
+        else
+          minor_words_all ~pool ~workers (fun () -> submit_all n_ops)
+          /. float_of_int n_ops
       in
-      let label = Printf.sprintf "M1 %s workers=%d" (impl_name impl) workers in
+      let label = Printf.sprintf "M1 %s workers=%d" (mode_name mode) workers in
       ( best_of ~label (reps ~multi:(workers > 1)) (fun () -> submit_all n_ops),
         words_per_op ))
 
@@ -135,48 +178,66 @@ let m1_rows () =
   in
   let worker_counts = [ 1; 2; 4 ] in
   List.concat_map
-    (fun impl ->
+    (fun mode ->
       List.map
         (fun workers ->
-          let ns, words = contended_submit ~impl ~workers ~n_ops in
-          ( impl_name impl,
+          let ns, words = contended_submit ~mode ~workers ~n_ops in
+          ( mode_name mode,
             workers,
             n_ops,
             ns,
             ops_per_sec ~ops:n_ops ~ns,
             words ))
         worker_counts)
-    [ Runtime.Batcher_rt.Pending_array; Runtime.Batcher_rt.Atomic_list ]
+    Runtime.Batcher_rt.all_modes
 
 (* ---------- M2: Chase-Lev deque ---------- *)
 
+(* Two implementations behind one signature: the live single-atomic
+   packed-word deque, and the retired two-atomic one it replaced
+   (variant column in the rows). *)
+module type DEQUE = sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a option
+  val steal : 'a t -> 'a option
+end
+
 (* Owner-only throughput: fill/drain bursts through a warm deque. *)
-let deque_push_pop ~n =
-  let q : int Runtime.Wsdeque.t = Runtime.Wsdeque.create () in
-  best_of ~label:"M2 push_pop" (reps ~multi:false) (fun () ->
+let deque_push_pop (module D : DEQUE) ~variant ~n =
+  let q : int D.t = D.create () in
+  best_of
+    ~label:(Printf.sprintf "M2 push_pop %s" variant)
+    (reps ~multi:false)
+    (fun () ->
       let burst = 512 in
       let rounds = n / burst in
       for _ = 1 to rounds do
         for i = 1 to burst do
-          Runtime.Wsdeque.push q i
+          D.push q i
         done;
         for _ = 1 to burst do
-          ignore (Runtime.Wsdeque.pop q)
+          ignore (D.pop q)
         done
       done)
 
 (* One thief domain drains everything the owner pushed. *)
-let deque_steal_drain ~n =
-  best_of ~label:"M2 steal_drain" (reps ~multi:true) (fun () ->
-      let q : int Runtime.Wsdeque.t = Runtime.Wsdeque.create () in
+let deque_steal_drain (module D : DEQUE) ~variant ~n =
+  best_of
+    ~label:(Printf.sprintf "M2 steal_drain %s" variant)
+    (reps ~multi:true)
+    (fun () ->
+      let q : int D.t = D.create () in
       for i = 1 to n do
-        Runtime.Wsdeque.push q i
+        D.push q i
       done;
       let thief =
         Domain.spawn (fun () ->
             let got = ref 0 in
             while !got < n do
-              match Runtime.Wsdeque.steal q with
+              match D.steal q with
               | Some _ -> incr got
               | None -> Domain.cpu_relax ()
             done)
@@ -185,13 +246,19 @@ let deque_steal_drain ~n =
 
 let m2_rows () =
   let n = if quick then 50_000 else 500_000 in
-  let pp = deque_push_pop ~n in
   let n_steal = if quick then 20_000 else 100_000 in
-  let sd = deque_steal_drain ~n:n_steal in
-  [
-    ("push_pop", 2 * n, pp, ops_per_sec ~ops:(2 * n) ~ns:pp);
-    ("steal_drain", n_steal, sd, ops_per_sec ~ops:n_steal ~ns:sd);
-  ]
+  List.concat_map
+    (fun (variant, d) ->
+      let pp = deque_push_pop d ~variant ~n in
+      let sd = deque_steal_drain d ~variant ~n:n_steal in
+      [
+        (variant, "push_pop", 2 * n, pp, ops_per_sec ~ops:(2 * n) ~ns:pp);
+        (variant, "steal_drain", n_steal, sd, ops_per_sec ~ops:n_steal ~ns:sd);
+      ])
+    [
+      ("single_atomic", (module Runtime.Wsdeque : DEQUE));
+      ("two_atomic", (module Deque_legacy : DEQUE));
+    ]
 
 (* ---------- M3: sharded contended submit (K-sweep) ---------- *)
 
@@ -347,91 +414,114 @@ let merge_out new_exps =
   Batcher_core.Report_json.write_file ~path:out_path (Obs.Json.Obj fields)
 
 let () =
-  Printf.printf "== M1: contended submit (batchify ops/s) ==\n";
-  Printf.printf "%-14s %8s %8s %12s %14s %10s\n" "impl" "workers" "ops" "ns"
-    "ops/s" "words/op";
-  let m1 = m1_rows () in
-  List.iter
-    (fun (impl, workers, ops, ns, rate, words) ->
-      let w =
-        match words with Some w -> Printf.sprintf "%.1f" w | None -> "-"
-      in
-      Printf.printf "%-14s %8d %8d %12d %14.0f %10s\n" impl workers ops ns
-        rate w)
-    m1;
-  Printf.printf "\n== M2: Chase-Lev deque ==\n";
-  Printf.printf "%-14s %10s %12s %14s\n" "case" "items" "ns" "ops/s";
-  let m2 = m2_rows () in
-  List.iter
-    (fun (case, items, ns, rate) ->
-      Printf.printf "%-14s %10d %12d %14.0f\n" case items ns rate)
-    m2;
-  Printf.printf "\n== M3: sharded contended submit (K-sweep, s(n/K) service) ==\n";
-  Printf.printf "%6s %8s %8s %12s %14s %12s %9s %10s\n" "K" "workers" "ops"
-    "ns" "ops/s" "vs K=1" "batches" "max_batch";
-  let m3 = m3_rows () in
-  List.iter
-    (fun (k, workers, ops, ns, rate, speedup, batches, max_batch) ->
-      Printf.printf "%6d %8d %8d %12d %14.0f %11.2fx %9d %10d\n" k workers ops
-        ns rate speedup batches max_batch)
-    m3;
-  let m1_json =
-    List.map
+  let exps = ref [] in
+  if want "M1" then begin
+    Printf.printf "== M1: contended submit (batchify ops/s) ==\n";
+    Printf.printf "%-14s %8s %8s %12s %14s %10s\n" "impl" "workers" "ops" "ns"
+      "ops/s" "words/op";
+    let m1 = m1_rows () in
+    List.iter
       (fun (impl, workers, ops, ns, rate, words) ->
-        Obs.Json.Obj
-          ([
-             ("impl", Obs.Json.Str impl);
-             ("workers", Obs.Json.Int workers);
-             ("ops", Obs.Json.Int ops);
-             ("ns", Obs.Json.Int ns);
-             ("ops_per_sec", Obs.Json.Float rate);
-           ]
-          @
-          match words with
-          | Some w -> [ ("minor_words_per_op", Obs.Json.Float w) ]
-          | None -> []))
-      m1
-  in
-  let m2_json =
-    List.map
-      (fun (case, items, ns, rate) ->
-        Obs.Json.Obj
-          [
-            ("case", Obs.Json.Str case);
-            ("items", Obs.Json.Int items);
-            ("ns", Obs.Json.Int ns);
-            ("ops_per_sec", Obs.Json.Float rate);
-          ])
-      m2
-  in
-  let m3_json =
-    List.map
+        Printf.printf "%-14s %8d %8d %12d %14.0f %10.1f\n" impl workers ops ns
+          rate words)
+      m1;
+    let m1_json =
+      List.map
+        (fun (impl, workers, ops, ns, rate, words) ->
+          Obs.Json.Obj
+            [
+              ("impl", Obs.Json.Str impl);
+              ("workers", Obs.Json.Int workers);
+              ("ops", Obs.Json.Int ops);
+              ("ns", Obs.Json.Int ns);
+              ("ops_per_sec", Obs.Json.Float rate);
+              ("minor_words_per_op", Obs.Json.Float words);
+            ])
+        m1
+    in
+    exps :=
+      !exps
+      @ [
+          experiment ~id:"M1"
+            ~title:
+              "M1 — contended batchify submit across batch-path modes \
+               (pending array / worker-id / parallel combining / legacy \
+               atomic list)"
+            m1_json;
+        ]
+  end;
+  if want "M2" then begin
+    Printf.printf "\n== M2: Chase-Lev deque ==\n";
+    Printf.printf "%-14s %-14s %10s %12s %14s\n" "variant" "case" "items" "ns"
+      "ops/s";
+    let m2 = m2_rows () in
+    List.iter
+      (fun (variant, case, items, ns, rate) ->
+        Printf.printf "%-14s %-14s %10d %12d %14.0f\n" variant case items ns
+          rate)
+      m2;
+    let m2_json =
+      List.map
+        (fun (variant, case, items, ns, rate) ->
+          Obs.Json.Obj
+            [
+              ("variant", Obs.Json.Str variant);
+              ("case", Obs.Json.Str case);
+              ("items", Obs.Json.Int items);
+              ("ns", Obs.Json.Int ns);
+              ("ops_per_sec", Obs.Json.Float rate);
+            ])
+        m2
+    in
+    exps :=
+      !exps
+      @ [
+          experiment ~id:"M2"
+            ~title:
+              "M2 — Chase-Lev deque data path: single-atomic packed word vs \
+               retired two-atomic"
+            m2_json;
+        ]
+  end;
+  if want "M3" then begin
+    Printf.printf
+      "\n== M3: sharded contended submit (K-sweep, s(n/K) service) ==\n";
+    Printf.printf "%6s %8s %8s %12s %14s %12s %9s %10s\n" "K" "workers" "ops"
+      "ns" "ops/s" "vs K=1" "batches" "max_batch";
+    let m3 = m3_rows () in
+    List.iter
       (fun (k, workers, ops, ns, rate, speedup, batches, max_batch) ->
-        Obs.Json.Obj
-          [
-            ("shards", Obs.Json.Int k);
-            ("workers", Obs.Json.Int workers);
-            ("ops", Obs.Json.Int ops);
-            ("ns", Obs.Json.Int ns);
-            ("ops_per_sec", Obs.Json.Float rate);
-            ("speedup_vs_k1", Obs.Json.Float speedup);
-            ("total_batches", Obs.Json.Int batches);
-            ("max_batch", Obs.Json.Int max_batch);
-          ])
-      m3
-  in
-  merge_out
-    [
-      experiment ~id:"M1"
-        ~title:
-          "M1 — contended batchify submit: pending array vs legacy atomic \
-           list"
-        m1_json;
-      experiment ~id:"M2" ~title:"M2 — Chase-Lev deque data path" m2_json;
-      experiment ~id:"M3"
-        ~title:
-          "M3 — sharded contended submit: K-sweep over Shard_rt, linear \
-           s(n/K) service"
-        m3_json;
-    ];
-  Printf.printf "\n[micro] merged M1, M2, M3 into %s\n%!" out_path
+        Printf.printf "%6d %8d %8d %12d %14.0f %11.2fx %9d %10d\n" k workers
+          ops ns rate speedup batches max_batch)
+      m3;
+    let m3_json =
+      List.map
+        (fun (k, workers, ops, ns, rate, speedup, batches, max_batch) ->
+          Obs.Json.Obj
+            [
+              ("shards", Obs.Json.Int k);
+              ("workers", Obs.Json.Int workers);
+              ("ops", Obs.Json.Int ops);
+              ("ns", Obs.Json.Int ns);
+              ("ops_per_sec", Obs.Json.Float rate);
+              ("speedup_vs_k1", Obs.Json.Float speedup);
+              ("total_batches", Obs.Json.Int batches);
+              ("max_batch", Obs.Json.Int max_batch);
+            ])
+        m3
+    in
+    exps :=
+      !exps
+      @ [
+          experiment ~id:"M3"
+            ~title:
+              "M3 — sharded contended submit: K-sweep over Shard_rt, linear \
+               s(n/K) service"
+            m3_json;
+        ]
+  end;
+  merge_out !exps;
+  Printf.printf "\n[micro] merged %s into %s\n%!"
+    (String.concat ", "
+       (List.filter (want) [ "M1"; "M2"; "M3" ]))
+    out_path

@@ -10,13 +10,26 @@
    and "makespan" count down) with a percent delta. Rows present on
    only one side are listed, not diffed.
 
-   Exits 0 by default — a reporting tool, not a gate — unless
-   --gate-p99 PCT is given, which turns the service rows' tail into CI
-   teeth: exit 1 when any matched row's "p99_ns" grew by more than PCT
-   percent. p99 is the gated percentile deliberately: p50 moves with
-   load-point luck and p999 of a short run is a handful of samples,
-   while a p99 shift is what a real batching/scheduling regression
-   looks like in the SVC rows. *)
+   Exits 0 by default — a reporting tool, not a gate — unless a gate
+   flag is given:
+
+   --gate-p99 PCT turns the service rows' tail into CI teeth: exit 1
+   when any matched row's "p99_ns" grew by more than PCT percent. p99
+   is the gated percentile deliberately: p50 moves with load-point luck
+   and p999 of a short run is a handful of samples, while a p99 shift
+   is what a real batching/scheduling regression looks like in the SVC
+   rows.
+
+   --gate-m1 PCT is its submit-path mirror: exit 1 when any matched M1
+   row's "ops_per_sec" fell by more than PCT percent. M1 is the
+   contended-batchify microbenchmark, the workload every batch-path
+   change targets; rows are matched by full signature (mode and worker
+   count), so a regression in any mode x workers cell trips the gate
+   even if another cell improved. The one exemption is the legacy
+   atomic_list ablation floor: its multi-worker wall clock is a
+   documented preemption lottery on the single-CPU container
+   (best-of-24 stddev/mean ~80%, EXPERIMENTS.md M1), so its rows are
+   recorded and diffed but carry no gate teeth. *)
 
 let metric_keys =
   (* key, higher_is_better *)
@@ -98,6 +111,9 @@ let signature row =
       |> String.concat " "
   | _ -> Obs.Json.to_string row
 
+let field_str row k =
+  match Obs.Json.member k row with Some (Obs.Json.Str s) -> Some s | _ -> None
+
 let metrics row =
   match row with
   | Obs.Json.Obj fields ->
@@ -114,6 +130,8 @@ let pct_delta ~old_v ~new_v =
 
 let gate_p99 : float option ref = ref None
 let p99_breaches : string list ref = ref []
+let gate_m1 : float option ref = ref None
+let m1_breaches : string list ref = ref []
 
 let diff_rows id old_rows new_rows =
   let old_tbl = Hashtbl.create 16 in
@@ -144,6 +162,19 @@ let diff_rows id old_rows new_rows =
                           id sg old_v new_v d pct
                         :: !p99_breaches
                   | _ -> ());
+                  (match !gate_m1 with
+                  | Some pct
+                    when id = "M1" && k = "ops_per_sec"
+                         && (not (Float.is_nan d))
+                         && d < -.pct
+                         (* legacy ablation floor: diffed, never gated *)
+                         && field_str nr "impl" <> Some "atomic_list" ->
+                      m1_breaches :=
+                        Printf.sprintf
+                          "%s | %s: ops/s %.0f -> %.0f (%+.1f%% < -%g%%)" id sg
+                          old_v new_v d pct
+                        :: !m1_breaches
+                  | _ -> ());
                   Printf.printf
                     "  %s | %-40s  %s: %14.1f -> %14.1f  %+7.1f%% %s\n" id sg
                     k old_v new_v d
@@ -167,6 +198,12 @@ let () =
             gate_p99 := Some pct;
             parse rest
         | _ -> die (Printf.sprintf "--gate-p99 expects a percentage, got %S" v))
+    | "--gate-m1" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some pct when pct >= 0.0 ->
+            gate_m1 := Some pct;
+            parse rest
+        | _ -> die (Printf.sprintf "--gate-m1 expects a percentage, got %S" v))
     | a :: _ when String.length a > 1 && a.[0] = '-' ->
         die (Printf.sprintf "unknown option %s" a)
     | a :: rest ->
@@ -177,7 +214,10 @@ let () =
   let old_path, new_path =
     match List.rev !positional with
     | [ o; n ] -> (o, n)
-    | _ -> die "usage: bench_diff.exe [--gate-p99 PCT] OLD.json NEW.json"
+    | _ ->
+        die
+          "usage: bench_diff.exe [--gate-p99 PCT] [--gate-m1 PCT] OLD.json \
+           NEW.json"
   in
   let old_j = load old_path and new_j = load new_path in
   let old_exps = experiments old_j and new_exps = experiments new_j in
@@ -195,8 +235,15 @@ let () =
         Printf.printf "  %s: only in %s\n" id old_path)
     old_exps;
   Printf.printf "%d row(s) compared\n" !total;
-  match List.rev !p99_breaches with
-  | [] -> ()
-  | breaches ->
-      List.iter (fun b -> Printf.printf "GATE p99 regression: %s\n" b) breaches;
-      exit 1
+  let tripped = ref false in
+  List.iter
+    (fun b ->
+      tripped := true;
+      Printf.printf "GATE p99 regression: %s\n" b)
+    (List.rev !p99_breaches);
+  List.iter
+    (fun b ->
+      tripped := true;
+      Printf.printf "GATE M1 regression: %s\n" b)
+    (List.rev !m1_breaches);
+  if !tripped then exit 1

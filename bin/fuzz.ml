@@ -13,18 +13,20 @@
 open Cmdliner
 
 (* Runtime-side ablations rotated across the conformance subjects: the
-   default pending-array path under the default and two extreme backoff
-   policies (all-spin, sleep-almost-immediately with a single steal try
-   per round), plus the legacy atomic-list submission path. Extreme
-   idle policies change steal/launch interleavings, not results — any
-   divergence is a real runtime bug. *)
+   default faa-array batch path under the default and two extreme
+   backoff policies (all-spin, sleep-almost-immediately with a single
+   steal try per round), plus the three alternative batch-path modes
+   (paper-verbatim worker-id slots, parallel combining, and the legacy
+   atomic-list submission stack). Extreme idle policies change
+   steal/launch interleavings, not results — any divergence is a real
+   runtime bug. *)
 let conf_ablations =
   let open Runtime.Pool in
   [
-    ("", None, Runtime.Batcher_rt.Pending_array);
+    ("", None, Runtime.Batcher_rt.Faa_array);
     ( " [spin]",
       Some { default_backoff with spin_limit = 1_000_000; burst_limit = 1_000_000 },
-      Runtime.Batcher_rt.Pending_array );
+      Runtime.Batcher_rt.Faa_array );
     ( " [sleepy]",
       Some
         {
@@ -34,7 +36,9 @@ let conf_ablations =
           sleep_min = 0.000_01;
           steal_tries = 1;
         },
-      Runtime.Batcher_rt.Pending_array );
+      Runtime.Batcher_rt.Faa_array );
+    (" [worker]", None, Runtime.Batcher_rt.Worker_id);
+    (" [combine]", None, Runtime.Batcher_rt.Par_combine);
     (" [list]", None, Runtime.Batcher_rt.Atomic_list);
   ]
 
@@ -43,10 +47,10 @@ let run_conformance ~n_ops ~seed ~verbose =
   List.iteri
     (fun i subject ->
       let name = Check.Conformance.subject_name subject in
-      let tag, backoff, impl =
+      let tag, backoff, mode =
         List.nth conf_ablations (i mod List.length conf_ablations)
       in
-      match Check.Conformance.run ~n_ops ~seed ?backoff ~impl subject with
+      match Check.Conformance.run ~n_ops ~seed ?backoff ~mode subject with
       | Ok r ->
           if verbose then
             Printf.printf
@@ -113,9 +117,12 @@ let run_sweep ~seeds ~start ~max_p ~max_size ~bound_factor ~deadline ~shard_k
     if shard_k <= 0 then fun c -> c
     else fun c -> { c with Check.Schedule_fuzz.shard_k }
   in
+  (* rt_conf: every case additionally runs its structure and seed
+     through the real runtime under the case's rotated batch-path mode
+     ([rt_mode]), conformance-checked against the sequential oracle. *)
   let cases_run, fails =
-    Check.Schedule_fuzz.sweep ~bound_factor ~max_p ~max_size ~should_stop
-      ~on_case ~map_case ~seeds:seed_list ()
+    Check.Schedule_fuzz.sweep ~bound_factor ~rt_conf:true ~max_p ~max_size
+      ~should_stop ~on_case ~map_case ~seeds:seed_list ()
   in
   Printf.printf "schedule fuzz: %d/%d cases run, %d failure(s)\n%!" cases_run
     seeds (List.length fails);

@@ -26,6 +26,10 @@ let usage () =
     \  --seed N         override the scenario's seed\n\
     \  --out PATH       results file (default BENCH_results.json)\n\
     \  --snapshot PATH  stream Obs.Snapshot JSONL (runtime leg) to PATH\n\
+    \  --mode NAME|all  batch-path mode for the runtime leg's shards\n\
+    \                   (pending_array | worker_id | par_combine |\n\
+    \                   atomic_list; all = head-to-head sweep over every\n\
+    \                   mode; default pending_array)\n\
     \  --quiet          print only failures and the final summary\n\
      Exit status: 0 ok, 1 a sim point escaped the Theorem-1 wait\n\
      budget, 2 usage error."
@@ -61,6 +65,7 @@ let () =
   let seed = ref None in
   let out = ref "BENCH_results.json" in
   let snapshot = ref None in
+  let modes = ref [ Runtime.Batcher_rt.Faa_array ] in
   let quiet = ref false in
   let args = Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1)) in
   let rec go = function
@@ -102,6 +107,13 @@ let () =
         go rest
     | "--snapshot" :: v :: rest ->
         snapshot := Some v;
+        go rest
+    | "--mode" :: v :: rest ->
+        (if v = "all" then modes := Runtime.Batcher_rt.all_modes
+         else
+           match Runtime.Batcher_rt.mode_of_string v with
+           | Some m -> modes := [ m ]
+           | None -> die "--mode expects a batch-path mode or all, got %S" v);
         go rest
     | ("--help" | "-h") :: _ ->
         usage ();
@@ -171,19 +183,23 @@ let () =
         | Some d -> d
         | None -> sc.Svc.Scenario.duration_s);
     List.iter
-      (fun (pt : Svc.Rt_driver.point) ->
-        if not !quiet then
-          Printf.printf
-            "  K=%-2d P=%d n=%d goodput=%.0f req/s batches=%d max_batch=%d \
-             stalls=%d burns=%d\n"
-            pt.Svc.Rt_driver.shards pt.Svc.Rt_driver.workers
-            pt.Svc.Rt_driver.requests pt.Svc.Rt_driver.goodput
-            pt.Svc.Rt_driver.batches pt.Svc.Rt_driver.max_batch
-            pt.Svc.Rt_driver.stalls pt.Svc.Rt_driver.slo_burns;
-        print_classes ~quiet:!quiet pt.Svc.Rt_driver.classes;
-        all_rows := !all_rows @ Svc.Report.rows_of_rt sc pt)
-      (Svc.Rt_driver.run ?workers:!workers ?snapshot_path:!snapshot
-         ?duration_s:!duration sc)
+      (fun mode ->
+        List.iter
+          (fun (pt : Svc.Rt_driver.point) ->
+            if not !quiet then
+              Printf.printf
+                "  K=%-2d P=%d mode=%-13s n=%d goodput=%.0f req/s batches=%d \
+                 max_batch=%d stalls=%d burns=%d\n"
+                pt.Svc.Rt_driver.shards pt.Svc.Rt_driver.workers
+                (Runtime.Batcher_rt.mode_name pt.Svc.Rt_driver.mode)
+                pt.Svc.Rt_driver.requests pt.Svc.Rt_driver.goodput
+                pt.Svc.Rt_driver.batches pt.Svc.Rt_driver.max_batch
+                pt.Svc.Rt_driver.stalls pt.Svc.Rt_driver.slo_burns;
+            print_classes ~quiet:!quiet pt.Svc.Rt_driver.classes;
+            all_rows := !all_rows @ Svc.Report.rows_of_rt sc pt)
+          (Svc.Rt_driver.run ?workers:!workers ?snapshot_path:!snapshot
+             ?duration_s:!duration ~mode sc))
+      !modes
   end;
   Svc.Report.merge_svc ~path:!out ~scenario:sc.Svc.Scenario.name
     !all_rows;

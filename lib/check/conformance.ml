@@ -60,7 +60,7 @@ let counter =
           let t = Batched.Counter.create () in
           let o = Oracle.Counter.create () in
           {
-            gen = Gen.counter_op;
+            gen = Opgen.counter_op;
             run_batch = Batched.Counter.run_batch t;
             dump = (fun () -> string_of_int (Batched.Counter.value t));
             oracle_batch =
@@ -90,7 +90,7 @@ let fifo =
           let t = Batched.Fifo.create () in
           let o = Oracle.Fifo.create () in
           {
-            gen = Gen.fifo_op;
+            gen = Opgen.fifo_op;
             run_batch = Batched.Fifo.run_batch t;
             dump =
               (fun () ->
@@ -131,7 +131,7 @@ let stack =
           let t = Batched.Stack.create () in
           let o = Oracle.Lifo.create () in
           {
-            gen = Gen.stack_op;
+            gen = Opgen.stack_op;
             run_batch = Batched.Stack.run_batch t;
             dump = (fun () -> ints (Batched.Stack.to_list t));
             oracle_batch =
@@ -168,7 +168,7 @@ let pqueue =
           let t = ref Batched.Pqueue.empty in
           let o = Oracle.Heap.create () in
           {
-            gen = Gen.pqueue_op;
+            gen = Opgen.pqueue_op;
             run_batch = (fun ops -> t := Batched.Pqueue.run_batch !t ops);
             dump =
               (fun () ->
@@ -212,7 +212,7 @@ let hashtable =
           let t = Batched.Hashtable.create () in
           let o = Oracle.Dict.create () in
           {
-            gen = Gen.hashtable_op ~n;
+            gen = Opgen.hashtable_op ~n;
             run_batch = Batched.Hashtable.run_batch t;
             dump =
               (fun () ->
@@ -267,7 +267,7 @@ let skiplist =
           let t = Batched.Skiplist.create () in
           let o = Oracle.Dict.create () in
           {
-            gen = Gen.skiplist_op ~n;
+            gen = Opgen.skiplist_op ~n;
             run_batch = Batched.Skiplist.run_batch t;
             dump =
               (fun () ->
@@ -330,7 +330,7 @@ let two_three =
           let t = ref Batched.Two_three.empty in
           let o = Oracle.Dict.create () in
           {
-            gen = Gen.two_three_op ~n;
+            gen = Opgen.two_three_op ~n;
             run_batch = (fun ops -> t := Batched.Two_three.run_batch !t ops);
             dump =
               (fun () ->
@@ -392,7 +392,7 @@ let ostree =
           let t = ref Batched.Ostree.empty in
           let o = Oracle.Dict.create () in
           {
-            gen = Gen.ostree_op ~n;
+            gen = Opgen.ostree_op ~n;
             run_batch = (fun ops -> t := Batched.Ostree.run_batch !t ops);
             dump =
               (fun () ->
@@ -583,12 +583,12 @@ let spin iters =
   ignore (Sys.opaque_identity !x)
 
 let run ?(n_ops = 96) ?(seed = 1) ?(workers = 3) ?(sim_p = 4) ?backoff
-    ?(impl = Runtime.Batcher_rt.Pending_array) (Subject s) =
+    ?(mode = Runtime.Batcher_rt.Faa_array) (Subject s) =
   try
     (* Path 1: the real runtime. Ops submitted from a parallel loop at
        grain 1; run_batch logs the batches the CAS race produced. *)
     let h = s.fresh ~n:n_ops in
-    let script = Gen.script ~gen:h.gen ~n:n_ops ~seed in
+    let script = Opgen.script ~gen:h.gen ~n:n_ops ~seed in
     let rt_batches = ref [] in
     let pool = Runtime.Pool.create ?backoff ~num_workers:workers () in
     let stats =
@@ -596,7 +596,7 @@ let run ?(n_ops = 96) ?(seed = 1) ?(workers = 3) ?(sim_p = 4) ?backoff
         ~finally:(fun () -> Runtime.Pool.teardown pool)
         (fun () ->
           let b =
-            Runtime.Batcher_rt.create ~impl ~pool ~state:()
+            Runtime.Batcher_rt.create ~mode ~pool ~state:()
               ~run_batch:(fun _pool () ops ->
                 rt_batches := Array.copy ops :: !rt_batches;
                 spin 200_000;
@@ -620,7 +620,7 @@ let run ?(n_ops = 96) ?(seed = 1) ?(workers = 3) ?(sim_p = 4) ?backoff
              driven from inside the cost model — per-op results thread
              through the simulated schedule. *)
           let h2 = s.fresh ~n:n_ops in
-          let script2 = Gen.script ~gen:h2.gen ~n:n_ops ~seed in
+          let script2 = Opgen.script ~gen:h2.gen ~n:n_ops ~seed in
           let sim_batches = ref [] in
           let inner = s.cost_model () in
           let model =

@@ -51,7 +51,7 @@ val run :
   ?workers:int ->
   ?sim_p:int ->
   ?backoff:Runtime.Pool.backoff ->
-  ?impl:Runtime.Batcher_rt.impl ->
+  ?mode:Runtime.Batcher_rt.mode ->
   subject ->
   (report, string) result
 (** [run subject] executes both paths with a fresh structure and oracle
@@ -61,9 +61,11 @@ val run :
 
     [backoff] sets the real pool's idle-worker policy (the fuzz driver
     sweeps a small ablation list so extreme spin/sleep settings get
-    conformance coverage too); [impl] selects the runtime submission
-    path (default {!Runtime.Batcher_rt.Pending_array}; the legacy
-    [Atomic_list] path stays covered through the sweep). *)
+    conformance coverage too); [mode] selects the runtime batch-path
+    mode (default {!Runtime.Batcher_rt.Faa_array}; the other modes —
+    paper-verbatim [Worker_id], parallel-combining [Par_combine], and
+    the legacy [Atomic_list] — stay covered through the fuzz sweep's
+    ablation rotation). *)
 
 val order_list_check : ?n:int -> ?seed:int -> unit -> (unit, string) result
 (** Random [insert_after] script against the naive list oracle, then a

@@ -31,6 +31,7 @@ type case = {
   overhead : Sim.Batcher.overhead_model;
   sequential_batches : bool;
   inv_mode : Obs.Invariants.mode;
+  rt_mode : Runtime.Batcher_rt.mode;
 }
 
 let model_of kind ~records_per_node ~seed =
@@ -118,7 +119,19 @@ let is_paper_default c =
   && c.overhead = Sim.Batcher.Tree_setup
   && not c.sequential_batches
 
-let run_case ?(bound_factor = 16.0) c =
+(* The fuzzed structure, as a runtime-conformance subject name. *)
+let conf_subject_of = function
+  | Counter -> "counter"
+  | Skiplist -> "skiplist"
+  | Stack -> "stack"
+  | Fifo -> "fifo"
+  | Pqueue -> "pqueue"
+  | Hashtable -> "hashtable"
+  | Two_three -> "two_three"
+  | Ostree -> "ostree"
+  | Sp_order -> "sp_order"
+
+let run_case ?(bound_factor = 16.0) ?(rt_conf = false) c =
   let ( let* ) = Result.bind in
   let workload = workload_of c in
   let cfg = config_of c in
@@ -216,11 +229,35 @@ let run_case ?(bound_factor = 16.0) c =
     if Obs.Recorder.total_dropped recorder > 0 then Ok ()
     else Bound.cross_check ~workload ~metrics ~recorder ()
   in
-  if is_paper_default c then
-    let* () = Bound.check ~factor:bound_factor ~workload ~metrics () in
-    if Obs.Recorder.total_dropped recorder > 0 then Ok ()
-    else Bound.cross_check ~ms_factor:bound_factor ~workload ~metrics ~recorder ()
-  else Ok ()
+  let* () =
+    if is_paper_default c then
+      let* () = Bound.check ~factor:bound_factor ~workload ~metrics () in
+      if Obs.Recorder.total_dropped recorder > 0 then Ok ()
+      else
+        Bound.cross_check ~ms_factor:bound_factor ~workload ~metrics ~recorder ()
+    else Ok ()
+  in
+  (* Optional real-runtime leg: the fuzzed structure and seed through a
+     real pool under the case's rotated batch-path mode, checked against
+     the sequential oracle (and the simulator again) by [Conformance].
+     Off by default — it spawns domains per case — and enabled by the
+     fuzz driver and a dedicated test sweep. *)
+  if not rt_conf then Ok ()
+  else
+    match
+      Conformance.run
+        ~n_ops:(min (max c.size 8) 48)
+        ~seed:c.wl_seed
+        ~workers:(min c.p 3)
+        ~mode:c.rt_mode
+        (Conformance.find (conf_subject_of c.model))
+    with
+    | Ok _ -> Ok ()
+    | Error e ->
+        Error
+          (Printf.sprintf "runtime conformance [%s]: %s"
+             (Runtime.Batcher_rt.mode_name c.rt_mode)
+             e)
 
 let case_of_seed ?(max_p = 8) ?(max_size = 60) seed =
   let rng = Util.Rng.create ~seed:(0x5EED + seed) in
@@ -255,6 +292,13 @@ let case_of_seed ?(max_p = 8) ?(max_size = 60) seed =
       pick
         Obs.Invariants.
           [| Exact; Exact; Exact; Sampled 2; Sampled 7; Off |];
+    rt_mode =
+      (* Runtime batch-path mode for the conformance leg: the default
+         FAA array most often, the alternative modes on a rotation. *)
+      pick
+        Runtime.Batcher_rt.
+          [| Faa_array; Faa_array; Faa_array; Worker_id; Par_combine;
+             Atomic_list |];
   }
 
 (* Candidate reductions, most aggressive first. Each strictly reduces
@@ -289,20 +333,22 @@ let shrink_steps c =
   if c.model <> Counter then add { c with model = Counter };
   if c.inv_mode <> Obs.Invariants.Exact then
     add { c with inv_mode = Obs.Invariants.Exact };
+  if c.rt_mode <> Runtime.Batcher_rt.Faa_array then
+    add { c with rt_mode = Runtime.Batcher_rt.Faa_array };
   if c.wl_seed <> 0 then add { c with wl_seed = 0 };
   if c.sim_seed <> 1 then add { c with sim_seed = 1 };
   List.rev !cands
 
-let fails ?bound_factor c =
-  match run_case ?bound_factor c with Ok () -> false | Error _ -> true
+let fails ?bound_factor ?rt_conf c =
+  match run_case ?bound_factor ?rt_conf c with Ok () -> false | Error _ -> true
 
-let shrink ?bound_factor c0 =
-  if not (fails ?bound_factor c0) then c0
+let shrink ?bound_factor ?rt_conf c0 =
+  if not (fails ?bound_factor ?rt_conf c0) then c0
   else begin
     let rec go c fuel =
       if fuel = 0 then c
       else
-        match List.find_opt (fails ?bound_factor) (shrink_steps c) with
+        match List.find_opt (fails ?bound_factor ?rt_conf) (shrink_steps c) with
         | None -> c
         | Some smaller -> go smaller (fuel - 1)
     in
@@ -343,16 +389,23 @@ let inv_mode_name = function
   | Obs.Invariants.Exact -> "Obs.Invariants.Exact"
   | Obs.Invariants.Sampled k -> Printf.sprintf "(Obs.Invariants.Sampled %d)" k
 
+let rt_mode_name m = "Runtime.Batcher_rt." ^
+  (match m with
+  | Runtime.Batcher_rt.Faa_array -> "Faa_array"
+  | Runtime.Batcher_rt.Worker_id -> "Worker_id"
+  | Runtime.Batcher_rt.Par_combine -> "Par_combine"
+  | Runtime.Batcher_rt.Atomic_list -> "Atomic_list")
+
 let pp_case fmt c =
   Format.fprintf fmt
     "{ family = %s; model = %s; size = %d; records_per_node = %d;@ wl_seed = %d; p \
      = %d; sim_seed = %d; shard_k = %d;@ steal_policy = Sim.Batcher.%s; \
      launch_threshold = %d; batch_cap = %d;@ overhead = Sim.Batcher.%s; \
-     sequential_batches = %b;@ inv_mode = %s }"
+     sequential_batches = %b;@ inv_mode = %s;@ rt_mode = %s }"
     (family_name c.family) (model_name c.model) c.size c.records_per_node c.wl_seed
     c.p c.sim_seed c.shard_k (policy_name c.steal_policy) c.launch_threshold
     c.batch_cap (overhead_name c.overhead) c.sequential_batches
-    (inv_mode_name c.inv_mode)
+    (inv_mode_name c.inv_mode) (rt_mode_name c.rt_mode)
 
 let show_case c = Format.asprintf "@[<hv 2>%a@]" pp_case c
 
@@ -374,7 +427,7 @@ type failure = {
   f_shrunk_error : string;
 }
 
-let sweep ?bound_factor ?max_p ?max_size ?(map_case = fun c -> c)
+let sweep ?bound_factor ?rt_conf ?max_p ?max_size ?(map_case = fun c -> c)
     ?(should_stop = fun () -> false) ?(on_case = fun _ _ -> ()) ~seeds () =
   let run = ref 0 in
   let failures = ref [] in
@@ -384,12 +437,12 @@ let sweep ?bound_factor ?max_p ?max_size ?(map_case = fun c -> c)
         let c = map_case (case_of_seed ?max_p ?max_size seed) in
         on_case seed c;
         incr run;
-        match run_case ?bound_factor c with
+        match run_case ?bound_factor ?rt_conf c with
         | Ok () -> ()
         | Error e ->
-            let small = shrink ?bound_factor c in
+            let small = shrink ?bound_factor ?rt_conf c in
             let small_err =
-              match run_case ?bound_factor small with
+              match run_case ?bound_factor ?rt_conf small with
               | Error e' -> e'
               | Ok () -> e (* unreachable: shrink preserves failure *)
             in

@@ -66,6 +66,10 @@ type case = {
           asserts and the trace validator), with [Sampled]/[Off] legs in
           the rotation so those paths are fuzzed too. Any nonzero
           violation counter fails the case. *)
+  rt_mode : Runtime.Batcher_rt.mode;
+      (** Batch-path mode for the optional real-runtime conformance leg
+          ([run_case ~rt_conf:true]) — rotated across cases, biased
+          toward the default [Faa_array]; shrinking reduces toward it. *)
 }
 
 val workload_of : case -> Sim.Workload.t
@@ -75,9 +79,14 @@ val is_paper_default : case -> bool
 (** Alternating steals, threshold 1, cap [p], tree setup, parallel
     batches — the configuration Theorem 1 is stated for. *)
 
-val run_case : ?bound_factor:float -> case -> (unit, string) result
+val run_case :
+  ?bound_factor:float -> ?rt_conf:bool -> case -> (unit, string) result
 (** Execute and cross-check one case. [bound_factor] is forwarded to
-    {!Bound.check} (paper-default cases only). *)
+    {!Bound.check} (paper-default cases only). [rt_conf] (default
+    [false]: it spawns a real pool per case) additionally pushes the
+    case's structure and seed through {!Conformance.run} under the
+    case's [rt_mode], so every batch-path mode meets fuzzed workload
+    shapes against the sequential oracle. *)
 
 val case_of_seed : ?max_p:int -> ?max_size:int -> int -> case
 (** Deterministic case from a single fuzz seed. *)
@@ -87,7 +96,7 @@ val shrink_steps : case -> case list
     strictly smaller in the (size, p, records, ablation-distance)
     order, so greedy shrinking terminates. *)
 
-val shrink : ?bound_factor:float -> case -> case
+val shrink : ?bound_factor:float -> ?rt_conf:bool -> case -> case
 (** Greedily minimize a failing case: repeatedly replace it by its
     first still-failing reduction. Returns the input unchanged if it
     does not fail. *)
@@ -111,6 +120,7 @@ type failure = {
 
 val sweep :
   ?bound_factor:float ->
+  ?rt_conf:bool ->
   ?max_p:int ->
   ?max_size:int ->
   ?map_case:(case -> case) ->

@@ -122,7 +122,7 @@ let skiplist ?(n_ops = 96) ?(seed = 1) ?(workers = 3) ~shards () =
   try
     let spec = Batched.Shard.skiplist in
     let script =
-      Gen.script ~gen:(Gen.sharded_skiplist_op ~n:n_ops) ~n:n_ops ~seed
+      Opgen.script ~gen:(Opgen.sharded_skiplist_op ~n:n_ops) ~n:n_ops ~seed
     in
     let final = Batched.Skiplist.range ~lo:min_int ~hi:max_int in
     let per_shard, insts, stats =
@@ -251,7 +251,7 @@ let skiplist ?(n_ops = 96) ?(seed = 1) ?(workers = 3) ~shards () =
 let hashtable ?(n_ops = 96) ?(seed = 1) ?(workers = 3) ~shards () =
   try
     let spec = Batched.Shard.hashtable in
-    let script = Gen.script ~gen:(Gen.hashtable_op ~n:n_ops) ~n:n_ops ~seed in
+    let script = Opgen.script ~gen:(Opgen.hashtable_op ~n:n_ops) ~n:n_ops ~seed in
     let per_shard, insts, stats =
       drive ~workers ~shards ~spec ~script ~finals:[] ()
     in
@@ -345,7 +345,7 @@ let ostree ?(n_ops = 96) ?(seed = 1) ?(workers = 3) ~shards () =
   try
     let spec = Batched.Shard.ostree in
     let script =
-      Gen.script ~gen:(Gen.sharded_ostree_op ~n:n_ops) ~n:n_ops ~seed
+      Opgen.script ~gen:(Opgen.sharded_ostree_op ~n:n_ops) ~n:n_ops ~seed
     in
     let final_range = Batched.Ostree.range_op ~lo:min_int ~hi:max_int in
     let rank_pivot = n_ops in

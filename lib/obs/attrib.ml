@@ -136,7 +136,7 @@ let per_structure r =
     List.iter
       (fun (e : Recorder.event) ->
         match e.kind with
-        | Recorder.Batch_start { sid; size; setup } ->
+        | Recorder.Batch_start { sid; size; setup; _ } ->
             let _, ops, st, _, open_ = get sid in
             ops := !ops + size;
             st := !st + setup;

@@ -130,7 +130,7 @@ let batch_events t acc =
     (fun (e : Recorder.event) ->
       last := e.time;
       match e.kind with
-      | Recorder.Batch_start { sid; size; setup } ->
+      | Recorder.Batch_start { sid; size; setup; _ } ->
           Hashtbl.replace open_batches sid (e.time, size, setup, e.worker)
       | Recorder.Batch_end { sid; size = _ } -> begin
           match Hashtbl.find_opt open_batches sid with

@@ -47,7 +47,7 @@ let event_json (e : Recorder.event) =
           ("success", Json.Bool success);
           ("batch_deque", Json.Bool batch_deque);
         ]
-  | Recorder.Batch_start { sid; size; setup } ->
+  | Recorder.Batch_start { sid; size; setup; _ } ->
       base "batch_start"
         [ ("sid", Json.Int sid); ("size", Json.Int size); ("setup", Json.Int setup) ]
   | Recorder.Batch_end { sid; size } ->

@@ -42,10 +42,12 @@ type kind =
   | Status of status  (** worker status transition *)
   | Steal of { victim : int; success : bool; batch_deque : bool }
       (** one steal attempt; [victim = -1] when no victim was available *)
-  | Batch_start of { sid : int; size : int; setup : int }
-      (** LAUNCHBATCH by this worker: structure, working-set size, and
+  | Batch_start of { sid : int; size : int; setup : int; mode : int }
+      (** LAUNCHBATCH by this worker: structure, working-set size,
           modeled setup/cleanup work ([0] when unknown, as in the real
-          runtime) *)
+          runtime), and the batch-path mode that launched it
+          (0 faa-array/sim, 1 worker_id, 2 par_combine, 3 atomic_list;
+          see {!Runtime.Batcher_rt.mode}) *)
   | Batch_end of { sid : int; size : int }
   | Op_issue of { sid : int }  (** a data-structure op parked (BATCHIFY) *)
   | Op_done of { sid : int; batches_seen : int; latency : int }
@@ -98,7 +100,11 @@ val emit_status : t -> worker:int -> time:int -> status -> unit
 val emit_steal :
   t -> worker:int -> time:int -> victim:int -> success:bool -> batch_deque:bool -> unit
 val emit_batch_start :
-  t -> worker:int -> time:int -> sid:int -> size:int -> setup:int -> unit
+  t -> worker:int -> time:int -> sid:int -> size:int -> setup:int ->
+  mode:int -> unit
+(** [setup] and [mode] share a payload slot ([(setup lsl 2) lor mode]);
+    [mode] must be in [0..3], [setup] below 2^60. *)
+
 val emit_batch_end : t -> worker:int -> time:int -> sid:int -> size:int -> unit
 val emit_op_issue : t -> worker:int -> time:int -> sid:int -> unit
 val emit_op_done :

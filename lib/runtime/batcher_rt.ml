@@ -14,20 +14,103 @@ type 'op record = {
   mutable ovf_since : int;  (* first overflow-enqueue stamp; 0 = never *)
 }
 
-type impl = Pending_array | Atomic_list
+(* The sweepable batch-path axis (DESIGN.md §13). All four modes share
+   Invariant 1 (the batch flag), the FIFO overflow machinery, and
+   LAUNCHBATCH bookkeeping; they differ in how an op is *published* and
+   in who *executes* the launched batch:
 
-(* Submission state for the two implementations (DESIGN.md §8).
+   [Faa_array]   publish: FAA ticket into a [batch_cap] slot array.
+                 execute: the whole batch is handed to the pool
+                 ([Pool.async]). PR 4's scheme; the default.
+   [Worker_id]   publish: the paper-verbatim worker-id-indexed pending
+                 array — slot index = the submitting worker's id, no
+                 FAA at all. execute: as Faa_array.
+   [Par_combine] publish: as Worker_id. execute: parallel combining
+                 (Aksenov-Kuznetsov) — the flag-winning submitter is
+                 itself a blocked client and runs the batch inline,
+                 then recruits further blocked clients by publishing
+                 defunctionalized sub-range work items that stamp and
+                 resume slices of the batch in parallel.
+   [Atomic_list] the seed's CAS-consed list; kept as the ablation
+                 floor.
 
-   [Pending_array] is the paper's BATCHER scheme: a preallocated array
-   of [batch_cap] slots (size P by default) that submitters claim with
-   one fetch-and-add on [claims] — O(1) non-retrying work per op on the
-   common path — plus a FIFO overflow queue for ops that claim an
-   index past the array ([ovf_back] is a CAS-consed LIFO stack; the
-   launcher reverses it onto the launcher-private [ovf_front] queue,
-   so admission across batches is oldest-first). [n_pending] counts
+   Worker_id / Par_combine publication protocol: the slot index is the
+   *current* worker's id, read inside the suspension callback at each
+   publication.
+
+     Suspended-task-migration invariant: a task that suspended in
+     [batchify] and was resumed on a different worker re-reads its
+     worker index at its next publication, so every record is reachable
+     from the slot of the worker that *published* it (or from the
+     overflow queues); a record never moves between slots after
+     publication, and slot index < num_workers always holds (asserted
+     in [submit_worker]). Migration therefore cannot lose a record —
+     at worst two tasks that started on one worker publish from two
+     different slots, which only changes which slot the launcher finds
+     them in.
+
+   A worker with a record already parked in its slot (several suspended
+   tasks of one worker mid-drain) does not displace it: publication is
+   a CAS [None -> Some r], and on failure the *newer* record goes to
+   the overflow queue directly. That keeps per-worker issue order equal
+   to admission order (slots drain before the overflow back stack), so
+   the FIFO fairness property of the overflow path holds per worker.
+   Contrast Faa_array, where displacement pushes the *older* straggler
+   of a previous drain epoch to overflow — there the slot owner is a
+   ticket, not a worker, and the older record is the one out of epoch.
+
+   Parallel combining details: recruitment is allocation-free — the
+   sub-range items ([sub] below) and the task closures that run them
+   are preallocated per batcher (the par-ml defunctionalized-work-item
+   trick: publishing a work item means writing two int fields of a
+   preallocated record and pushing a preallocated closure, not
+   allocating a fresh closure). The join is a preallocated padded
+   [remaining] counter; the last finisher (often a recruited helper,
+   not the launcher) runs the epilogue: batch-end bookkeeping, flag
+   release, and — instead of an unbounded inline relaunch recursion —
+   pushing the preallocated [relaunch_task] trampoline when work is
+   still pending. The launcher never blocks waiting for helpers, so an
+   unstolen item is simply popped later by its own worker: no joint
+   spin, no deadlock at P = 1. *)
+type mode = Faa_array | Worker_id | Par_combine | Atomic_list
+
+(* [Faa_array] keeps the name "pending_array" externally: M1 baseline
+   rows in BENCH_results.json predate the mode axis and bench_diff
+   matches rows by field values. *)
+let mode_name = function
+  | Faa_array -> "pending_array"
+  | Worker_id -> "worker_id"
+  | Par_combine -> "par_combine"
+  | Atomic_list -> "atomic_list"
+
+let mode_of_string = function
+  | "pending_array" | "faa_array" | "faa" -> Some Faa_array
+  | "worker_id" -> Some Worker_id
+  | "par_combine" -> Some Par_combine
+  | "atomic_list" -> Some Atomic_list
+  | _ -> None
+
+(* Two-bit tag carried in Batch_start events ([Obs.Recorder]); 0 is
+   shared with the simulator's batches. *)
+let mode_code = function
+  | Faa_array -> 0
+  | Worker_id -> 1
+  | Par_combine -> 2
+  | Atomic_list -> 3
+
+let all_modes = [ Faa_array; Worker_id; Par_combine; Atomic_list ]
+
+(* Submission state (DESIGN.md §8 for the FAA array, §13 for the rest).
+
+   The array modes share a slot array — [batch_cap] slots claimed by
+   FAA ticket for [Faa_array], [num_workers] slots indexed by worker id
+   for [Worker_id]/[Par_combine] — plus a FIFO overflow queue for ops
+   that miss a slot ([ovf_back] is a CAS-consed LIFO stack; the
+   launcher reverses it onto the launcher-private [ovf_front] queue, so
+   admission across batches is oldest-first). [n_pending] counts
    published-but-uncollected records and is the launch guard.
 
-   Publication protocol: claim index [i] by FAA; if [i < batch_cap],
+   Faa_array publication: claim index [i] by FAA; if [i < batch_cap],
    [Atomic.exchange slots.(i) (Some r)] — if the exchange displaces an
    older record (a straggler from a previous drain epoch that published
    after the launcher reset [claims]), the *displacing* submitter moves
@@ -38,25 +121,28 @@ type impl = Pending_array | Atomic_list
    lost wakeups and the launcher never has to spin on a slot: it pops
    up to [batch_cap] records from the front queue and, only when the
    batch still has room, drains the slots and the reversed back stack
-   (leftovers append to the front queue) — Θ(P) work per launch, the
-   paper's LAUNCHBATCH setup bound, {e independent of the backlog}. An
-   open-loop burst past capacity parks thousands of records here; a
-   launch that touched them all (the front queue was once rebuilt in
-   full per launch) turns the drain quadratic in the backlog and a
-   transient overload into a collapse.
+   (leftovers append to the front queue) — Θ(slots) work per launch,
+   the paper's LAUNCHBATCH setup bound, independent of the backlog.
 
    [Atomic_list] is the seed's implementation — a single CAS-retry
    ['op record list Atomic.t] cons stack (allocating, contended, and
    LIFO: under sustained over-cap load its newest-first admission
    starved parked ops to 41 batches-while-pending where FIFO gives
    ≈ 2). Kept verbatim behind the flag for before/after benchmarking
-   (bench/micro.ml). *)
+   (bench/micro.ml).
+
+   Padding: [flag], [claims], [n_pending], [ovf_back], [pending] and
+   the counters are written by every submitting worker; each lives in
+   its own padded block ([Pad.atomic]), and the slot array's atomics
+   are padded individually so two workers publishing to adjacent slots
+   do not share a line — par-ml flags exactly this false sharing as the
+   dominant stability factor. *)
 type ('s, 'op) t = {
   pool : Pool.t;
   st : 's;
   run_batch : Pool.t -> 's -> 'op array -> unit;
   batch_cap : int;
-  impl : impl;
+  mode : mode;
   sid : int;
   rc : Obs.Recorder.t;
   hl : Obs.Health.t;  (* the pool's health instance (null when off) *)
@@ -67,13 +153,16 @@ type ('s, 'op) t = {
      otherwise — consumers only take differences, so either basis
      works, but all stamps of one structure share one basis. *)
   timed : bool;
-  (* -- Pending_array state -- *)
-  slots : 'op record option Atomic.t array;  (* size [batch_cap] *)
-  claims : int Atomic.t;  (* FAA ticket; reset to 0 by each launcher *)
+  (* -- slot-array state (Faa_array / Worker_id / Par_combine) -- *)
+  slots : 'op record option Atomic.t array;
+  claims : int Atomic.t;  (* FAA ticket; Faa_array only *)
   ovf_front : 'op record Queue.t;  (* oldest first; flag-holder-only *)
   ovf_back : 'op record list Atomic.t;  (* newest first; CAS-consed *)
+  ovf_n : int Atomic.t;  (* records ever pushed to overflow *)
   n_pending : int Atomic.t;  (* published and not yet collected *)
   mutable batch_buf : 'op record array;  (* reused by every launch *)
+  (* -- Par_combine state (lazily built; flag-holder-only) -- *)
+  mutable comb : 'op comb option;
   (* -- Atomic_list (legacy) state -- *)
   pending : 'op record list Atomic.t;
   (* -- shared -- *)
@@ -84,13 +173,37 @@ type ('s, 'op) t = {
   max_batch : int Atomic.t;
 }
 
+(* Parallel-combining scratch state: everything a launch needs beyond
+   [batch_buf], preallocated so recruitment allocates nothing. The
+   launcher (flag holder) writes the mutable fields before publishing
+   the sub tasks through the deque (an SC atomic), which orders the
+   writes for the helpers that pop them. *)
+and 'op comb = {
+  subs : sub array;  (* one per worker; [lo, hi) into batch_buf *)
+  mutable sub_tasks : (unit -> unit) array;  (* sub_tasks.(i) runs subs.(i) *)
+  remaining : int Atomic.t;  (* padded join counter *)
+  launch_task : unit -> unit;  (* runs [run_combined t] inline *)
+  relaunch_task : unit -> unit;  (* trampoline: [try_launch t] *)
+  mutable c_len : int;  (* this launch's batch size *)
+  mutable c_start : int;  (* launch stamp *)
+  mutable c_done : int;  (* completion stamp *)
+  mutable c_launches : int;  (* launch counter at completion *)
+}
+
+and sub = { mutable lo : int; mutable hi : int }
+
+(* Below this many records per helper, recruiting is not worth the
+   deque traffic and the launcher resumes the whole batch itself. *)
+let combine_grain = 8
+
 type stats = {
   batches : int;
   ops : int;
   max_batch : int;
+  ovf : int;
 }
 
-let create ?batch_cap ?(impl = Pending_array) ?(sid = 0) ?invariants ~pool
+let create ?batch_cap ?(mode = Faa_array) ?(sid = 0) ?invariants ~pool
     ~state ~run_batch () =
   let cap =
     match batch_cap with
@@ -106,12 +219,18 @@ let create ?batch_cap ?(impl = Pending_array) ?(sid = 0) ?invariants ~pool
     | Some i -> i
     | None -> Obs.Health.invariants hl
   in
+  let n_slots =
+    match mode with
+    | Faa_array -> cap
+    | Worker_id | Par_combine -> Pool.num_workers pool
+    | Atomic_list -> 0
+  in
   {
     pool;
     st = state;
     run_batch;
     batch_cap = cap;
-    impl;
+    mode;
     sid;
     rc;
     hl;
@@ -119,27 +238,32 @@ let create ?batch_cap ?(impl = Pending_array) ?(sid = 0) ?invariants ~pool
     timed =
       Obs.Recorder.enabled rc || Obs.Health.enabled hl
       || Obs.Invariants.active inv;
-    slots = Array.init cap (fun _ -> Atomic.make None);
-    claims = Atomic.make 0;
+    slots = Array.init n_slots (fun _ -> Pad.atomic None);
+    claims = Pad.atomic 0;
     ovf_front = Queue.create ();
-    ovf_back = Atomic.make [];
-    n_pending = Atomic.make 0;
+    ovf_back = Pad.atomic [];
+    ovf_n = Pad.atomic 0;
+    n_pending = Pad.atomic 0;
     batch_buf = [||];
-    pending = Atomic.make [];
-    flag = Atomic.make false;
-    launches = Atomic.make 0;
-    n_batches = Atomic.make 0;
-    n_ops = Atomic.make 0;
-    max_batch = Atomic.make 0;
+    comb = None;
+    pending = Pad.atomic [];
+    flag = Pad.atomic false;
+    launches = Pad.atomic 0;
+    n_batches = Pad.atomic 0;
+    n_ops = Pad.atomic 0;
+    max_batch = Pad.atomic 0;
   }
 
 let state t = t.st
+
+let mode t = t.mode
 
 let stats t =
   {
     batches = Atomic.get t.n_batches;
     ops = Atomic.get t.n_ops;
     max_batch = Atomic.get t.max_batch;
+    ovf = Atomic.get t.ovf_n;
   }
 
 let rec atomic_max a v =
@@ -153,11 +277,12 @@ let[@inline] stamp t =
   if Obs.Recorder.enabled t.rc then Obs.Recorder.now t.rc
   else Obs.Clock.now_ns ()
 
-(* LAUNCHBATCH bookkeeping shared by both submission paths: count the
-   launch, run the BOP with batch spans recorded, stamp the records,
-   resume their tasks, then release the flag and run [relaunch] to pick
-   up operations that accrued meanwhile. [get] indexes the [len] batch
-   records (an array for the pending-array path, a list for legacy). *)
+(* LAUNCHBATCH bookkeeping shared by the pool-executed paths (all modes
+   but Par_combine): count the launch, run the BOP with batch spans
+   recorded, stamp the records, resume their tasks, then release the
+   flag and run [relaunch] to pick up operations that accrued
+   meanwhile. [get] indexes the [len] batch records (an array for the
+   slot-array paths, a list for legacy). *)
 let run_launched t ~len ~get ~relaunch () =
   let observed = Obs.Recorder.enabled t.rc in
   (* Attribute this task's time to the bound's terms: working-set
@@ -170,7 +295,7 @@ let run_launched t ~len ~get ~relaunch () =
   let t_start = if t.timed then stamp t else 0 in
   if observed then
     Obs.Recorder.emit_batch_start t.rc ~worker:me ~time:t_start ~sid:t.sid
-      ~size:len ~setup:0;
+      ~size:len ~setup:0 ~mode:(mode_code t.mode);
   Obs.Invariants.batch_started t.inv ~worker:me ~time:t_start ~sid:t.sid
     ~size:len ~cap:t.batch_cap;
   Obs.Health.batch_collected t.hl ~sid:t.sid ~size:len;
@@ -207,13 +332,14 @@ let run_launched t ~len ~get ~relaunch () =
   Atomic.set t.flag false;
   relaunch t
 
-(* ---- Pending_array submission path ---- *)
+(* ---- slot-array submission paths ---- *)
 
 let rec overflow_push t r =
   if t.timed && r.ovf_since = 0 then r.ovf_since <- stamp t;
   let old = Atomic.get t.ovf_back in
   if not (Atomic.compare_and_set t.ovf_back old (r :: old)) then
     overflow_push t r
+  else Atomic.incr t.ovf_n
 
 (* One FAA, one exchange, one increment — no retry loop unless the op
    overflows the array. Order matters: the record must be reachable
@@ -232,44 +358,62 @@ let submit_array t r =
    else overflow_push t r);
   Atomic.incr t.n_pending
 
+(* Worker_id / Par_combine publication: no ticket — the slot is the
+   submitting worker's own. Re-reading the worker index here (inside
+   the suspension callback) is the suspended-task-migration story: see
+   the [mode] comment. A CAS that finds the slot occupied (another
+   suspended task of this worker already published) sends the newer
+   record straight to overflow, preserving per-worker FIFO order. *)
+let submit_worker t r =
+  let w = match Pool.worker_index () with Some w -> w | None -> 0 in
+  assert (w < Array.length t.slots);
+  if not (Atomic.compare_and_set t.slots.(w) None (Some r)) then
+    overflow_push t r;
+  Atomic.incr t.n_pending
+
+(* Flag-holder-only batch assembly, shared by all slot-array modes.
+   Admission order: overflow front (oldest), then the slot array, then
+   the reversed back stack — FIFO across batches. The front queue
+   supplies at most [batch_cap] records; only a batch with room left
+   drains the slots and the back stack (whose leftovers land back on
+   the — then empty — front queue in admission order), so a launch is
+   Θ(slots) no matter how deep the overload backlog is. *)
+let collect t =
+  let len = ref 0 in
+  let add r =
+    if !len < t.batch_cap then begin
+      if Array.length t.batch_buf = 0 then
+        t.batch_buf <- Array.make t.batch_cap r;
+      t.batch_buf.(!len) <- r;
+      incr len
+    end
+    else Queue.push r t.ovf_front
+  in
+  while !len < t.batch_cap && not (Queue.is_empty t.ovf_front) do
+    add (Queue.pop t.ovf_front)
+  done;
+  if !len < t.batch_cap then begin
+    (* Drain epoch. For Faa_array, reset the ticket counter so
+       concurrent submitters start filling slots for the *next* batch
+       while we collect this one; Worker_id slots need no epoch — the
+       CAS publication refills a drained slot directly. While the
+       batch fills from the front queue alone, submitters keep
+       overflowing to the back stack — everything serializes through
+       the FIFO. *)
+    if t.mode = Faa_array then ignore (Atomic.exchange t.claims 0);
+    for i = 0 to Array.length t.slots - 1 do
+      match Atomic.exchange t.slots.(i) None with
+      | None -> ()
+      | Some r -> add r
+    done;
+    List.iter add (List.rev (Atomic.exchange t.ovf_back []))
+  end;
+  !len
+
 let rec try_launch_array t =
   if Atomic.get t.n_pending > 0 && Atomic.compare_and_set t.flag false true
   then begin
-    let len = ref 0 in
-    let add r =
-      if !len < t.batch_cap then begin
-        if Array.length t.batch_buf = 0 then
-          t.batch_buf <- Array.make t.batch_cap r;
-        t.batch_buf.(!len) <- r;
-        incr len
-      end
-      else Queue.push r t.ovf_front
-    in
-    (* Admission order: overflow front (oldest), then the slot array,
-       then the reversed back stack — FIFO across batches. The front
-       queue supplies at most [batch_cap] records; only a batch with
-       room left drains the slots and the back stack (whose leftovers
-       land back on the — then empty — front queue in admission
-       order), so a launch is Θ(batch_cap) no matter how deep the
-       overload backlog is. *)
-    while !len < t.batch_cap && not (Queue.is_empty t.ovf_front) do
-      add (Queue.pop t.ovf_front)
-    done;
-    if !len < t.batch_cap then begin
-      (* Drain epoch: reset the ticket counter so concurrent
-         submitters start filling slots for the *next* batch while we
-         collect this one. While the batch fills from the front queue
-         alone, [claims] stays put and submitters keep overflowing to
-         the back stack — everything serializes through the FIFO. *)
-      ignore (Atomic.exchange t.claims 0);
-      for i = 0 to t.batch_cap - 1 do
-        match Atomic.exchange t.slots.(i) None with
-        | None -> ()
-        | Some r -> add r
-      done;
-      List.iter add (List.rev (Atomic.exchange t.ovf_back []))
-    end;
-    let len = !len in
+    let len = collect t in
     if len = 0 then begin
       (* [n_pending > 0] raced a record that is transiently in a
          displacing submitter's hands; back off and retry. *)
@@ -340,9 +484,157 @@ let rec try_launch_list t =
     end
   end
 
-let try_launch t =
-  match t.impl with
-  | Pending_array -> try_launch_array t
+(* ---- Par_combine launch path ----
+
+   The flag winner is by construction a blocked submitter (it sits in
+   [batchify]'s suspension callback); parallel combining has it run the
+   batch right there instead of paying an async promise + a deque hop,
+   then fan the stamp/resume epilogue out to recruited helpers. The
+   whole cluster is mutually recursive only through the preallocated
+   [relaunch_task] trampoline. *)
+
+let rec get_comb t =
+  match t.comb with
+  | Some c -> c
+  | None ->
+      (* Flag-holder-only, so this lazy init cannot race. *)
+      let p = Pool.num_workers t.pool in
+      let c =
+        {
+          subs = Array.init p (fun _ -> { lo = 0; hi = 0 });
+          sub_tasks = [||];
+          remaining = Pad.atomic 0;
+          launch_task = (fun () -> run_combined t);
+          relaunch_task = (fun () -> try_launch t);
+          c_len = 0;
+          c_start = 0;
+          c_done = 0;
+          c_launches = 0;
+        }
+      in
+      c.sub_tasks <- Array.init p (fun i () -> run_sub t c i);
+      t.comb <- Some c;
+      c
+
+(* Stamp and resume batch_buf[lo, hi), then join. Runs on the launcher
+   (range 0) and on any worker that popped or stole a recruited item.
+   Performs no effects, so it is safe both as a plain call from
+   [run_combined] and as a pool task. *)
+and run_sub t c i =
+  let s = c.subs.(i) in
+  if Obs.Recorder.enabled t.rc then
+    Pool.set_work_class t.pool Obs.Recorder.Wsetup;
+  let buf = t.batch_buf in
+  if t.timed then begin
+    let me = match Pool.worker_index () with Some w -> w | None -> 0 in
+    let health_on = Obs.Health.enabled t.hl in
+    for j = s.lo to s.hi - 1 do
+      let r = buf.(j) in
+      r.done_time <- c.c_done;
+      r.done_launches <- c.c_launches;
+      if health_on then
+        Obs.Health.op_phases t.hl ~worker:me ~sid:t.sid
+          ~wait:(c.c_start - r.issue_time) ~exec:(c.c_done - c.c_start)
+          ~ovf:(if r.ovf_since > 0 then c.c_start - r.ovf_since else 0)
+    done
+  end;
+  for j = s.lo to s.hi - 1 do
+    buf.(j).resume ()
+  done;
+  if Atomic.fetch_and_add c.remaining (-1) = 1 then combine_epilogue t c
+
+(* Last finisher: close the batch, release the flag, trampoline the
+   relaunch. Pushing [relaunch_task] instead of calling [try_launch]
+   caps the stack at one batch deep no matter how long the backlog
+   chain is (an inline relaunch would recurse through every batch whose
+   epilogue lands on the launcher). *)
+and combine_epilogue t c =
+  let me = match Pool.worker_index () with Some w -> w | None -> 0 in
+  if Obs.Recorder.enabled t.rc then
+    Obs.Recorder.emit_batch_end t.rc ~worker:me ~time:c.c_done ~sid:t.sid
+      ~size:c.c_len;
+  Obs.Invariants.batch_ended t.inv ~worker:me ~time:c.c_done ~sid:t.sid;
+  Atomic.incr t.n_batches;
+  ignore (Atomic.fetch_and_add t.n_ops c.c_len);
+  atomic_max t.max_batch c.c_len;
+  Atomic.set t.flag false;
+  if Atomic.get t.n_pending > 0 then Pool.push_task t.pool c.relaunch_task
+
+and run_combined t =
+  let c = get_comb t in
+  let len = c.c_len in
+  let observed = Obs.Recorder.enabled t.rc in
+  if observed then Pool.set_work_class t.pool Obs.Recorder.Wsetup;
+  let buf = t.batch_buf in
+  let arr = Array.init len (fun i -> buf.(i).op) in
+  Atomic.incr t.launches;
+  let me = match Pool.worker_index () with Some w -> w | None -> 0 in
+  let t_start = if t.timed then stamp t else 0 in
+  if observed then
+    Obs.Recorder.emit_batch_start t.rc ~worker:me ~time:t_start ~sid:t.sid
+      ~size:len ~setup:0 ~mode:(mode_code t.mode);
+  Obs.Invariants.batch_started t.inv ~worker:me ~time:t_start ~sid:t.sid
+    ~size:len ~cap:t.batch_cap;
+  Obs.Health.batch_collected t.hl ~sid:t.sid ~size:len;
+  if observed then Pool.set_work_class t.pool Obs.Recorder.Wbatch;
+  (* Inline BOP execution in the submitter's context. If the BOP
+     suspends (e.g. an inner parallel_for), [Pool.exec_inline]'s
+     handler parks the rest of this function as a continuation and the
+     submitter's callback returns — the flag stays held until the
+     continuation finishes, exactly as with an async batch task. *)
+  t.run_batch t.pool t.st arr;
+  if observed then Pool.set_work_class t.pool Obs.Recorder.Wsetup;
+  c.c_start <- t_start;
+  c.c_done <- (if t.timed then stamp t else 0);
+  c.c_launches <- Atomic.get t.launches;
+  (* Recruit: carve [0, len) into up to one sub-range per worker and
+     publish all but the first as preallocated tasks; blocked
+     submitters' workers pick them up (or this worker pops them after
+     its own range). All [sub]/[c_*] writes precede the deque pushes,
+     which publish them. *)
+  let p = Array.length c.subs in
+  let nsub =
+    if p = 1 || len <= combine_grain then 1
+    else min p ((len + combine_grain - 1) / combine_grain)
+  in
+  Atomic.set c.remaining nsub;
+  let chunk = (len + nsub - 1) / nsub in
+  for i = nsub - 1 downto 1 do
+    let s = c.subs.(i) in
+    s.lo <- i * chunk;
+    s.hi <- min len (s.lo + chunk);
+    Pool.push_task t.pool c.sub_tasks.(i)
+  done;
+  c.subs.(0).lo <- 0;
+  c.subs.(0).hi <- min len chunk;
+  run_sub t c 0
+
+and try_launch_combine t =
+  if Atomic.get t.n_pending > 0 && Atomic.compare_and_set t.flag false true
+  then begin
+    let len = collect t in
+    if len = 0 then begin
+      Atomic.set t.flag false;
+      if Atomic.get t.n_pending > 0 then begin
+        Domain.cpu_relax ();
+        try_launch_combine t
+      end
+    end
+    else begin
+      ignore (Atomic.fetch_and_add t.n_pending (-len));
+      c_launch t len
+    end
+  end
+
+and c_launch t len =
+  let c = get_comb t in
+  c.c_len <- len;
+  Pool.exec_inline t.pool c.launch_task
+
+and try_launch t =
+  match t.mode with
+  | Faa_array | Worker_id -> try_launch_array t
+  | Par_combine -> try_launch_combine t
   | Atomic_list -> try_launch_list t
 
 let batchify t op =
@@ -366,8 +658,9 @@ let batchify t op =
   Obs.Health.op_issued t.hl ~sid:t.sid;
   Pool.suspend t.pool (fun resume ->
       r.resume <- resume;
-      (match t.impl with
-      | Pending_array -> submit_array t r
+      (match t.mode with
+      | Faa_array -> submit_array t r
+      | Worker_id | Par_combine -> submit_worker t r
       | Atomic_list -> atomic_push t r);
       try_launch t);
   (* Control is back: the batch containing the op has completed. The

@@ -21,25 +21,59 @@
 
 type ('s, 'op) t
 
-type impl =
-  | Pending_array
-      (** The paper's submission scheme (default): a preallocated array
-          of [batch_cap] slots claimed with one fetch-and-add per op —
+type mode =
+  | Faa_array
+      (** PR 4's submission scheme (default): a preallocated array of
+          [batch_cap] slots claimed with one fetch-and-add per op —
           constant non-retrying work on the common path — plus a
           two-list FIFO overflow queue, so admission across batches is
           oldest-first and a parked op's batches-while-pending stays
           O(1) under sustained over-cap load. The launcher drains the
-          queues in Θ(batch_cap) = Θ(P), the paper's LAUNCHBATCH setup
-          bound, into a batch buffer reused across launches. *)
+          queues in Θ(batch_cap), the paper's LAUNCHBATCH setup bound,
+          into a batch buffer reused across launches, and hands the
+          batch to the pool as a task. *)
+  | Worker_id
+      (** The paper-verbatim pending array: one slot per {e worker},
+          indexed by the submitting worker's id — no FAA ticket at all;
+          a worker whose slot is already occupied (several suspended
+          tasks of one worker) overflows the newer record, preserving
+          per-worker FIFO order. Suspended-task migration is handled by
+          re-reading the worker index at each publication — see DESIGN.md
+          §13 for the invariant. Launches execute as in [Faa_array]. *)
+  | Par_combine
+      (** Publication as [Worker_id]; execution by parallel combining
+          (Aksenov–Kuznetsov): the flag-winning submitter — itself a
+          blocked client — runs the BOP inline in its suspension
+          context, then recruits blocked submitters to stamp and
+          resume batch sub-ranges in parallel via preallocated
+          defunctionalized work items (zero allocation per
+          recruitment). The last finisher releases the flag and
+          trampolines the relaunch. *)
   | Atomic_list
       (** The seed's submission path, kept for before/after
           benchmarking: a single CAS-retry cons stack — allocating,
           contended, and LIFO (newest-first admission starves parked
           ops under over-cap load). *)
 
+val mode_name : mode -> string
+(** ["pending_array"] (the pre-mode-axis external name, kept so
+    benchmark baselines keep matching), ["worker_id"], ["par_combine"],
+    ["atomic_list"]. *)
+
+val mode_of_string : string -> mode option
+(** Inverse of {!mode_name}; also accepts ["faa_array"]/["faa"]. *)
+
+val mode_code : mode -> int
+(** Two-bit tag carried in [Obs.Recorder.Batch_start] events: 0
+    faa-array (shared with the simulator), 1 worker_id, 2 par_combine,
+    3 atomic_list. *)
+
+val all_modes : mode list
+(** All four, in [mode_code] order. *)
+
 val create :
   ?batch_cap:int ->
-  ?impl:impl ->
+  ?mode:mode ->
   ?sid:int ->
   ?invariants:Obs.Invariants.t ->
   pool:Pool.t ->
@@ -48,7 +82,7 @@ val create :
   unit ->
   ('s, 'op) t
 (** [batch_cap] defaults to the pool's worker count (Invariant 2);
-    [impl] defaults to {!Pending_array}.
+    [mode] defaults to {!Faa_array}.
 
     [invariants] attaches online checkers ({!Obs.Invariants}): every
     submit/launch/completion of this structure feeds the Invariant
@@ -82,10 +116,13 @@ val batchify : ('s, 'op) t -> 'op -> unit
 
 val state : ('s, 'op) t -> 's
 
+val mode : ('s, 'op) t -> mode
+
 type stats = {
   batches : int;
   ops : int;
   max_batch : int;
+  ovf : int;  (** records that went through the overflow queue *)
 }
 
 val stats : ('s, 'op) t -> stats

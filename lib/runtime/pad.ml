@@ -1,0 +1,47 @@
+(* Cache-line padding for contended heap blocks, in the style of
+   multicore-magic's [copy_as_padded] (par-ml depends on the same trick;
+   its notes call false sharing "crucial for stable performance").
+
+   OCaml 5.1 has no [Atomic.make_contended], and the runtime packs small
+   blocks densely: two [Atomic.t]s allocated back to back share a cache
+   line, so a CAS on one evicts the other from every other core's cache.
+   [copy_as_padded] re-allocates a block at [words] fields (128 bytes on
+   a 64-bit box — two lines, covering adjacent-line prefetchers), copying
+   the real fields and filling the tail with immediates. Atomic
+   operations only ever touch field 0, and the GC scans the filler
+   immediates for free, so the oversized block behaves identically.
+
+   Only ever pad a block BEFORE it is shared between domains (i.e. at
+   structure-creation time): the copy is not atomic. *)
+
+let words = 16 (* 128 bytes at 8 bytes/word *)
+
+let copy_as_padded : 'a -> 'a =
+ fun v ->
+  let o = Obj.repr v in
+  if
+    (not (Obj.is_block o))
+    || Obj.tag o >= Obj.no_scan_tag
+    || Obj.size o >= words
+  then v
+  else begin
+    let n = Obj.size o in
+    let p = Obj.new_block (Obj.tag o) words in
+    for i = 0 to n - 1 do
+      Obj.set_field p i (Obj.field o i)
+    done;
+    for i = n to words - 1 do
+      Obj.set_field p i (Obj.repr 0)
+    done;
+    Obj.obj p
+  end
+
+let atomic v = copy_as_padded (Atomic.make v)
+
+(* Stride for int/immediate arrays indexed per worker: slot [i] lives at
+   [i * stride], one cache line apart from its neighbours. *)
+let stride = 8
+
+let make_striped n v = Array.make (n * stride) v
+let striped_get a i = Array.unsafe_get a (i * stride)
+let striped_set a i v = Array.unsafe_set a (i * stride) v

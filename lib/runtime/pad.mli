@@ -1,0 +1,34 @@
+(** Cache-line padding helpers for contended atomics and per-worker
+    slots (multicore-magic / par-ml style; see DESIGN.md §13).
+
+    OCaml 5.1 lacks [Atomic.make_contended], and densely packed small
+    blocks put independent atomics on one cache line; these helpers
+    re-allocate blocks at a two-cache-line size so a CAS on one hot
+    word stops evicting its neighbours. *)
+
+val words : int
+(** Fields in a padded block: 16 words = 128 bytes = two cache lines
+    (covers adjacent-line prefetch pairing). *)
+
+val copy_as_padded : 'a -> 'a
+(** [copy_as_padded v] returns a copy of the heap block [v] widened to
+    [words] fields (filler fields hold immediate [0]); immediates,
+    no-scan blocks and already-large blocks are returned unchanged.
+    Must be applied before [v] is shared between domains — typically at
+    creation time. Safe for [Atomic.t] and mutable records: all
+    operations address fields by index, never by block size. *)
+
+val atomic : 'a -> 'a Atomic.t
+(** [atomic v] is [copy_as_padded (Atomic.make v)]: a padded atomic. *)
+
+val stride : int
+(** Element stride for per-worker striped arrays: one slot per cache
+    line. *)
+
+val make_striped : int -> 'a -> 'a array
+(** [make_striped n v] allocates an [n]-slot striped array (physically
+    [n * stride] elements). Only meaningful for immediate ['a] — boxed
+    elements would still share lines via their own blocks. *)
+
+val striped_get : 'a array -> int -> 'a
+val striped_set : 'a array -> int -> 'a -> unit

@@ -38,11 +38,13 @@ type t = {
   bo : backoff;
   rc : Obs.Recorder.t;  (* per-worker rings; each domain writes only its own *)
   hl : Obs.Health.t;  (* heartbeats + watchdog; shared with Batcher_rt *)
-  (* Work-class attribution (observed pools only). [cls.(w)] is worker
-     [w]'s ambient class, [seg.(w)] the ns timestamp its current segment
-     opened. Each worker touches only its own slots, so no sync. *)
-  cls : Obs.Recorder.work_class array;
-  seg : int array;
+  (* Work-class attribution (observed pools only). Slot [w] is worker
+     [w]'s ambient class / the ns timestamp its current segment opened.
+     Each worker touches only its own slots, so no sync — but the
+     arrays are cache-line striped ([Pad.make_striped]) so one worker's
+     per-task class flips don't evict its neighbours' slots. *)
+  cls : Obs.Recorder.work_class array;  (* striped *)
+  seg : int array;  (* striped *)
 }
 
 (* Which worker (index) the current domain is acting as. *)
@@ -66,28 +68,30 @@ let health t = t.hl
    each worker's timeline from its loop entry to its exit. *)
 
 let set_cls t w c =
-  if Obs.Recorder.enabled t.rc && t.cls.(w) <> c then begin
+  if Obs.Recorder.enabled t.rc && Pad.striped_get t.cls w <> c then begin
     let now = Obs.Recorder.now t.rc in
-    let dur = now - t.seg.(w) in
+    let dur = now - Pad.striped_get t.seg w in
     if dur > 0 then
-      Obs.Recorder.emit_work t.rc ~worker:w ~time:now ~cls:t.cls.(w) ~units:dur;
-    t.cls.(w) <- c;
-    t.seg.(w) <- now
+      Obs.Recorder.emit_work t.rc ~worker:w ~time:now
+        ~cls:(Pad.striped_get t.cls w) ~units:dur;
+    Pad.striped_set t.cls w c;
+    Pad.striped_set t.seg w now
   end
 
 (* Close the open segment without changing class (worker exit). *)
 let flush_cls t w =
   if Obs.Recorder.enabled t.rc then begin
     let now = Obs.Recorder.now t.rc in
-    let dur = now - t.seg.(w) in
+    let dur = now - Pad.striped_get t.seg w in
     if dur > 0 then
-      Obs.Recorder.emit_work t.rc ~worker:w ~time:now ~cls:t.cls.(w) ~units:dur;
-    t.seg.(w) <- now
+      Obs.Recorder.emit_work t.rc ~worker:w ~time:now
+        ~cls:(Pad.striped_get t.cls w) ~units:dur;
+    Pad.striped_set t.seg w now
   end
 
 let work_class t =
   match worker_index () with
-  | Some w when Obs.Recorder.enabled t.rc -> t.cls.(w)
+  | Some w when Obs.Recorder.enabled t.rc -> Pad.striped_get t.cls w
   | _ -> Obs.Recorder.Wcore
 
 let set_work_class t c =
@@ -119,6 +123,18 @@ let handler : (unit, unit) Effect.Deep.handler =
   }
 
 let exec (task : task) = Effect.Deep.match_with task () handler
+
+(* Raw task injection and in-place execution, for Batcher_rt's
+   parallel-combining launcher: [push_task] enqueues a preallocated
+   closure without a promise (allocation-free recruitment), and
+   [exec_inline] runs a task body under the pool's effect handler from a
+   context that is otherwise outside one (a [suspend] callback runs in
+   the handler itself, so a batch executed there must open a fresh
+   handler or any [await] inside the BOP would go unhandled). If the
+   inline task suspends, [exec_inline] returns with the rest parked as a
+   continuation — exactly like a queued task that suspends. *)
+let push_task = push_current
+let exec_inline _t task = exec task
 
 (* [misses] is the caller's consecutive-failure count: once the worker is
    past the first spin phase it is "in backoff", and failed steal probes
@@ -187,8 +203,8 @@ let worker_loop t my_id =
   r := Some my_id;
   let observed = Obs.Recorder.enabled t.rc in
   if observed then begin
-    t.cls.(my_id) <- Obs.Recorder.Wsched;
-    t.seg.(my_id) <- Obs.Recorder.now t.rc
+    Pad.striped_set t.cls my_id Obs.Recorder.Wsched;
+    Pad.striped_set t.seg my_id (Obs.Recorder.now t.rc)
   end;
   let rng = Util.Rng.stream ~seed:t.seed ~index:my_id in
   let misses = ref 0 in
@@ -223,14 +239,16 @@ let create ?(recorder = Obs.Recorder.null) ?(health = Obs.Health.null)
     {
       deques = Array.init num_workers (fun _ -> Wsdeque.create ());
       domains = [||];
-      stop = Atomic.make false;
+      (* Padded: [stop] is polled by every worker each loop iteration
+         and must not share a line with whatever is allocated next. *)
+      stop = Pad.atomic false;
       n = num_workers;
       seed = 0x600D5EED;
       bo = backoff;
       rc = recorder;
       hl = health;
-      cls = Array.make num_workers Obs.Recorder.Wsched;
-      seg = Array.make num_workers 0;
+      cls = Pad.make_striped num_workers Obs.Recorder.Wsched;
+      seg = Pad.make_striped num_workers 0;
     }
   in
   t.domains <-
@@ -320,8 +338,8 @@ let run t f =
   let saved = !slot in
   slot := Some 0;
   if observed then begin
-    t.cls.(0) <- Obs.Recorder.Wsched;
-    t.seg.(0) <- Obs.Recorder.now t.rc
+    Pad.striped_set t.cls 0 Obs.Recorder.Wsched;
+    Pad.striped_set t.seg 0 (Obs.Recorder.now t.rc)
   end;
   push_on t 0 root;
   let rng = Util.Rng.stream ~seed:t.seed ~index:0 in

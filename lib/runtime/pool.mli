@@ -102,6 +102,24 @@ val parallel_prefix_sums : t -> int array -> int array
 (** Inclusive parallel prefix sums (two-pass), the primitive of the
     batched counter and of LAUNCHBATCH compaction. *)
 
+val push_task : t -> (unit -> unit) -> unit
+(** Enqueue a raw task (no promise, no class capture) on the calling
+    worker's deque, stealable like any other task. Exists so
+    {!Batcher_rt}'s parallel-combining launcher can recruit helpers
+    with preallocated closures — zero allocation per recruitment.
+    Exceptions escaping the task kill the worker; callers must not let
+    them escape. *)
+
+val exec_inline : t -> (unit -> unit) -> unit
+(** Execute a task body in place under the pool's effect handler.
+    Needed by code running inside a {!suspend} callback (which executes
+    in the handler itself, not under it) that wants to run work which
+    may legitimately [await]/[suspend] — e.g. a batch body executed
+    inline by the parallel-combining launcher. If the body suspends,
+    [exec_inline] returns immediately and the remainder runs later as
+    a parked continuation, exactly like a queued task that suspends.
+    Must be called on a pool worker. *)
+
 val suspend : t -> ((unit -> unit) -> unit) -> unit
 (** [suspend t f] suspends the current task and calls [f resume]; the
     task continues when [resume ()] is invoked (exactly once, from any

@@ -13,14 +13,14 @@ type ('s, 'op) t = {
   batchers : ('s, 'op) Batcher_rt.t array;
 }
 
-let create ?batch_cap ?impl ?(sid_base = 0) ?invariants ~pool ~shards ~state
+let create ?batch_cap ?mode ?(sid_base = 0) ?invariants ~pool ~shards ~state
     ~run_batch () =
   if shards < 1 then invalid_arg "Shard_rt.create: shards >= 1";
   {
     pool;
     batchers =
       Array.init shards (fun i ->
-          Batcher_rt.create ?batch_cap ?impl ~sid:(sid_base + i) ?invariants
+          Batcher_rt.create ?batch_cap ?mode ~sid:(sid_base + i) ?invariants
             ~pool ~state:(state i) ~run_batch ());
   }
 
@@ -50,6 +50,7 @@ let total_stats t =
         Batcher_rt.batches = acc.Batcher_rt.batches + s.Batcher_rt.batches;
         ops = acc.Batcher_rt.ops + s.Batcher_rt.ops;
         max_batch = max acc.Batcher_rt.max_batch s.Batcher_rt.max_batch;
+        ovf = acc.Batcher_rt.ovf + s.Batcher_rt.ovf;
       })
-    { Batcher_rt.batches = 0; ops = 0; max_batch = 0 }
+    { Batcher_rt.batches = 0; ops = 0; max_batch = 0; ovf = 0 }
     (stats t)

@@ -22,7 +22,7 @@ type ('s, 'op) t
 
 val create :
   ?batch_cap:int ->
-  ?impl:Batcher_rt.impl ->
+  ?mode:Batcher_rt.mode ->
   ?sid_base:int ->
   ?invariants:Obs.Invariants.t ->
   pool:Pool.t ->
@@ -35,7 +35,7 @@ val create :
     shared BOP (it receives the shard's own state, and by per-shard
     Invariant 1 never runs concurrently {e with itself on the same
     shard} — different shards' batches do overlap, so [run_batch] must
-    not touch state shared across shards). [batch_cap], [impl] and
+    not touch state shared across shards). [batch_cap], [mode] and
     [invariants] are per-instance settings applied to every shard;
     shard [i] is registered under structure id [sid_base + i]
     (default base 0). When the pool carries a health instance or

@@ -1,6 +1,7 @@
 type point = {
   shards : int;
   workers : int;
+  mode : Runtime.Batcher_rt.mode;  (* batch-path mode of every shard *)
   requests : int;
   elapsed_ns : float;
   goodput : float;
@@ -36,7 +37,8 @@ let dispatch_loop ~t0 ~schedule ~release =
     end
   done
 
-let run_point ?workers ?snapshot_path ?duration_s (sc : Scenario.t) ~shards =
+let run_point ?workers ?snapshot_path ?duration_s
+    ?(mode = Runtime.Batcher_rt.Faa_array) (sc : Scenario.t) ~shards =
   let (module S : Store.STORE) = sc.Scenario.store in
   (* The dispatcher owns worker 0 for the whole run, so serving needs
      at least one more worker. *)
@@ -68,7 +70,7 @@ let run_point ?workers ?snapshot_path ?duration_s (sc : Scenario.t) ~shards =
     (fun i st -> S.prepopulate st ~shards ~shard:i ~n_keys)
     stores;
   let srt =
-    Runtime.Shard_rt.create ~pool ~shards
+    Runtime.Shard_rt.create ~mode ~pool ~shards
       ~state:(fun i -> stores.(i))
       ~run_batch:S.run_batch ()
   in
@@ -176,6 +178,7 @@ let run_point ?workers ?snapshot_path ?duration_s (sc : Scenario.t) ~shards =
   {
     shards;
     workers;
+    mode;
     requests = n;
     elapsed_ns;
     goodput =
@@ -187,7 +190,8 @@ let run_point ?workers ?snapshot_path ?duration_s (sc : Scenario.t) ~shards =
     slo_burns = !slo_burns;
   }
 
-let run ?workers ?snapshot_path ?duration_s sc =
+let run ?workers ?snapshot_path ?duration_s ?mode sc =
   List.map
-    (fun shards -> run_point ?workers ?snapshot_path ?duration_s sc ~shards)
+    (fun shards ->
+      run_point ?workers ?snapshot_path ?duration_s ?mode sc ~shards)
     sc.Scenario.rt_shards

@@ -13,6 +13,7 @@
 type point = {
   shards : int;
   workers : int;
+  mode : Runtime.Batcher_rt.mode;  (** batch-path mode of every shard *)
   requests : int;
   elapsed_ns : float;  (** wall time, first release to last completion *)
   goodput : float;  (** completed requests per wall second *)
@@ -27,6 +28,7 @@ val run_point :
   ?workers:int ->
   ?snapshot_path:string ->
   ?duration_s:float ->
+  ?mode:Runtime.Batcher_rt.mode ->
   Scenario.t ->
   shards:int ->
   point
@@ -34,10 +36,13 @@ val run_point :
     [Domain.recommended_domain_count ()]; [snapshot_path] attaches an
     {!Obs.Snapshot} JSONL stream (sampled every 100 ms from a separate
     domain) carrying goodput and queue-depth gauges for
-    [bin/monitor.exe]; [duration_s] overrides the scenario's. *)
+    [bin/monitor.exe]; [duration_s] overrides the scenario's; [mode]
+    selects the shards' {!Runtime.Batcher_rt} batch path (default
+    [Faa_array]). *)
 
 val run :
   ?workers:int -> ?snapshot_path:string -> ?duration_s:float ->
+  ?mode:Runtime.Batcher_rt.mode ->
   Scenario.t -> point list
 (** The full K-sweep, [Scenario.rt_shards] in order. The snapshot file
     (when given) is truncated per point — last point wins. *)

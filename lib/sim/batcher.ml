@@ -358,7 +358,7 @@ let launch st w =
     | No_setup -> 0
   in
   Obs.Recorder.emit_batch_start st.rc ~worker:w.id ~time:st.time ~sid
-    ~size:(Array.length members) ~setup:setup_work;
+    ~size:(Array.length members) ~setup:setup_work ~mode:0;
   Obs.Invariants.batch_started st.inv ~worker:w.id ~time:st.time ~sid
     ~size:(Array.length members) ~cap:cfg.batch_cap;
   st.active.(sid) <- Some { b_sid = sid; members };

@@ -40,6 +40,30 @@ let test_sweep_small () =
         (Printf.sprintf "%s\n%s" f.Check.Schedule_fuzz.f_shrunk_error
            (Check.Schedule_fuzz.to_ocaml f.Check.Schedule_fuzz.f_shrunk))
 
+let test_sweep_rt_conf () =
+  (* A small sweep with the real-runtime conformance leg on: each case's
+     structure and seed run through a real pool under the case's rotated
+     batch-path mode (rt_mode) against the sequential oracle. Seeds are
+     chosen so the sample covers all four modes. *)
+  let seeds = List.init 8 (fun i -> 4200 + i) in
+  let modes = Hashtbl.create 4 in
+  List.iter
+    (fun seed ->
+      let c = Check.Schedule_fuzz.case_of_seed seed in
+      Hashtbl.replace modes c.Check.Schedule_fuzz.rt_mode ())
+    seeds;
+  Alcotest.(check int) "sample covers all modes" 4 (Hashtbl.length modes);
+  let cases_run, failures =
+    Check.Schedule_fuzz.sweep ~rt_conf:true ~max_p:4 ~max_size:32 ~seeds ()
+  in
+  Alcotest.(check int) "all cases run" 8 cases_run;
+  match failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.fail
+        (Printf.sprintf "%s\n%s" f.Check.Schedule_fuzz.f_shrunk_error
+           (Check.Schedule_fuzz.to_ocaml f.Check.Schedule_fuzz.f_shrunk))
+
 let test_shrink_is_identity_on_passing () =
   let case = Check.Schedule_fuzz.case_of_seed 5 in
   let shrunk = Check.Schedule_fuzz.shrink case in
@@ -315,6 +339,8 @@ let () =
       ( "fuzz",
         [
           Alcotest.test_case "small sweep" `Quick test_sweep_small;
+          Alcotest.test_case "runtime-conformance sweep, mode rotation" `Slow
+            test_sweep_rt_conf;
           Alcotest.test_case "shrink keeps passing cases" `Quick
             test_shrink_is_identity_on_passing;
           Alcotest.test_case "bound smoke" `Quick test_bound_smoke;

@@ -147,7 +147,7 @@ let test_disabled_recorder_no_op () =
     Obs.Recorder.emit_status rc ~worker:0 ~time:i Obs.Recorder.Executing;
     Obs.Recorder.emit_steal rc ~worker:0 ~time:i ~victim:1 ~success:true
       ~batch_deque:false;
-    Obs.Recorder.emit_batch_start rc ~worker:0 ~time:i ~sid:0 ~size:4 ~setup:8;
+    Obs.Recorder.emit_batch_start rc ~worker:0 ~time:i ~sid:0 ~size:4 ~setup:8 ~mode:0;
     Obs.Recorder.emit_batch_end rc ~worker:0 ~time:i ~sid:0 ~size:4;
     Obs.Recorder.emit_op_issue rc ~worker:0 ~time:i ~sid:0;
     Obs.Recorder.emit_op_done rc ~worker:0 ~time:i ~sid:0 ~batches_seen:1
@@ -181,7 +181,7 @@ let test_enabled_recorder_no_alloc () =
     Obs.Recorder.emit_steal rc ~worker:0 ~time:t ~victim:1 ~success:true
       ~batch_deque:false;
     Obs.Recorder.emit_steals_suppressed rc ~worker:0 ~time:t ~count:17;
-    Obs.Recorder.emit_batch_start rc ~worker:0 ~time:t ~sid:0 ~size:4 ~setup:8;
+    Obs.Recorder.emit_batch_start rc ~worker:0 ~time:t ~sid:0 ~size:4 ~setup:8 ~mode:0;
     Obs.Recorder.emit_batch_end rc ~worker:0 ~time:t ~sid:0 ~size:4;
     Obs.Recorder.emit_op_issue rc ~worker:0 ~time:t ~sid:0;
     Obs.Recorder.emit_op_done rc ~worker:0 ~time:t ~sid:0 ~batches_seen:1
@@ -221,7 +221,7 @@ let test_recorder_event_readback () =
   let rc = Obs.Recorder.create ~clock:Obs.Recorder.Timesteps ~workers:2 () in
   Obs.Recorder.emit_status rc ~worker:0 ~time:1 Obs.Recorder.Pending;
   Obs.Recorder.emit_steal rc ~worker:1 ~time:2 ~victim:0 ~success:false ~batch_deque:true;
-  Obs.Recorder.emit_batch_start rc ~worker:0 ~time:3 ~sid:7 ~size:5 ~setup:16;
+  Obs.Recorder.emit_batch_start rc ~worker:0 ~time:3 ~sid:7 ~size:5 ~setup:16 ~mode:2;
   Obs.Recorder.emit_op_done rc ~worker:1 ~time:4 ~sid:7 ~batches_seen:2 ~latency:3;
   (match Obs.Recorder.all_events rc with
   | [ e1; e2; e3; e4 ] ->
@@ -232,7 +232,7 @@ let test_recorder_event_readback () =
       | Obs.Recorder.Steal { victim = 0; success = false; batch_deque = true } -> ()
       | _ -> Alcotest.fail "event 2 kind");
       (match e3.Obs.Recorder.kind with
-      | Obs.Recorder.Batch_start { sid = 7; size = 5; setup = 16 } -> ()
+      | Obs.Recorder.Batch_start { sid = 7; size = 5; setup = 16; mode = 2 } -> ()
       | _ -> Alcotest.fail "event 3 kind");
       (match e4.Obs.Recorder.kind with
       | Obs.Recorder.Op_done { sid = 7; batches_seen = 2; latency = 3 } -> ()
@@ -534,31 +534,55 @@ let test_attrib_sim_conservation () =
 
 let test_attrib_runtime_tiling () =
   (* Runtime buckets must tile each worker's observed span exactly:
-     class segments are emitted back to back in integer nanoseconds. *)
-  let p = 3 in
-  let rc = Obs.Recorder.create ~clock:Obs.Recorder.Nanoseconds ~workers:p () in
-  let pool = Runtime.Pool.create ~recorder:rc ~num_workers:p () in
-  let counter = Batched.Counter.create () in
-  let b =
-    Runtime.Batcher_rt.create ~pool ~state:counter
-      ~run_batch:(fun _pool st ops -> Batched.Counter.run_batch st ops)
-      ()
-  in
-  Runtime.Pool.run pool (fun () ->
-      Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:300 (fun _ ->
-          Runtime.Batcher_rt.batchify b (Batched.Counter.op 1)));
-  Runtime.Pool.teardown pool;
-  let a = Obs.Attrib.of_recorder rc in
-  (match Obs.Attrib.check a with
-  | Ok () -> ()
-  | Error e -> Alcotest.failf "runtime tiling: %s" e);
-  check "all workers accounted" p (Array.length a.Obs.Attrib.per_worker);
-  check_bool "some core time" true (a.Obs.Attrib.total.Obs.Attrib.core > 0);
-  check_bool "some batch time" true (a.Obs.Attrib.total.Obs.Attrib.batch > 0);
-  check_bool "covered > 0" true (Obs.Attrib.total_covered a > 0);
-  (* Runtime recordings have no trapped-worker wait or sim-style idle. *)
-  check "no wait bucket" 0 a.Obs.Attrib.total.Obs.Attrib.wait;
-  check "no idle bucket" 0 a.Obs.Attrib.total.Obs.Attrib.idle
+     class segments are emitted back to back in integer nanoseconds.
+     Conservation must hold under every batch-path mode — Par_combine
+     in particular reclassifies recruited submitters' time as Wbatch —
+     and every Batch_start event must carry the launching mode's tag. *)
+  List.iter
+    (fun mode ->
+      let name = Runtime.Batcher_rt.mode_name mode in
+      let p = 3 in
+      let rc =
+        Obs.Recorder.create ~clock:Obs.Recorder.Nanoseconds ~workers:p ()
+      in
+      let pool = Runtime.Pool.create ~recorder:rc ~num_workers:p () in
+      let counter = Batched.Counter.create () in
+      let b =
+        Runtime.Batcher_rt.create ~mode ~pool ~state:counter
+          ~run_batch:(fun _pool st ops -> Batched.Counter.run_batch st ops)
+          ()
+      in
+      Runtime.Pool.run pool (fun () ->
+          Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:300 (fun _ ->
+              Runtime.Batcher_rt.batchify b (Batched.Counter.op 1)));
+      Runtime.Pool.teardown pool;
+      let a = Obs.Attrib.of_recorder rc in
+      (match Obs.Attrib.check a with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s runtime tiling: %s" name e);
+      check (name ^ ": all workers accounted") p
+        (Array.length a.Obs.Attrib.per_worker);
+      check_bool (name ^ ": some core time") true
+        (a.Obs.Attrib.total.Obs.Attrib.core > 0);
+      check_bool (name ^ ": some batch time") true
+        (a.Obs.Attrib.total.Obs.Attrib.batch > 0);
+      check_bool (name ^ ": covered > 0") true (Obs.Attrib.total_covered a > 0);
+      (* Runtime recordings have no trapped-worker wait or sim-style idle. *)
+      check (name ^ ": no wait bucket") 0 a.Obs.Attrib.total.Obs.Attrib.wait;
+      check (name ^ ": no idle bucket") 0 a.Obs.Attrib.total.Obs.Attrib.idle;
+      let starts = ref 0 in
+      List.iter
+        (fun e ->
+          match e.Obs.Recorder.kind with
+          | Obs.Recorder.Batch_start { mode = m; _ } ->
+              incr starts;
+              check (name ^ ": batch_start mode tag")
+                (Runtime.Batcher_rt.mode_code mode)
+                m
+          | _ -> ())
+        (Obs.Recorder.all_events rc);
+      check_bool (name ^ ": batches recorded") true (!starts > 0))
+    Runtime.Batcher_rt.all_modes
 
 let test_attrib_json () =
   let rc, m = run_recorded () in

@@ -450,12 +450,12 @@ let test_batcher_rt_randomized_stress () =
   done
 
 let test_batcher_rt_atomic_list_legacy () =
-  (* The seed's CAS-list submission path stays behind the [impl] flag
+  (* The seed's CAS-list submission path stays behind the [mode] flag
      for before/after benchmarking; it must remain correct. *)
   with_pool 3 (fun pool ->
       let counter = Batched.Counter.create () in
       let b =
-        Runtime.Batcher_rt.create ~impl:Runtime.Batcher_rt.Atomic_list ~pool
+        Runtime.Batcher_rt.create ~mode:Runtime.Batcher_rt.Atomic_list ~pool
           ~state:counter
           ~run_batch:(fun _pool st ops -> Batched.Counter.run_batch st ops)
           ()
@@ -514,6 +514,199 @@ let test_batcher_rt_fifo_fairness () =
        s.Obs.Summary.max_batches_seen)
     true
     (s.Obs.Summary.max_batches_seen <= 10)
+
+(* ---------- batch-path modes ---------- *)
+
+(* A batched "structure" whose batch log records admission order: the
+   BOP appends each record's payload in ops-array order. Invariant 1
+   (one batch in flight) is what makes the unsynchronized ref sound —
+   exactly the guarantee the modes must preserve. *)
+let with_log_batcher ?(on_batch = fun () -> ()) ~workers ~batch_cap ~mode f =
+  with_pool workers (fun pool ->
+      let log = ref [] in
+      let b =
+        Runtime.Batcher_rt.create ~batch_cap ~mode ~pool ~state:()
+          ~run_batch:(fun _p () ops ->
+            on_batch ();
+            Array.iter (fun id -> log := id :: !log) ops)
+          ()
+      in
+      f pool b (fun () -> List.rev !log))
+
+let check_exactly_once ~n admitted =
+  Alcotest.(check (list int))
+    "every record admitted exactly once (none lost, none duplicated)"
+    (List.init n Fun.id)
+    (List.sort compare admitted)
+
+let rec ascending = function
+  | a :: (b :: _ as tl) -> a < b && ascending tl
+  | _ -> true
+
+let test_batcher_rt_overflow_fifo_single_worker () =
+  (* Overflow-queue FIFO, deterministically: one worker, cap 2, 100
+     grain-1 submitters. Every submission beyond the slots goes through
+     the overflow queue while a batch is in flight, and with a single
+     worker the publication order equals our issue counter. The three
+     array modes must admit in exactly issue order across consecutive
+     launches (slots drain before the reversed back stack, and a
+     displaced record keeps its queue position); Atomic_list is LIFO by
+     construction, so it only owes exactly-once. *)
+  List.iter
+    (fun mode ->
+      with_log_batcher ~workers:1 ~batch_cap:2 ~mode
+        (fun pool b admitted ->
+          let n = 100 in
+          let issue = Atomic.make 0 in
+          let order = Array.make n (-1) in
+          Runtime.Pool.run pool (fun () ->
+              Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:n (fun i ->
+                  order.(i) <- Atomic.fetch_and_add issue 1;
+                  Runtime.Batcher_rt.batchify b i));
+          let admitted = admitted () in
+          check_exactly_once ~n admitted;
+          let st = Runtime.Batcher_rt.stats b in
+          if mode <> Runtime.Batcher_rt.Atomic_list then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: admission follows issue order"
+                 (Runtime.Batcher_rt.mode_name mode))
+              true
+              (ascending (List.map (fun id -> order.(id)) admitted));
+          Alcotest.(check int) "all ops counted" n st.Runtime.Batcher_rt.ops))
+    Runtime.Batcher_rt.all_modes
+
+let test_batcher_rt_overflow_displacement_race () =
+  (* The racy half of the overflow story: 3 workers hammering a cap-2
+     batcher, so slot displacement (Worker_id/Par_combine: occupied
+     worker slot; Faa_array: over-cap tickets) and the overflow queue
+     race with concurrent launches. Exactly-once admission is the
+     safety property every interleaving must preserve. *)
+  List.iter
+    (fun mode ->
+      let n = 300 in
+      (* Throttle each batch until three submitters past the batch's
+         entry point have arrived (or the workload is exhausted):
+         against cap 2 — and three per-worker slots fed by the two
+         non-launching workers — three concurrent pending records
+         guarantee a displacement into the overflow queue by
+         pigeonhole, making the racy path deterministic to reach
+         without fixing any particular interleaving. *)
+      let entered = Atomic.make 0 in
+      let on_batch () =
+        let want = min n (Atomic.get entered + 3) in
+        while Atomic.get entered < want do
+          Domain.cpu_relax ()
+        done
+      in
+      with_log_batcher ~on_batch ~workers:3 ~batch_cap:2 ~mode
+        (fun pool b admitted ->
+          Runtime.Pool.run pool (fun () ->
+              Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:n (fun i ->
+                  Atomic.incr entered;
+                  Runtime.Batcher_rt.batchify b i));
+          check_exactly_once ~n (admitted ());
+          let st = Runtime.Batcher_rt.stats b in
+          Alcotest.(check int)
+            (Runtime.Batcher_rt.mode_name mode ^ ": ops")
+            n st.Runtime.Batcher_rt.ops;
+          (* Atomic_list has no overflow queue; for the array modes,
+             300 grain-1 submitters against cap 2 make the queue's
+             displacement path essentially certain to fire. *)
+          if mode <> Runtime.Batcher_rt.Atomic_list then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: overflow exercised (ovf=%d)"
+                 (Runtime.Batcher_rt.mode_name mode)
+                 st.Runtime.Batcher_rt.ovf)
+              true
+              (st.Runtime.Batcher_rt.ovf > 0)))
+    Runtime.Batcher_rt.all_modes
+
+let test_batcher_rt_worker_id_migration () =
+  (* Worker_id re-reads the worker index at each publication, so a task
+     resumed on a different worker after its previous op publishes into
+     the new worker's slot. Repeated submit rounds from more tasks than
+     workers force exactly that suspension/resume churn; linearizable
+     results across all rounds are the witness that no slot write went
+     to a stale index (the submit-path assert guards the bound). *)
+  with_pool 3 (fun pool ->
+      let counter = Batched.Counter.create () in
+      let b =
+        Runtime.Batcher_rt.create ~batch_cap:2 ~mode:Runtime.Batcher_rt.Worker_id
+          ~pool ~state:counter
+          ~run_batch:(fun _pool st ops -> Batched.Counter.run_batch st ops)
+          ()
+      in
+      let tasks = 12 and rounds = 25 in
+      Runtime.Pool.run pool (fun () ->
+          Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:tasks (fun _ ->
+              for _ = 1 to rounds do
+                Runtime.Batcher_rt.batchify b (Batched.Counter.op 1)
+              done));
+      Alcotest.(check int) "value" (tasks * rounds)
+        (Batched.Counter.value counter);
+      let st = Runtime.Batcher_rt.stats b in
+      Alcotest.(check int) "ops" (tasks * rounds) st.Runtime.Batcher_rt.ops)
+
+let test_batcher_rt_par_combine_recruitment () =
+  (* Par_combine with a cap far above the combining grain: batches
+     larger than [combine_grain] split into sub-ranges executed by
+     recruited blocked submitters, and the last finisher runs the
+     epilogue (stamp, flag release, relaunch trampoline). Distinct
+     results 1..n prove each record was stamped and resumed exactly
+     once across the recruited sub-ranges. *)
+  with_pool 3 (fun pool ->
+      let counter = Batched.Counter.create () in
+      let b =
+        Runtime.Batcher_rt.create ~batch_cap:64
+          ~mode:Runtime.Batcher_rt.Par_combine ~pool ~state:counter
+          ~run_batch:(fun _pool st ops -> Batched.Counter.run_batch st ops)
+          ()
+      in
+      let n = 512 in
+      let results = Array.make n 0 in
+      Runtime.Pool.run pool (fun () ->
+          Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:n (fun i ->
+              let op = Batched.Counter.op 1 in
+              Runtime.Batcher_rt.batchify b op;
+              results.(i) <- op.Batched.Counter.result));
+      Alcotest.(check int) "final value" n (Batched.Counter.value counter);
+      let sorted = Array.copy results in
+      Array.sort compare sorted;
+      Alcotest.(check (array int)) "results are 1..n"
+        (Array.init n (fun i -> i + 1))
+        sorted)
+
+let test_batcher_rt_modes_parallel_bop () =
+  (* Every mode must keep Invariant 1 strongly enough that a BOP using
+     the pool's own parallel_for stays safe — Par_combine in particular
+     runs the BOP inside a submitter's suspension context, where an
+     unhandled-effect bug would surface immediately. *)
+  List.iter
+    (fun mode ->
+      with_pool 3 (fun pool ->
+          let sl = Batched.Skiplist.create () in
+          let pfor pool n body =
+            Runtime.Pool.parallel_for pool ~grain:4 ~lo:0 ~hi:n body
+          in
+          let b =
+            Runtime.Batcher_rt.create ~mode ~pool ~state:sl
+              ~run_batch:(fun pool st ops ->
+                Batched.Skiplist.run_batch_with ~pfor:(pfor pool) st ops)
+              ()
+          in
+          let n = 128 in
+          Runtime.Pool.run pool (fun () ->
+              Runtime.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:n (fun i ->
+                  Runtime.Batcher_rt.batchify b (Batched.Skiplist.insert i)));
+          let name = Runtime.Batcher_rt.mode_name mode in
+          Alcotest.(check int) (name ^ ": all inserted") n
+            (Batched.Skiplist.length sl);
+          Batched.Skiplist.check_invariants sl;
+          Alcotest.(check (list int))
+            (name ^ ": sorted 0..n-1")
+            (List.init n Fun.id)
+            (Batched.Skiplist.to_list sl)))
+    Runtime.Batcher_rt.all_modes
 
 let test_pool_backoff_config () =
   (* Extreme idle policies — pure spin and sleep-almost-immediately
@@ -671,6 +864,16 @@ let () =
             test_batcher_rt_multiple_structures;
           Alcotest.test_case "sp-order under parallelism" `Quick test_batcher_rt_sp_order;
           Alcotest.test_case "randomized stress" `Slow test_batcher_rt_randomized_stress;
+          Alcotest.test_case "overflow fifo, single worker, all modes" `Quick
+            test_batcher_rt_overflow_fifo_single_worker;
+          Alcotest.test_case "overflow displacement race, all modes" `Slow
+            test_batcher_rt_overflow_displacement_race;
+          Alcotest.test_case "worker-id slot under task migration" `Quick
+            test_batcher_rt_worker_id_migration;
+          Alcotest.test_case "par-combine recruitment" `Quick
+            test_batcher_rt_par_combine_recruitment;
+          Alcotest.test_case "parallel BOP under all modes" `Slow
+            test_batcher_rt_modes_parallel_bop;
           Alcotest.test_case "sharded teardown with batch in flight" `Quick
             test_shard_rt_teardown_in_flight;
         ] );
