@@ -67,9 +67,26 @@ let metric_keys =
     ("p50_ns", false);
     ("p99_ns", false);
     ("p999_ns", false);
+    (* Bool, never diffed numerically — listed so the small-sample
+       p999 annotation stays out of the row signature. *)
+    ("p999_approx", false);
     ("mean_ns", false);
     ("max_ns", false);
     ("max_batches_seen", false);
+    (* Offered-load sweep rows (SVC_LOAD): each grid point reports its
+       offered rate, what was actually delivered, and the share of
+       total latency per phase; the per-(mode, K) knee row carries the
+       headline knee_req_s that --gate-knee defends. Shares are
+       attribution, not quality — direction is informational except
+       exec (more of the latency being actual batch work is good). *)
+    ("offered_req_s", true);
+    ("knee_req_s", true);
+    ("knee_mult", true);
+    ("share_queue", false);
+    ("share_sched", false);
+    ("share_pending", false);
+    ("share_exec", true);
+    ("share_ovf", false);
   ]
 
 let is_metric k = List.mem_assoc k metric_keys
@@ -132,6 +149,8 @@ let gate_p99 : float option ref = ref None
 let p99_breaches : string list ref = ref []
 let gate_m1 : float option ref = ref None
 let m1_breaches : string list ref = ref []
+let gate_knee : float option ref = ref None
+let knee_breaches : string list ref = ref []
 
 let diff_rows id old_rows new_rows =
   let old_tbl = Hashtbl.create 16 in
@@ -161,6 +180,17 @@ let diff_rows id old_rows new_rows =
                         Printf.sprintf "%s | %s: p99 %.0fns -> %.0fns (%+.1f%% > %g%%)"
                           id sg old_v new_v d pct
                         :: !p99_breaches
+                  | _ -> ());
+                  (match !gate_knee with
+                  | Some pct
+                    when k = "knee_req_s"
+                         && (not (Float.is_nan d))
+                         && d < -.pct ->
+                      knee_breaches :=
+                        Printf.sprintf
+                          "%s | %s: knee %.0f req/s -> %.0f (%+.1f%% < -%g%%)"
+                          id sg old_v new_v d pct
+                        :: !knee_breaches
                   | _ -> ());
                   (match !gate_m1 with
                   | Some pct
@@ -204,6 +234,13 @@ let () =
             gate_m1 := Some pct;
             parse rest
         | _ -> die (Printf.sprintf "--gate-m1 expects a percentage, got %S" v))
+    | "--gate-knee" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some pct when pct >= 0.0 ->
+            gate_knee := Some pct;
+            parse rest
+        | _ ->
+            die (Printf.sprintf "--gate-knee expects a percentage, got %S" v))
     | a :: _ when String.length a > 1 && a.[0] = '-' ->
         die (Printf.sprintf "unknown option %s" a)
     | a :: rest ->
@@ -216,8 +253,8 @@ let () =
     | [ o; n ] -> (o, n)
     | _ ->
         die
-          "usage: bench_diff.exe [--gate-p99 PCT] [--gate-m1 PCT] OLD.json \
-           NEW.json"
+          "usage: bench_diff.exe [--gate-p99 PCT] [--gate-m1 PCT] \
+           [--gate-knee PCT] OLD.json NEW.json"
   in
   let old_j = load old_path and new_j = load new_path in
   let old_exps = experiments old_j and new_exps = experiments new_j in
@@ -246,4 +283,9 @@ let () =
       tripped := true;
       Printf.printf "GATE M1 regression: %s\n" b)
     (List.rev !m1_breaches);
+  List.iter
+    (fun b ->
+      tripped := true;
+      Printf.printf "GATE knee regression: %s\n" b)
+    (List.rev !knee_breaches);
   if !tripped then exit 1

@@ -30,9 +30,18 @@ let usage () =
     \                   (pending_array | worker_id | par_combine |\n\
     \                   atomic_list; all = head-to-head sweep over every\n\
     \                   mode; default pending_array)\n\
+    \  --load-sweep     instead of the normal legs: sweep the runtime\n\
+    \                   leg over offered-load multipliers (x0.25..x4 of\n\
+    \                   rt_rate) per selected mode, find the throughput\n\
+    \                   knee, and merge SVC_LOAD rows (latency digest +\n\
+    \                   per-phase latency shares per point) into the\n\
+    \                   results file\n\
+    \  --mults LIST     comma-separated multipliers for --load-sweep\n\
+    \                   (default 0.25,0.5,1,2,4)\n\
     \  --quiet          print only failures and the final summary\n\
      Exit status: 0 ok, 1 a sim point escaped the Theorem-1 wait\n\
-     budget, 2 usage error."
+     budget or a load-sweep point breached span conservation, 2 usage\n\
+     error."
 
 let die fmt =
   Printf.ksprintf
@@ -66,6 +75,8 @@ let () =
   let out = ref "BENCH_results.json" in
   let snapshot = ref None in
   let modes = ref [ Runtime.Batcher_rt.Faa_array ] in
+  let load_sweep = ref false in
+  let mults = ref None in
   let quiet = ref false in
   let args = Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1)) in
   let rec go = function
@@ -115,6 +126,21 @@ let () =
            | Some m -> modes := [ m ]
            | None -> die "--mode expects a batch-path mode or all, got %S" v);
         go rest
+    | "--load-sweep" :: rest ->
+        load_sweep := true;
+        go rest
+    | "--mults" :: v :: rest ->
+        let parsed =
+          List.map
+            (fun s ->
+              match float_of_string_opt (String.trim s) with
+              | Some m when m > 0.0 -> m
+              | _ -> die "--mults expects positive numbers, got %S" s)
+            (String.split_on_char ',' v)
+        in
+        if parsed = [] then die "--mults expects at least one multiplier";
+        mults := Some parsed;
+        go rest
     | ("--help" | "-h") :: _ ->
         usage ();
         exit 0
@@ -141,6 +167,73 @@ let () =
     | None -> sc
     | Some s -> { sc with Svc.Scenario.seed = s }
   in
+  if !load_sweep then begin
+    if not !quiet then
+      Printf.printf "[svc] load sweep: %s, modes %s, base rate %.0f req/s\n%!"
+        sc.Svc.Scenario.name
+        (String.concat ","
+           (List.map Runtime.Batcher_rt.mode_name !modes))
+        sc.Svc.Scenario.rt_rate;
+    let sw =
+      Svc.Sweep.run ?mults:!mults ~modes:!modes ?workers:!workers
+        ?duration_s:!duration sc
+    in
+    List.iter
+      (fun (p : Svc.Sweep.point) ->
+        if not !quiet then begin
+          let all = Svc.Latency.all_of p.Svc.Sweep.pt.Svc.Rt_driver.classes in
+          Printf.printf
+            "  mode=%-13s K=%d x%-4g offered=%7.0f goodput=%7.0f req/s \
+             (%.0f%%) p99=%.1fus"
+            (Runtime.Batcher_rt.mode_name p.Svc.Sweep.mode)
+            p.Svc.Sweep.shards p.Svc.Sweep.mult p.Svc.Sweep.offered_req_s
+            p.Svc.Sweep.pt.Svc.Rt_driver.goodput
+            (100.0 *. p.Svc.Sweep.pt.Svc.Rt_driver.goodput
+            /. p.Svc.Sweep.offered_req_s)
+            (all.Svc.Latency.p99_ns /. 1e3);
+          List.iter
+            (fun (name, v) -> Printf.printf " %s=%.0f%%" name (100.0 *. v))
+            p.Svc.Sweep.shares;
+          print_newline ()
+        end)
+      sw.Svc.Sweep.points;
+    List.iter
+      (fun (kn : Svc.Sweep.knee) ->
+        Printf.printf "  knee: mode=%-13s K=%d %s\n"
+          (Runtime.Batcher_rt.mode_name kn.Svc.Sweep.k_mode)
+          kn.Svc.Sweep.k_shards
+          (if kn.Svc.Sweep.knee_req_s > 0.0 then
+             Printf.sprintf "%.0f req/s (x%g)" kn.Svc.Sweep.knee_req_s
+               kn.Svc.Sweep.knee_mult
+           else "below the lowest swept rate"))
+      sw.Svc.Sweep.knees;
+    (* Per-point span conservation is the sweep's self-check: the phase
+       shares are only meaningful if every span's phases sum to its
+       measured latency. *)
+    let breaches =
+      List.filter_map
+        (fun (p : Svc.Sweep.point) ->
+          match Obs.Reqtrace.check p.Svc.Sweep.pt.Svc.Rt_driver.trace with
+          | Ok () -> None
+          | Error e ->
+              Some
+                (Printf.sprintf "mode=%s K=%d x%g: %s"
+                   (Runtime.Batcher_rt.mode_name p.Svc.Sweep.mode)
+                   p.Svc.Sweep.shards p.Svc.Sweep.mult e))
+        sw.Svc.Sweep.points
+    in
+    let rows = Svc.Sweep.rows sw in
+    Svc.Report.merge_svc_load ~path:!out ~scenario:sc.Svc.Scenario.name rows;
+    Printf.printf "[svc] merged %d SVC_LOAD rows for %s into %s\n%!"
+      (List.length rows) sc.Svc.Scenario.name !out;
+    match breaches with
+    | [] -> exit 0
+    | fails ->
+        List.iter
+          (fun f -> Printf.printf "[svc] FAIL span conservation: %s\n" f)
+          fails;
+        exit 1
+  end;
   let bound_failures = ref [] in
   let all_rows = ref [] in
   if !exec = "sim" || !exec = "both" then begin

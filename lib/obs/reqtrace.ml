@@ -1,0 +1,426 @@
+(* Request-scoped span capture. See reqtrace.mli for the model.
+
+   Layout: one flat int array per milestone/attribute, indexed by the
+   request token. Each slot has exactly one writer (the dispatcher for
+   arrive, the serve task's worker for start/submit, the batch-stamping
+   worker for the deltas, the resuming worker for fin), so plain
+   unsynchronized int stores suffice — same discipline as the
+   Recorder rings. Raw-ns milestones use 0 as the unset sentinel (the
+   monotonic clock never reads 0 in practice); deltas default to 0,
+   which is also the correct value for a phase that never happened.
+
+   The reservoir is workers x classes single-writer top-K segments:
+   res_lat/res_tok strips of length k each, kept descending-sorted by
+   insertion. Only the owning worker writes its segments, so inserts
+   are lock-free without CAS; readout merges segments after the run.
+   Per-worker completion counters live at stride 8 to keep writers off
+   each other's cache lines. *)
+
+(* flag bits *)
+let f_published = 1
+let f_ovf = 2
+let f_displaced = 4
+let f_batch = 8
+let f_done = 16
+
+(* counter stride: one slot per worker, 8 words apart (64B lines). *)
+let c_stride = 8
+
+type t = {
+  on : bool;
+  cap : int;
+  k : int;
+  workers : int;
+  classes : int;
+  sample_every : int;
+  (* raw-ns milestones, self-stamped (0 = unset) *)
+  arrive : int array;
+  start : int array;
+  submit : int array;
+  fin : int array;
+  (* batcher-basis deltas + metadata *)
+  d_wait : int array;
+  d_exec : int array;
+  d_ovf : int array;
+  seen : int array;
+  cls : int array;
+  sid : int array;
+  mode : int array;
+  flags : int array;
+  w_start : int array;
+  w_batch : int array;
+  w_done : int array;
+  (* slowest-K reservoir: workers x classes segments of length k *)
+  res_lat : int array;
+  res_tok : int array;
+  n_done : int array; (* per-worker completion counters, stride 8 *)
+}
+
+let empty = [||]
+
+let null =
+  {
+    on = false;
+    cap = 0;
+    k = 0;
+    workers = 0;
+    classes = 0;
+    sample_every = 1;
+    arrive = empty;
+    start = empty;
+    submit = empty;
+    fin = empty;
+    d_wait = empty;
+    d_exec = empty;
+    d_ovf = empty;
+    seen = empty;
+    cls = empty;
+    sid = empty;
+    mode = empty;
+    flags = empty;
+    w_start = empty;
+    w_batch = empty;
+    w_done = empty;
+    res_lat = empty;
+    res_tok = empty;
+    n_done = empty;
+  }
+
+let create ?(sample_every = 32) ?(k = 16) ~workers ~classes ~capacity () =
+  if workers < 1 then invalid_arg "Reqtrace.create: workers < 1";
+  if classes < 1 then invalid_arg "Reqtrace.create: classes < 1";
+  if capacity < 0 then invalid_arg "Reqtrace.create: capacity < 0";
+  if k < 1 then invalid_arg "Reqtrace.create: k < 1";
+  if sample_every < 1 then invalid_arg "Reqtrace.create: sample_every < 1";
+  let a () = Array.make (max 1 capacity) 0 in
+  let res = workers * classes * k in
+  {
+    on = true;
+    cap = capacity;
+    k;
+    workers;
+    classes;
+    sample_every;
+    arrive = a ();
+    start = a ();
+    submit = a ();
+    fin = a ();
+    d_wait = a ();
+    d_exec = a ();
+    d_ovf = a ();
+    seen = a ();
+    cls = a ();
+    sid = a ();
+    mode = a ();
+    flags = a ();
+    w_start = a ();
+    w_batch = a ();
+    w_done = a ();
+    res_lat = Array.make (max 1 res) (-1);
+    res_tok = Array.make (max 1 res) (-1);
+    n_done = Array.make (workers * c_stride) 0;
+  }
+
+let enabled t = t.on
+let capacity t = t.cap
+let k t = t.k
+let classes t = t.classes
+
+let[@inline] tracked t token = t.on && token >= 0 && token < t.cap
+
+(* ---- hooks ---- *)
+
+let[@inline] on_release t ~token ~arrive_ns =
+  if tracked t token then Array.unsafe_set t.arrive token arrive_ns
+
+let[@inline] on_start t ~token ~cls ~worker =
+  if tracked t token then begin
+    Array.unsafe_set t.start token (Clock.now_ns ());
+    Array.unsafe_set t.cls token cls;
+    Array.unsafe_set t.w_start token worker
+  end
+
+let[@inline] on_submit t ~token ~sid =
+  if tracked t token then begin
+    Array.unsafe_set t.submit token (Clock.now_ns ());
+    Array.unsafe_set t.sid token sid
+  end
+
+let[@inline] on_publish t ~token =
+  if tracked t token then
+    Array.unsafe_set t.flags token
+      (Array.unsafe_get t.flags token lor f_published)
+
+let[@inline] on_overflow t ~token ~displaced =
+  if tracked t token then
+    Array.unsafe_set t.flags token
+      (Array.unsafe_get t.flags token lor f_ovf
+      lor if displaced then f_displaced else 0)
+
+let[@inline] on_batch t ~token ~wait ~exec ~ovf ~seen ~worker ~mode =
+  if tracked t token then begin
+    Array.unsafe_set t.d_wait token wait;
+    Array.unsafe_set t.d_exec token exec;
+    Array.unsafe_set t.d_ovf token ovf;
+    Array.unsafe_set t.seen token seen;
+    Array.unsafe_set t.w_batch token worker;
+    Array.unsafe_set t.mode token mode;
+    Array.unsafe_set t.flags token (Array.unsafe_get t.flags token lor f_batch)
+  end
+
+(* Single-writer descending insertion into the (worker, cls) segment.
+   The common case — lat no better than the segment's current floor —
+   is one compare against the last slot. *)
+let offer t ~worker ~cls ~token ~lat =
+  if t.on && worker >= 0 && worker < t.workers && cls >= 0 && cls < t.classes
+  then begin
+    let base = ((worker * t.classes) + cls) * t.k in
+    let last = base + t.k - 1 in
+    if lat > Array.unsafe_get t.res_lat last then begin
+      (* shift everything smaller than lat down one slot, drop the tail *)
+      let i = ref last in
+      while
+        !i > base && Array.unsafe_get t.res_lat (!i - 1) < lat
+      do
+        Array.unsafe_set t.res_lat !i (Array.unsafe_get t.res_lat (!i - 1));
+        Array.unsafe_set t.res_tok !i (Array.unsafe_get t.res_tok (!i - 1));
+        decr i
+      done;
+      Array.unsafe_set t.res_lat !i lat;
+      Array.unsafe_set t.res_tok !i token
+    end
+  end
+
+let[@inline] on_done t ~token ~worker =
+  if tracked t token then begin
+    let fin = Clock.now_ns () in
+    Array.unsafe_set t.fin token fin;
+    Array.unsafe_set t.w_done token worker;
+    Array.unsafe_set t.flags token (Array.unsafe_get t.flags token lor f_done);
+    let w = if worker >= 0 && worker < t.workers then worker else 0 in
+    offer t ~worker:w
+      ~cls:(Array.unsafe_get t.cls token)
+      ~token
+      ~lat:(fin - Array.unsafe_get t.arrive token);
+    let c = w * c_stride in
+    Array.unsafe_set t.n_done c (Array.unsafe_get t.n_done c + 1)
+  end
+
+let record_sim t ~token ~cls ~sid ~arrive_ns ~pending_ns ~exec_ns ~seen =
+  if tracked t token then begin
+    t.arrive.(token) <- arrive_ns;
+    t.start.(token) <- arrive_ns;
+    t.submit.(token) <- arrive_ns;
+    t.fin.(token) <- arrive_ns + pending_ns + exec_ns;
+    t.d_wait.(token) <- pending_ns;
+    t.d_exec.(token) <- exec_ns;
+    t.seen.(token) <- seen;
+    t.cls.(token) <- cls;
+    t.sid.(token) <- sid;
+    t.flags.(token) <- f_published lor f_batch lor f_done;
+    offer t ~worker:0 ~cls ~token ~lat:(pending_ns + exec_ns);
+    t.n_done.(0) <- t.n_done.(0) + 1
+  end
+
+(* ---- read-out ---- *)
+
+type span = {
+  token : int;
+  cls : int;
+  sid : int;
+  mode : int;
+  sampled : bool;
+  ovf : bool;
+  displaced : bool;
+  arrive_ns : int;
+  latency_ns : int;
+  queue_ns : int;
+  sched_pre_ns : int;
+  pending_ns : int;
+  exec_ns : int;
+  sched_post_ns : int;
+  ovf_ns : int;
+  batches_seen : int;
+  w_start : int;
+  w_batch : int;
+  w_done : int;
+}
+
+let phase_names = [ "queue"; "sched"; "pending"; "exec" ]
+
+let span t token =
+  if
+    (not t.on) || token < 0 || token >= t.cap
+    || t.flags.(token) land f_done = 0
+  then None
+  else
+    let fl = t.flags.(token) in
+    let arrive = t.arrive.(token)
+    and start = t.start.(token)
+    and submit = t.submit.(token)
+    and fin = t.fin.(token) in
+    let pending = t.d_wait.(token) and exec = t.d_exec.(token) in
+    let latency = fin - arrive in
+    (* The residual decomposition: latency = queue + sched_pre +
+       pending + exec + sched_post by construction (sched_post is
+       defined as whatever is left after the directly-measured
+       phases). check() asserts each term is nonnegative. *)
+    let queue = start - arrive in
+    let sched_pre = submit - start in
+    let sched_post = fin - submit - pending - exec in
+    Some
+      {
+        token;
+        cls = t.cls.(token);
+        sid = t.sid.(token);
+        mode = t.mode.(token);
+        sampled = token mod t.sample_every = 0;
+        ovf = fl land f_ovf <> 0;
+        displaced = fl land f_displaced <> 0;
+        arrive_ns = arrive;
+        latency_ns = latency;
+        queue_ns = queue;
+        sched_pre_ns = sched_pre;
+        pending_ns = pending;
+        exec_ns = exec;
+        sched_post_ns = sched_post;
+        ovf_ns = t.d_ovf.(token);
+        batches_seen = t.seen.(token);
+        w_start = t.w_start.(token);
+        w_batch = t.w_batch.(token);
+        w_done = t.w_done.(token);
+      }
+
+let completed t =
+  if not t.on then 0
+  else begin
+    let s = ref 0 in
+    for w = 0 to t.workers - 1 do
+      s := !s + t.n_done.(w * c_stride)
+    done;
+    !s
+  end
+
+let reservoir ?cls t =
+  if not t.on then []
+  else begin
+    let acc = ref [] in
+    for w = 0 to t.workers - 1 do
+      for c = 0 to t.classes - 1 do
+        if match cls with None -> true | Some c' -> c = c' then begin
+          let base = ((w * t.classes) + c) * t.k in
+          for i = 0 to t.k - 1 do
+            let lat = t.res_lat.(base + i) in
+            if lat >= 0 then acc := (lat, t.res_tok.(base + i)) :: !acc
+          done
+        end
+      done
+    done;
+    let all =
+      List.sort (fun (a, _) (b, _) -> compare (b : int) a) !acc
+    in
+    List.filteri (fun i _ -> i < t.k) all
+  end
+
+let slowest ?cls t =
+  List.filter_map (fun (_, tok) -> span t tok) (reservoir ?cls t)
+
+type totals = {
+  n : int;
+  t_latency : int;
+  t_queue : int;
+  t_sched : int;
+  t_pending : int;
+  t_exec : int;
+  t_ovf : int;
+}
+
+let totals ?cls t =
+  let n = ref 0
+  and lat = ref 0
+  and q = ref 0
+  and sc = ref 0
+  and p = ref 0
+  and e = ref 0
+  and o = ref 0 in
+  for tok = 0 to t.cap - 1 do
+    match span t tok with
+    | Some s when (match cls with None -> true | Some c -> s.cls = c) ->
+        incr n;
+        lat := !lat + s.latency_ns;
+        q := !q + s.queue_ns;
+        sc := !sc + s.sched_pre_ns + s.sched_post_ns;
+        p := !p + s.pending_ns;
+        e := !e + s.exec_ns;
+        o := !o + s.ovf_ns
+    | _ -> ()
+  done;
+  {
+    n = !n;
+    t_latency = !lat;
+    t_queue = !q;
+    t_sched = !sc;
+    t_pending = !p;
+    t_exec = !e;
+    t_ovf = !o;
+  }
+
+let shares tt =
+  let d = float_of_int tt.t_latency in
+  let f x = if tt.t_latency = 0 then 0.0 else float_of_int x /. d in
+  [
+    ("queue", f tt.t_queue);
+    ("sched", f tt.t_sched);
+    ("pending", f tt.t_pending);
+    ("exec", f tt.t_exec);
+    ("ovf", f tt.t_ovf);
+  ]
+
+let check t =
+  let err = ref None in
+  let tok = ref 0 in
+  while !err = None && !tok < t.cap do
+    (match span t !tok with
+    | None -> ()
+    | Some s ->
+        let sum =
+          s.queue_ns + s.sched_pre_ns + s.pending_ns + s.exec_ns
+          + s.sched_post_ns
+        in
+        if sum <> s.latency_ns then
+          err :=
+            Some
+              (Printf.sprintf
+                 "token %d: phase sum %d <> latency %d (q=%d sp=%d p=%d e=%d \
+                  ss=%d)"
+                 s.token sum s.latency_ns s.queue_ns s.sched_pre_ns
+                 s.pending_ns s.exec_ns s.sched_post_ns)
+        else if s.queue_ns < 0 then
+          err := Some (Printf.sprintf "token %d: queue %d < 0" s.token s.queue_ns)
+        else if s.sched_pre_ns < 0 then
+          err :=
+            Some
+              (Printf.sprintf "token %d: sched_pre %d < 0" s.token
+                 s.sched_pre_ns)
+        else if s.pending_ns < 0 then
+          err :=
+            Some
+              (Printf.sprintf "token %d: pending %d < 0" s.token s.pending_ns)
+        else if s.exec_ns < 0 then
+          err := Some (Printf.sprintf "token %d: exec %d < 0" s.token s.exec_ns)
+        else if s.sched_post_ns < 0 then
+          err :=
+            Some
+              (Printf.sprintf "token %d: sched_post %d < 0 (fin-submit=%d \
+                               wait=%d exec=%d)"
+                 s.token s.sched_post_ns
+                 (t.fin.(s.token) - t.submit.(s.token))
+                 s.pending_ns s.exec_ns)
+        else if s.ovf_ns < 0 || s.ovf_ns > s.pending_ns then
+          err :=
+            Some
+              (Printf.sprintf "token %d: ovf %d outside [0, pending=%d]"
+                 s.token s.ovf_ns s.pending_ns));
+    incr tok
+  done;
+  match !err with None -> Ok () | Some e -> Error e

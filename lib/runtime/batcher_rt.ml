@@ -7,6 +7,7 @@
 type 'op record = {
   op : 'op;
   mutable resume : unit -> unit;
+  token : int;  (* request-trace token ([Obs.Reqtrace]); -1 = untraced *)
   issue_time : int;
   issue_launches : int;
   mutable done_time : int;
@@ -147,6 +148,7 @@ type ('s, 'op) t = {
   rc : Obs.Recorder.t;
   hl : Obs.Health.t;  (* the pool's health instance (null when off) *)
   inv : Obs.Invariants.t;  (* online invariant checkers (null when off) *)
+  rt : Obs.Reqtrace.t;  (* request-scoped span capture (null when off) *)
   (* Whether op/batch records carry time stamps: true when any of the
      recorder, health, or invariant layers consume them. Stamps use the
      recorder's relative clock when it is enabled, raw monotonic ns
@@ -203,8 +205,8 @@ type stats = {
   ovf : int;
 }
 
-let create ?batch_cap ?(mode = Faa_array) ?(sid = 0) ?invariants ~pool
-    ~state ~run_batch () =
+let create ?batch_cap ?(mode = Faa_array) ?(sid = 0) ?invariants
+    ?(reqtrace = Obs.Reqtrace.null) ~pool ~state ~run_batch () =
   let cap =
     match batch_cap with
     | Some c ->
@@ -235,9 +237,11 @@ let create ?batch_cap ?(mode = Faa_array) ?(sid = 0) ?invariants ~pool
     rc;
     hl;
     inv;
+    rt = reqtrace;
     timed =
       Obs.Recorder.enabled rc || Obs.Health.enabled hl
-      || Obs.Invariants.active inv;
+      || Obs.Invariants.active inv
+      || Obs.Reqtrace.enabled reqtrace;
     slots = Array.init n_slots (fun _ -> Pad.atomic None);
     claims = Pad.atomic 0;
     ovf_front = Queue.create ();
@@ -316,7 +320,14 @@ let run_launched t ~len ~get ~relaunch () =
       if health_on then
         Obs.Health.op_phases t.hl ~worker:me ~sid:t.sid
           ~wait:(t_start - r.issue_time) ~exec:(done_time - t_start)
-          ~ovf:(if r.ovf_since > 0 then t_start - r.ovf_since else 0)
+          ~ovf:(if r.ovf_since > 0 then t_start - r.ovf_since else 0);
+      (* Request-trace anatomy: the same deltas, keyed by the op's
+         request token (no-op for the untraced sentinel -1). *)
+      Obs.Reqtrace.on_batch t.rt ~token:r.token
+        ~wait:(t_start - r.issue_time) ~exec:(done_time - t_start)
+        ~ovf:(if r.ovf_since > 0 then t_start - r.ovf_since else 0)
+        ~seen:(done_launches - r.issue_launches)
+        ~worker:me ~mode:(mode_code t.mode)
     done;
     if observed then
       Obs.Recorder.emit_batch_end t.rc ~worker:me ~time:done_time ~sid:t.sid
@@ -348,14 +359,19 @@ let rec overflow_push t r =
 let submit_array t r =
   let i = Atomic.fetch_and_add t.claims 1 in
   (if i < t.batch_cap then begin
+     Obs.Reqtrace.on_publish t.rt ~token:r.token;
      match Atomic.exchange t.slots.(i) (Some r) with
      | None -> ()
      | Some stale ->
          (* A previous epoch's claimant published after the launcher
             reset [claims]; keep its (older) record pending. *)
+         Obs.Reqtrace.on_overflow t.rt ~token:stale.token ~displaced:true;
          overflow_push t stale
    end
-   else overflow_push t r);
+   else begin
+     Obs.Reqtrace.on_overflow t.rt ~token:r.token ~displaced:false;
+     overflow_push t r
+   end);
   Atomic.incr t.n_pending
 
 (* Worker_id / Par_combine publication: no ticket — the slot is the
@@ -367,8 +383,12 @@ let submit_array t r =
 let submit_worker t r =
   let w = match Pool.worker_index () with Some w -> w | None -> 0 in
   assert (w < Array.length t.slots);
-  if not (Atomic.compare_and_set t.slots.(w) None (Some r)) then
-    overflow_push t r;
+  if Atomic.compare_and_set t.slots.(w) None (Some r) then
+    Obs.Reqtrace.on_publish t.rt ~token:r.token
+  else begin
+    Obs.Reqtrace.on_overflow t.rt ~token:r.token ~displaced:false;
+    overflow_push t r
+  end;
   Atomic.incr t.n_pending
 
 (* Flag-holder-only batch assembly, shared by all slot-array modes.
@@ -535,7 +555,12 @@ and run_sub t c i =
       if health_on then
         Obs.Health.op_phases t.hl ~worker:me ~sid:t.sid
           ~wait:(c.c_start - r.issue_time) ~exec:(c.c_done - c.c_start)
-          ~ovf:(if r.ovf_since > 0 then c.c_start - r.ovf_since else 0)
+          ~ovf:(if r.ovf_since > 0 then c.c_start - r.ovf_since else 0);
+      Obs.Reqtrace.on_batch t.rt ~token:r.token
+        ~wait:(c.c_start - r.issue_time) ~exec:(c.c_done - c.c_start)
+        ~ovf:(if r.ovf_since > 0 then c.c_start - r.ovf_since else 0)
+        ~seen:(c.c_launches - r.issue_launches)
+        ~worker:me ~mode:(mode_code t.mode)
     done
   end;
   for j = s.lo to s.hi - 1 do
@@ -637,12 +662,18 @@ and try_launch t =
   | Par_combine -> try_launch_combine t
   | Atomic_list -> try_launch_list t
 
-let batchify t op =
+let batchify ?(token = -1) t op =
   let observed = Obs.Recorder.enabled t.rc in
+  (* Milestone order matters for the residual decomposition: the raw
+     submit stamp is taken before [issue_time], so the batcher's
+     wait+exec delta always fits inside the submit→completion raw
+     interval and the request's sched_post residual is nonnegative. *)
+  Obs.Reqtrace.on_submit t.rt ~token ~sid:t.sid;
   let r =
     {
       op;
       resume = ignore;
+      token;
       issue_time = (if t.timed then stamp t else 0);
       issue_launches = Atomic.get t.launches;
       done_time = 0;
@@ -661,7 +692,10 @@ let batchify t op =
       (match t.mode with
       | Faa_array -> submit_array t r
       | Worker_id | Par_combine -> submit_worker t r
-      | Atomic_list -> atomic_push t r);
+      | Atomic_list ->
+          atomic_push t r;
+          (* the cons stack is the pending set: publication is the push *)
+          Obs.Reqtrace.on_publish t.rt ~token:r.token);
       try_launch t);
   (* Control is back: the batch containing the op has completed. The
      continuation may run on a different worker than the issuer — emit

@@ -76,6 +76,7 @@ val create :
   ?mode:mode ->
   ?sid:int ->
   ?invariants:Obs.Invariants.t ->
+  ?reqtrace:Obs.Reqtrace.t ->
   pool:Pool.t ->
   state:'s ->
   run_batch:(Pool.t -> 's -> 'op array -> unit) ->
@@ -106,13 +107,21 @@ val create :
     is {e reported} here rather than asserted: the helper-lock runtime
     (single deque per worker) does not satisfy the dual-deque
     preconditions of the paper's proof, and an op that overflows
-    [batch_cap] can legitimately wait through several launches. *)
+    [batch_cap] can legitimately wait through several launches.
 
-val batchify : ('s, 'op) t -> 'op -> unit
+    [reqtrace] attaches request-scoped span capture
+    ({!Obs.Reqtrace}): operations submitted with a [?token] report
+    their publication/overflow milestones and per-batch wait/exec/ovf
+    deltas under that token. Defaults to {!Obs.Reqtrace.null}. *)
+
+val batchify : ?token:int -> ('s, 'op) t -> 'op -> unit
 (** Submit one operation and block (suspending the task, not the worker)
     until the batch containing it has completed. Results are communicated
     through mutable fields of ['op], as in the paper's operation records.
-    Must be called from within a pool task. *)
+    Must be called from within a pool task.
+
+    [token] (default [-1], untraced) keys this operation's milestones
+    in the batcher's {!Obs.Reqtrace} instance; see {!create}. *)
 
 val state : ('s, 'op) t -> 's
 

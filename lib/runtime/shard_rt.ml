@@ -13,15 +13,15 @@ type ('s, 'op) t = {
   batchers : ('s, 'op) Batcher_rt.t array;
 }
 
-let create ?batch_cap ?mode ?(sid_base = 0) ?invariants ~pool ~shards ~state
-    ~run_batch () =
+let create ?batch_cap ?mode ?(sid_base = 0) ?invariants ?reqtrace ~pool
+    ~shards ~state ~run_batch () =
   if shards < 1 then invalid_arg "Shard_rt.create: shards >= 1";
   {
     pool;
     batchers =
       Array.init shards (fun i ->
           Batcher_rt.create ?batch_cap ?mode ~sid:(sid_base + i) ?invariants
-            ~pool ~state:(state i) ~run_batch ());
+            ?reqtrace ~pool ~state:(state i) ~run_batch ());
   }
 
 let shards t = Array.length t.batchers
@@ -29,17 +29,25 @@ let pool t = t.pool
 let batcher t i = t.batchers.(i)
 let state t i = Batcher_rt.state t.batchers.(i)
 
-let batchify t ~shard op = Batcher_rt.batchify t.batchers.(shard) op
+let batchify ?token t ~shard op =
+  Batcher_rt.batchify ?token t.batchers.(shard) op
 
-let scatter t subs =
+let scatter ?(token = -1) ?(token_shard = 0) t subs =
   let k = Array.length subs in
   if k <> Array.length t.batchers then
     invalid_arg "Shard_rt.scatter: need exactly one sub-operation per shard";
   (* Fork-join: every sub-operation parks on its own shard concurrently,
      so a cross-shard query pays one batch latency, not K. Returns when
-     all K sub-batches have completed — the caller may then merge. *)
+     all K sub-batches have completed — the caller may then merge.
+
+     Request tracing records one consistent chain per request, so only
+     the [token_shard] sub-operation carries the token; the other
+     shards' waits and the fork-join barrier land in the traced
+     request's sched_post residual. *)
   Pool.parallel_for t.pool ~grain:1 ~lo:0 ~hi:k (fun i ->
-      Batcher_rt.batchify t.batchers.(i) subs.(i))
+      Batcher_rt.batchify
+        ~token:(if i = token_shard then token else -1)
+        t.batchers.(i) subs.(i))
 
 let stats t = Array.map Batcher_rt.stats t.batchers
 

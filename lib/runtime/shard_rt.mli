@@ -25,6 +25,7 @@ val create :
   ?mode:Batcher_rt.mode ->
   ?sid_base:int ->
   ?invariants:Obs.Invariants.t ->
+  ?reqtrace:Obs.Reqtrace.t ->
   pool:Pool.t ->
   shards:int ->
   state:(int -> 's) ->
@@ -39,25 +40,33 @@ val create :
     [invariants] are per-instance settings applied to every shard;
     shard [i] is registered under structure id [sid_base + i]
     (default base 0). When the pool carries a health instance or
-    recorder, it must cover [sid_base + shards] structures. *)
+    recorder, it must cover [sid_base + shards] structures.
+    [reqtrace] (default {!Obs.Reqtrace.null}) attaches request-scoped
+    span capture to every shard; see {!Batcher_rt.create}. *)
 
 val shards : ('s, 'op) t -> int
 val pool : ('s, 'op) t -> Pool.t
 val batcher : ('s, 'op) t -> int -> ('s, 'op) Batcher_rt.t
 val state : ('s, 'op) t -> int -> 's
 
-val batchify : ('s, 'op) t -> shard:int -> 'op -> unit
+val batchify : ?token:int -> ('s, 'op) t -> shard:int -> 'op -> unit
 (** Submit a point operation to one shard; suspends the task until the
     batch containing it completes. Must be called from within a pool
-    task. *)
+    task. [token] keys the op in the request trace (default [-1],
+    untraced); see {!Batcher_rt.batchify}. *)
 
-val scatter : ('s, 'op) t -> 'op array -> unit
+val scatter : ?token:int -> ?token_shard:int -> ('s, 'op) t -> 'op array -> unit
 (** Submit one sub-operation per shard ([Array.length = shards]),
     fork-join style: the sub-operations park on their shards
     concurrently, so a cross-shard query pays one batch latency, not
     K. Returns when every sub-batch has completed; the caller merges
     the sub-results afterwards. Must be called from within a pool
-    task. *)
+    task.
+
+    Request tracing keeps one consistent chain per request: only the
+    [token_shard] (default 0) sub-operation carries [token] (default
+    [-1], untraced); the fork-join barrier over the remaining shards
+    lands in the traced request's sched_post residual. *)
 
 val stats : ('s, 'op) t -> Batcher_rt.stats array
 (** Per-shard counters, index = shard. *)

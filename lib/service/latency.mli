@@ -12,14 +12,20 @@ type class_stats = {
   p50_ns : float;
   p99_ns : float;
   p999_ns : float;
+  p999_approx : bool;
+      (** true when [requests < 1000]: the 99.9th percentile of so few
+          samples would be interpolation noise, so [p999_ns] reports
+          the observed max instead *)
   mean_ns : float;
   max_ns : float;
 }
 
 val of_samples : (string * float array) list -> class_stats list
 (** One digest per named class with at least one sample, plus an
-    ["all"] digest over the concatenation (first in the returned
-    list). Sample arrays are latencies in nanoseconds. *)
+    ["all"] digest over the concatenation (always present and first in
+    the returned list — all-zero with [requests = 0] when there are no
+    samples at all, never nan). Sample arrays are latencies in
+    nanoseconds. *)
 
 val all_of : class_stats list -> class_stats
 (** The ["all"] digest; raises [Not_found] when absent. *)

@@ -12,6 +12,11 @@ let class_row ~exec ~scenario ~store ~p ~shards ~extra
        ("p50_ns", Obs.Json.Float c.Latency.p50_ns);
        ("p99_ns", Obs.Json.Float c.Latency.p99_ns);
        ("p999_ns", Obs.Json.Float c.Latency.p999_ns);
+       (* Listed in bench_diff's metric keys (so it stays out of the
+          row signature) but Bool never diffs as a number — it only
+          annotates that p999_ns is the observed max of a small
+          class. *)
+       ("p999_approx", Obs.Json.Bool c.Latency.p999_approx);
        ("mean_ns", Obs.Json.Float c.Latency.mean_ns);
        ("max_ns", Obs.Json.Float c.Latency.max_ns);
      ]
@@ -87,7 +92,7 @@ let row_scenario row =
   | Some (Obs.Json.Str s) -> Some s
   | _ -> None
 
-let merge_svc ~path ~scenario new_rows =
+let merge_experiment ~path ~id ~title ~scenario new_rows =
   let fields =
     match read_existing path with
     | Some fields -> fields
@@ -105,15 +110,15 @@ let merge_svc ~path ~scenario new_rows =
     | Some (Obs.Json.List l) -> l
     | _ -> []
   in
-  let is_svc e =
+  let is_mine e =
     match Obs.Json.member "id" e with
-    | Some (Obs.Json.Str "SVC") -> true
+    | Some (Obs.Json.Str i) -> i = id
     | _ -> false
   in
   let kept_rows =
     List.concat_map
       (fun e ->
-        if not (is_svc e) then []
+        if not (is_mine e) then []
         else
           match Obs.Json.member "rows" e with
           | Some (Obs.Json.List rows) ->
@@ -121,18 +126,15 @@ let merge_svc ~path ~scenario new_rows =
           | _ -> [])
       old_exps
   in
-  let svc =
+  let exp =
     Obs.Json.Obj
       [
-        ("id", Obs.Json.Str "SVC");
-        ( "title",
-          Obs.Json.Str
-            "SVC — open-loop service: end-to-end tail latency, sim P-sweep + \
-             runtime K-sweep" );
+        ("id", Obs.Json.Str id);
+        ("title", Obs.Json.Str title);
         ("rows", Obs.Json.List (kept_rows @ new_rows));
       ]
   in
-  let exps = List.filter (fun e -> not (is_svc e)) old_exps @ [ svc ] in
+  let exps = List.filter (fun e -> not (is_mine e)) old_exps @ [ exp ] in
   let fields =
     if List.mem_assoc "experiments" fields then
       List.map
@@ -142,3 +144,17 @@ let merge_svc ~path ~scenario new_rows =
     else fields @ [ ("experiments", Obs.Json.List exps) ]
   in
   Batcher_core.Report_json.write_file ~path (Obs.Json.Obj fields)
+
+let merge_svc ~path ~scenario new_rows =
+  merge_experiment ~path ~id:"SVC"
+    ~title:
+      "SVC — open-loop service: end-to-end tail latency, sim P-sweep + \
+       runtime K-sweep"
+    ~scenario new_rows
+
+let merge_svc_load ~path ~scenario new_rows =
+  merge_experiment ~path ~id:"SVC_LOAD"
+    ~title:
+      "SVC_LOAD — latency vs offered load: rate-multiplier sweep with \
+       per-phase attribution and the throughput knee"
+    ~scenario new_rows

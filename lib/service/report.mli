@@ -19,3 +19,17 @@ val merge_svc : path:string -> scenario:string -> Obs.Json.t list -> unit
     [path]: rows of the same scenario are replaced, rows of other
     scenarios and all other experiments are preserved; a skeleton file
     is created when missing. *)
+
+val merge_svc_load : path:string -> scenario:string -> Obs.Json.t list -> unit
+(** Same merge discipline for the ["SVC_LOAD"] experiment (the
+    offered-load knee sweep, {!Sweep}). *)
+
+val merge_experiment :
+  path:string ->
+  id:string ->
+  title:string ->
+  scenario:string ->
+  Obs.Json.t list ->
+  unit
+(** The general form both wrappers use: replace [scenario]'s rows of
+    experiment [id], preserving everything else in the file. *)

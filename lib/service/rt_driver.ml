@@ -10,6 +10,7 @@ type point = {
   max_batch : int;
   stalls : int;
   slo_burns : int;
+  trace : Obs.Reqtrace.t;  (* per-request spans; null unless ?trace *)
 }
 
 let class_of_index = [| Gen.Get; Gen.Put; Gen.Delete; Gen.Range |]
@@ -38,7 +39,8 @@ let dispatch_loop ~t0 ~schedule ~release =
   done
 
 let run_point ?workers ?snapshot_path ?duration_s
-    ?(mode = Runtime.Batcher_rt.Faa_array) (sc : Scenario.t) ~shards =
+    ?(mode = Runtime.Batcher_rt.Faa_array) ?(trace = false) (sc : Scenario.t)
+    ~shards =
   let (module S : Store.STORE) = sc.Scenario.store in
   (* The dispatcher owns worker 0 for the whole run, so serving needs
      at least one more worker. *)
@@ -62,6 +64,13 @@ let run_point ?workers ?snapshot_path ?duration_s
     else Obs.Recorder.null
   in
   let hl = Obs.Health.create ~workers ~structures:shards () in
+  (* One token per schedule slot: the request's index keys its span in
+     the flat capture arrays. *)
+  let rtr =
+    if trace then
+      Obs.Reqtrace.create ~workers ~classes:Gen.n_classes ~capacity:n ()
+    else Obs.Reqtrace.null
+  in
   let pool = Runtime.Pool.create ~recorder:rc ~health:hl ~num_workers:workers () in
   let stores =
     Array.init shards (fun i -> S.create ~seed:sc.Scenario.seed ~shard:i)
@@ -70,7 +79,7 @@ let run_point ?workers ?snapshot_path ?duration_s
     (fun i st -> S.prepopulate st ~shards ~shard:i ~n_keys)
     stores;
   let srt =
-    Runtime.Shard_rt.create ~mode ~pool ~shards
+    Runtime.Shard_rt.create ~mode ~reqtrace:rtr ~pool ~shards
       ~state:(fun i -> stores.(i))
       ~run_batch:S.run_batch ()
   in
@@ -117,12 +126,22 @@ let run_point ?workers ?snapshot_path ?duration_s
   in
   Fun.protect ~finally:finish (fun () ->
       let promises = Array.make n None in
-      let serve (r : Gen.request) () =
+      let serve token (r : Gen.request) () =
+        let c = Gen.class_index r.Gen.cls in
+        (match Runtime.Pool.worker_index () with
+        | Some w -> Obs.Reqtrace.on_start rtr ~token ~cls:c ~worker:w
+        | None -> Obs.Reqtrace.on_start rtr ~token ~cls:c ~worker:0);
         let op = S.op_of r in
         (match S.plan ~shards op with
-        | Batched.Shard.Point s -> Runtime.Shard_rt.batchify srt ~shard:s op
+        | Batched.Shard.Point s ->
+            Runtime.Shard_rt.batchify ~token srt ~shard:s op
         | Batched.Shard.Fanout { sub; merge } ->
-            Runtime.Shard_rt.scatter srt sub;
+            (* One consistent chain per request: the token rides the
+               start key's shard; the join over the rest is charged to
+               the span's sched_post residual. *)
+            Runtime.Shard_rt.scatter ~token
+              ~token_shard:(Batched.Shard.route ~shards r.Gen.key)
+              srt sub;
             merge ());
         let lat = Obs.Clock.now_ns () - (!t0_ref + r.Gen.arrive_ns) in
         (* Worker-exclusive push: one task runs per worker at a time
@@ -131,8 +150,8 @@ let run_point ?workers ?snapshot_path ?duration_s
         let w =
           match Runtime.Pool.worker_index () with Some w -> w | None -> 0
         in
+        Obs.Reqtrace.on_done rtr ~token ~worker:w;
         let by_class = samples.(w) in
-        let c = Gen.class_index r.Gen.cls in
         by_class.(c) <- float_of_int lat :: by_class.(c);
         Atomic.incr completed
       in
@@ -140,9 +159,11 @@ let run_point ?workers ?snapshot_path ?duration_s
           let t0 = Obs.Clock.now_ns () in
           t0_ref := t0;
           dispatch_loop ~t0 ~schedule ~release:(fun i ->
+              Obs.Reqtrace.on_release rtr ~token:i
+                ~arrive_ns:(t0 + schedule.(i).Gen.arrive_ns);
               Atomic.incr dispatched;
               promises.(i) <-
-                Some (Runtime.Pool.async pool (serve schedule.(i))));
+                Some (Runtime.Pool.async pool (serve i schedule.(i))));
           Array.iter
             (function
               | Some p -> Runtime.Pool.await pool p | None -> ())
@@ -188,10 +209,11 @@ let run_point ?workers ?snapshot_path ?duration_s
     max_batch = st.Runtime.Batcher_rt.max_batch;
     stalls = Obs.Health.stall_count hl;
     slo_burns = !slo_burns;
+    trace = rtr;
   }
 
-let run ?workers ?snapshot_path ?duration_s ?mode sc =
+let run ?workers ?snapshot_path ?duration_s ?mode ?trace sc =
   List.map
     (fun shards ->
-      run_point ?workers ?snapshot_path ?duration_s ?mode sc ~shards)
+      run_point ?workers ?snapshot_path ?duration_s ?mode ?trace sc ~shards)
     sc.Scenario.rt_shards

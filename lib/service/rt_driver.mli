@@ -22,6 +22,10 @@ type point = {
   max_batch : int;
   stalls : int;  (** {!Obs.Health} stall-watchdog trips *)
   slo_burns : int;  (** end-to-end phase SLO burns, summed over shards *)
+  trace : Obs.Reqtrace.t;
+      (** per-request span capture for this point —
+          {!Obs.Reqtrace.null} unless the run was started with
+          [~trace:true] *)
 }
 
 val run_point :
@@ -29,6 +33,7 @@ val run_point :
   ?snapshot_path:string ->
   ?duration_s:float ->
   ?mode:Runtime.Batcher_rt.mode ->
+  ?trace:bool ->
   Scenario.t ->
   shards:int ->
   point
@@ -38,11 +43,17 @@ val run_point :
     domain) carrying goodput and queue-depth gauges for
     [bin/monitor.exe]; [duration_s] overrides the scenario's; [mode]
     selects the shards' {!Runtime.Batcher_rt} batch path (default
-    [Faa_array]). *)
+    [Faa_array]).
+
+    [trace] (default false) captures every request's span in an
+    {!Obs.Reqtrace} instance (token = schedule index), returned in the
+    point's [trace] field: release/start/submit milestones, the
+    batcher's publication-or-overflow and wait/exec deltas, and the
+    slowest-K reservoir per op class. *)
 
 val run :
   ?workers:int -> ?snapshot_path:string -> ?duration_s:float ->
-  ?mode:Runtime.Batcher_rt.mode ->
+  ?mode:Runtime.Batcher_rt.mode -> ?trace:bool ->
   Scenario.t -> point list
 (** The full K-sweep, [Scenario.rt_shards] in order. The snapshot file
     (when given) is truncated per point — last point wins. *)

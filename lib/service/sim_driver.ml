@@ -10,11 +10,12 @@ type point = {
   max_batches_seen : int;
   max_in_system : int;
   bound : (unit, string) result;
+  trace : Obs.Reqtrace.t;
 }
 
 let class_of_index = [| Gen.Get; Gen.Put; Gen.Delete; Gen.Range |]
 
-let run_point (sc : Scenario.t) ~p =
+let run_point ?(trace = false) (sc : Scenario.t) ~p =
   let (module S : Store.STORE) = sc.Scenario.store in
   let shards = sc.Scenario.sim_shards in
   let unit_ns = sc.Scenario.sim_ns_per_unit in
@@ -54,6 +55,27 @@ let run_point (sc : Scenario.t) ~p =
            (Gen.class_name class_of_index.(i), Array.of_list samples))
          per_class)
   in
+  (* The virtual-clock anatomy is two phases — pending-wait (arrival to
+     batch launch) and batch-exec (launch to completion); the engine
+     admits at arrival and resumes at completion, so queue/sched are
+     structurally zero. One bulk record per request, deterministic. *)
+  let rtr =
+    if trace then
+      Obs.Reqtrace.create ~workers:1 ~classes:Gen.n_classes ~capacity:n ()
+    else Obs.Reqtrace.null
+  in
+  if trace then
+    for i = 0 to n - 1 do
+      let w = res.Sim.Openloop.waits.(i)
+      and lw = res.Sim.Openloop.launch_waits.(i) in
+      Obs.Reqtrace.record_sim rtr ~token:i
+        ~cls:olreqs.(i).Sim.Openloop.cls
+        ~sid:olreqs.(i).Sim.Openloop.shard
+        ~arrive_ns:(olreqs.(i).Sim.Openloop.at * unit_ns)
+        ~pending_ns:(lw * unit_ns)
+        ~exec_ns:((w - lw) * unit_ns)
+        ~seen:res.Sim.Openloop.batches_seen.(i)
+    done;
   let makespan_ns = float_of_int (res.Sim.Openloop.makespan * unit_ns) in
   let bound =
     Check.Bound.service_check ~factor:sc.Scenario.bound_factor ~p
@@ -74,6 +96,7 @@ let run_point (sc : Scenario.t) ~p =
     max_batches_seen = res.Sim.Openloop.max_batches_seen;
     max_in_system = res.Sim.Openloop.max_in_system;
     bound;
+    trace = rtr;
   }
 
-let run sc = List.map (fun p -> run_point sc ~p) sc.Scenario.sim_p
+let run ?trace sc = List.map (fun p -> run_point ?trace sc ~p) sc.Scenario.sim_p

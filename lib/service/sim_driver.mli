@@ -19,12 +19,19 @@ type point = {
   max_batches_seen : int;  (** the open-loop Lemma-2 figure *)
   max_in_system : int;
   bound : (unit, string) result;  (** the Theorem-1 wait cross-check *)
+  trace : Obs.Reqtrace.t;
+      (** per-request spans on the virtual clock —
+          {!Obs.Reqtrace.null} unless run with [~trace:true]. Queue and
+          sched phases are structurally zero (the engine admits at
+          arrival, resumes at completion); pending/exec carry the
+          anatomy, and [batches_seen] is per-request exact. *)
 }
 
-val run_point : Scenario.t -> p:int -> point
+val run_point : ?trace:bool -> Scenario.t -> p:int -> point
 (** One sweep point: generate the scenario's request stream (fresh and
     identical for every point), route keys to shards, simulate, and
-    digest. *)
+    digest. [trace] (default false) fills the point's [trace] field
+    deterministically. *)
 
-val run : Scenario.t -> point list
+val run : ?trace:bool -> Scenario.t -> point list
 (** The full sweep, [Scenario.sim_p] in order. *)

@@ -8,6 +8,8 @@ let config ?batch_cap ~p ~shards () =
 
 type result = {
   waits : int array;
+  launch_waits : int array;
+  batches_seen : int array;
   makespan : int;
   batches : int;
   max_batch : int;
@@ -20,6 +22,7 @@ type result = {
 }
 
 type inflight = {
+  launched_at : int;
   done_at : int;
   members : int array;  (* request indices *)
 }
@@ -59,6 +62,8 @@ let run cfg ~models reqs =
   let setup_span = 2 * Par.span overhead in
   let p_share = max 1 (cfg.p / cfg.shards) in
   let waits = Array.make n 0 in
+  let launch_waits = Array.make n 0 in
+  let batches_seen = Array.make n 0 in
   let launches_at_arrival = Array.make n 0 in
   let per_shard_ops = Array.make cfg.shards 0 in
   let per_shard_span_max = Array.make cfg.shards 0 in
@@ -82,7 +87,7 @@ let run cfg ~models reqs =
         ((setup_work + bop_work + p_share - 1) / p_share)
         + setup_span + bop_span
       in
-      s.busy <- Some { done_at = now + duration; members };
+      s.busy <- Some { launched_at = now; done_at = now + duration; members };
       s.launches <- s.launches + 1;
       incr batches;
       if size > !max_batch then max_batch := size;
@@ -104,7 +109,9 @@ let run cfg ~models reqs =
         Array.iter
           (fun i ->
             waits.(i) <- b.done_at - reqs.(i).at;
+            launch_waits.(i) <- b.launched_at - reqs.(i).at;
             let seen = s.launches - launches_at_arrival.(i) in
+            batches_seen.(i) <- seen;
             if seen > !max_seen then max_seen := seen;
             decr in_system;
             incr completed)
@@ -149,6 +156,8 @@ let run cfg ~models reqs =
   done;
   {
     waits;
+    launch_waits;
+    batches_seen;
     makespan = !makespan;
     batches = !batches;
     max_batch = !max_batch;

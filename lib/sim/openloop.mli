@@ -45,6 +45,15 @@ type result = {
   waits : int array;
       (** per request (same index as the input array): completion time
           minus scheduled arrival — end-to-end, queueing included *)
+  launch_waits : int array;
+      (** per request: its batch's launch time minus scheduled arrival
+          — the pending-wait component of [waits]; the remainder
+          ([waits.(i) - launch_waits.(i)]) is the batch's execution
+          time. Feeds per-request phase anatomy ({!Obs.Reqtrace}). *)
+  batches_seen : int array;
+      (** per request: launches on its shard between arrival and
+          completion, own batch included — the per-request Lemma-2
+          figure ([max_batches_seen] is its maximum) *)
   makespan : int;  (** last batch completion *)
   batches : int;
   max_batch : int;

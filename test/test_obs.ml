@@ -687,6 +687,161 @@ let test_snapshot_jsonl () =
       in
       check "work delta" 1 (work l2 "deltas"))
 
+(* ---- request-scoped span tracing (Reqtrace) ---- *)
+
+let qcheck_reqtrace_reservoir =
+  (* The slowest-K reservoir is exact, not probabilistic: after any
+     offer stream, the merged readout is the true top-K of the stream.
+     Latencies are compared as sorted multisets (ties may resolve to
+     either token), and every returned token must map back to the
+     latency it was offered with. *)
+  QCheck.Test.make ~name:"Reqtrace reservoir equals exact top-K" ~count:300
+    QCheck.(pair (1 -- 12) (small_list (0 -- 1000)))
+    (fun (k, lats) ->
+      let n = List.length lats in
+      let rt =
+        Obs.Reqtrace.create ~k ~workers:1 ~classes:1 ~capacity:(max 1 n) ()
+      in
+      List.iteri
+        (fun i lat -> Obs.Reqtrace.offer rt ~worker:0 ~cls:0 ~token:i ~lat)
+        lats;
+      let got = Obs.Reqtrace.reservoir rt in
+      let expect =
+        List.filteri
+          (fun i _ -> i < k)
+          (List.sort (fun a b -> compare (b : int) a) lats)
+      in
+      List.map fst got = expect
+      && List.for_all (fun (lat, tok) -> List.nth lats tok = lat) got)
+
+let test_reqtrace_reservoir_concurrent () =
+  (* Per-(worker, class) segments are single-writer, so concurrent
+     offers from distinct domains need no synchronization — and must
+     lose nothing: the merged readout is still the exact top-K of the
+     union of all streams. *)
+  let workers = 4 and n_per = 5_000 and k = 16 in
+  let rt =
+    Obs.Reqtrace.create ~k ~workers ~classes:1 ~capacity:(workers * n_per) ()
+  in
+  (* Deterministic well-mixed latencies; tokens partition by domain. *)
+  let lat_of tok = tok * 2654435761 land 0x3FFFFFFF in
+  let doms =
+    List.init workers (fun w ->
+        Domain.spawn (fun () ->
+            for i = 0 to n_per - 1 do
+              let tok = (w * n_per) + i in
+              Obs.Reqtrace.offer rt ~worker:w ~cls:0 ~token:tok
+                ~lat:(lat_of tok)
+            done))
+  in
+  List.iter Domain.join doms;
+  let all = Array.init (workers * n_per) lat_of in
+  Array.sort (fun a b -> compare (b : int) a) all;
+  let expect = Array.to_list (Array.sub all 0 k) in
+  let got = Obs.Reqtrace.reservoir rt in
+  Alcotest.(check (list int)) "concurrent top-K exact" expect (List.map fst got);
+  List.iter
+    (fun (lat, tok) ->
+      check "reservoir token maps to its latency" (lat_of tok) lat)
+    got
+
+let test_reqtrace_hooks_no_alloc () =
+  (* The enabled-but-unsampled capture path must be allocation-free:
+     every hook is a handful of int-array stores plus the [@@noalloc]
+     clock read, and on_done's reservoir insert shifts plain ints.
+     sample_every is huge so no token is export-sampled — sampling
+     must not change the capture cost (it only tags the readout). *)
+  let n = 10_000 in
+  let rt =
+    Obs.Reqtrace.create ~sample_every:1_000_000 ~workers:1 ~classes:1
+      ~capacity:n ()
+  in
+  Obs.Reqtrace.on_release rt ~token:0 ~arrive_ns:1 (* warm-up *);
+  let before = Gc.minor_words () in
+  for tok = 0 to n - 1 do
+    Obs.Reqtrace.on_release rt ~token:tok ~arrive_ns:(tok + 1);
+    Obs.Reqtrace.on_start rt ~token:tok ~cls:0 ~worker:0;
+    Obs.Reqtrace.on_submit rt ~token:tok ~sid:0;
+    Obs.Reqtrace.on_publish rt ~token:tok;
+    Obs.Reqtrace.on_batch rt ~token:tok ~wait:0 ~exec:0 ~ovf:0 ~seen:1
+      ~worker:0 ~mode:0;
+    Obs.Reqtrace.on_done rt ~token:tok ~worker:0
+  done;
+  let delta = Gc.minor_words () -. before in
+  if delta > 256. then
+    Alcotest.failf "reqtrace hooks allocated %.0f minor words" delta;
+  check "all completed" n (Obs.Reqtrace.completed rt);
+  (match Obs.Reqtrace.check rt with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* The disabled instance and out-of-range tokens are free no-ops. *)
+  let before = Gc.minor_words () in
+  for tok = 0 to n - 1 do
+    Obs.Reqtrace.on_start Obs.Reqtrace.null ~token:tok ~cls:0 ~worker:0;
+    Obs.Reqtrace.on_done Obs.Reqtrace.null ~token:tok ~worker:0;
+    Obs.Reqtrace.on_start rt ~token:(-1) ~cls:0 ~worker:0;
+    Obs.Reqtrace.on_done rt ~token:(n + tok) ~worker:0
+  done;
+  let delta = Gc.minor_words () -. before in
+  if delta > 256. then
+    Alcotest.failf "null/untracked hooks allocated %.0f minor words" delta;
+  check "null completed none" 0 (Obs.Reqtrace.completed Obs.Reqtrace.null);
+  check "untracked tokens not counted" n (Obs.Reqtrace.completed rt)
+
+let test_reqtrace_sim_spans () =
+  (* record_sim is fully deterministic: phases are given, milestones
+     derived, so spans, totals and shares are exact by hand. *)
+  let rt = Obs.Reqtrace.create ~sample_every:2 ~workers:1 ~classes:3 ~capacity:4 () in
+  Obs.Reqtrace.record_sim rt ~token:0 ~cls:1 ~sid:2 ~arrive_ns:100
+    ~pending_ns:30 ~exec_ns:70 ~seen:3;
+  Obs.Reqtrace.record_sim rt ~token:1 ~cls:0 ~sid:0 ~arrive_ns:150
+    ~pending_ns:50 ~exec_ns:100 ~seen:1;
+  (* token 3 never completes; span must be None and check unaffected *)
+  (match Obs.Reqtrace.span rt 3 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "incomplete token produced a span");
+  (match Obs.Reqtrace.span rt 0 with
+  | None -> Alcotest.fail "sim span missing"
+  | Some s ->
+      check "latency" 100 s.Obs.Reqtrace.latency_ns;
+      check "queue zero on virtual clock" 0 s.Obs.Reqtrace.queue_ns;
+      check "sched_pre zero" 0 s.Obs.Reqtrace.sched_pre_ns;
+      check "pending" 30 s.Obs.Reqtrace.pending_ns;
+      check "exec" 70 s.Obs.Reqtrace.exec_ns;
+      check "sched_post residual zero" 0 s.Obs.Reqtrace.sched_post_ns;
+      check "class" 1 s.Obs.Reqtrace.cls;
+      check "sid" 2 s.Obs.Reqtrace.sid;
+      check "lemma-2 figure" 3 s.Obs.Reqtrace.batches_seen;
+      check_bool "token 0 sampled (mod 2)" true s.Obs.Reqtrace.sampled);
+  (match Obs.Reqtrace.span rt 1 with
+  | Some s -> check_bool "token 1 unsampled" false s.Obs.Reqtrace.sampled
+  | None -> Alcotest.fail "span 1 missing");
+  (match Obs.Reqtrace.check rt with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let tt = Obs.Reqtrace.totals rt in
+  check "totals n" 2 tt.Obs.Reqtrace.n;
+  check "totals latency" 250 tt.Obs.Reqtrace.t_latency;
+  check "totals pending" 80 tt.Obs.Reqtrace.t_pending;
+  check "totals exec" 170 tt.Obs.Reqtrace.t_exec;
+  let sh = Obs.Reqtrace.shares tt in
+  Alcotest.(check (float 1e-9)) "pending share" 0.32 (List.assoc "pending" sh);
+  Alcotest.(check (float 1e-9)) "exec share" 0.68 (List.assoc "exec" sh);
+  Alcotest.(check (float 1e-9))
+    "disjoint shares sum to 1" 1.0
+    (List.fold_left
+       (fun acc name -> acc +. List.assoc name sh)
+       0.0 Obs.Reqtrace.phase_names);
+  (* per-class filtering *)
+  let t1 = Obs.Reqtrace.totals ~cls:1 rt in
+  check "class filter n" 1 t1.Obs.Reqtrace.n;
+  check "class filter latency" 100 t1.Obs.Reqtrace.t_latency;
+  match Obs.Reqtrace.slowest rt with
+  | [ a; b ] ->
+      check "slowest first is worse" 150 a.Obs.Reqtrace.latency_ns;
+      check "slowest second" 100 b.Obs.Reqtrace.latency_ns
+  | l -> Alcotest.failf "expected 2 slowest spans, got %d" (List.length l)
+
 let () =
   Alcotest.run "obs"
     [
@@ -743,4 +898,14 @@ let () =
         [ Alcotest.test_case "JSONL lines and deltas" `Quick test_snapshot_jsonl ] );
       ( "runtime",
         [ Alcotest.test_case "recording smoke" `Quick test_runtime_recording_smoke ] );
+      ( "reqtrace",
+        [
+          QCheck_alcotest.to_alcotest qcheck_reqtrace_reservoir;
+          Alcotest.test_case "concurrent reservoir loses nothing" `Quick
+            test_reqtrace_reservoir_concurrent;
+          Alcotest.test_case "hooks allocation-free" `Quick
+            test_reqtrace_hooks_no_alloc;
+          Alcotest.test_case "sim spans, totals, shares" `Quick
+            test_reqtrace_sim_spans;
+        ] );
     ]

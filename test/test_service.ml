@@ -308,6 +308,81 @@ let test_rt_driver_tiny () =
     && all.Svc.Latency.p99_ns <= all.Svc.Latency.p999_ns
     && all.Svc.Latency.p999_ns <= all.Svc.Latency.max_ns)
 
+(* ---------- per-request span traces through the drivers ---------- *)
+
+(* The acceptance property of the anatomy subsystem: on a real traced
+   run, every completed span's phases sum exactly to its measured
+   latency with every term nonnegative — under every batch-path mode,
+   since each publishes/overflows differently. *)
+let test_rt_driver_trace_conservation () =
+  let sc = smoke () in
+  List.iter
+    (fun mode ->
+      let name = Runtime.Batcher_rt.mode_name mode in
+      let pt =
+        Svc.Rt_driver.run_point ~workers:2 ~duration_s:0.2 ~mode ~trace:true sc
+          ~shards:2
+      in
+      let rt = pt.Svc.Rt_driver.trace in
+      Alcotest.(check bool) (name ^ ": trace enabled") true
+        (Obs.Reqtrace.enabled rt);
+      (match Obs.Reqtrace.check rt with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: span conservation: %s" name e);
+      Alcotest.(check int)
+        (name ^ ": every request completed a span")
+        pt.Svc.Rt_driver.requests (Obs.Reqtrace.completed rt);
+      (* Aggregates inherit the per-span identity. *)
+      let tt = Obs.Reqtrace.totals rt in
+      Alcotest.(check int) (name ^ ": totals cover the run")
+        pt.Svc.Rt_driver.requests tt.Obs.Reqtrace.n;
+      Alcotest.(check int)
+        (name ^ ": phase totals sum to latency total")
+        tt.Obs.Reqtrace.t_latency
+        (tt.Obs.Reqtrace.t_queue + tt.Obs.Reqtrace.t_sched
+        + tt.Obs.Reqtrace.t_pending + tt.Obs.Reqtrace.t_exec);
+      (* The reservoir's worst latency brackets the digest's max: the
+         trace stamps completion just after the driver measures the
+         request, so it reads >= the digest figure, and by no more
+         than scheduling skew between two adjacent stamps. *)
+      let all = Svc.Latency.all_of pt.Svc.Rt_driver.classes in
+      match Obs.Reqtrace.slowest rt with
+      | worst :: _ ->
+          let w = fi worst.Obs.Reqtrace.latency_ns in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: reservoir worst %.0f ~ digest max %.0f" name w
+               all.Svc.Latency.max_ns)
+            true
+            (w >= all.Svc.Latency.max_ns
+            && w <= all.Svc.Latency.max_ns +. 100_000_000.0)
+      | [] -> Alcotest.fail (name ^ ": empty reservoir"))
+    Runtime.Batcher_rt.all_modes
+
+let test_sim_driver_trace_conservation () =
+  let sc = smoke () in
+  let pt = Svc.Sim_driver.run_point ~trace:true sc ~p:4 in
+  let rt = pt.Svc.Sim_driver.trace in
+  Alcotest.(check bool) "trace enabled" true (Obs.Reqtrace.enabled rt);
+  (match Obs.Reqtrace.check rt with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "sim span conservation: %s" e);
+  Alcotest.(check int) "every sim request has a span"
+    pt.Svc.Sim_driver.requests (Obs.Reqtrace.completed rt);
+  (* Virtual clock: no queue/sched phases, everything is pending+exec,
+     and batches_seen stays within the open-loop engine's recorded max. *)
+  let tt = Obs.Reqtrace.totals rt in
+  Alcotest.(check int) "no queue phase on the virtual clock" 0
+    tt.Obs.Reqtrace.t_queue;
+  Alcotest.(check int) "no sched phase on the virtual clock" 0
+    tt.Obs.Reqtrace.t_sched;
+  Alcotest.(check int) "pending + exec = latency" tt.Obs.Reqtrace.t_latency
+    (tt.Obs.Reqtrace.t_pending + tt.Obs.Reqtrace.t_exec);
+  (* Determinism: the traced rerun reproduces the same totals. *)
+  let pt2 = Svc.Sim_driver.run_point ~trace:true sc ~p:4 in
+  let tt2 = Obs.Reqtrace.totals pt2.Svc.Sim_driver.trace in
+  Alcotest.(check int) "deterministic trace totals" tt.Obs.Reqtrace.t_latency
+    tt2.Obs.Reqtrace.t_latency
+
 (* ---------- latency digests ---------- *)
 
 let test_latency_digest () =
@@ -318,7 +393,46 @@ let test_latency_digest () =
   let all = Svc.Latency.all_of classes in
   Alcotest.(check (float 0.5)) "p50 exact" 500.5 all.Svc.Latency.p50_ns;
   Alcotest.(check (float 0.5)) "p99 exact" 990.01 all.Svc.Latency.p99_ns;
-  Alcotest.(check (float 0.0)) "max exact" 1000.0 all.Svc.Latency.max_ns
+  Alcotest.(check (float 0.0)) "max exact" 1000.0 all.Svc.Latency.max_ns;
+  Alcotest.(check bool) "1000 samples: p999 interpolated" false
+    all.Svc.Latency.p999_approx
+
+let test_latency_p999_small_sample () =
+  (* Below 1000 samples the 99.9th percentile is interpolation noise;
+     the digest must report the observed max and flag it approximate. *)
+  let samples = Array.init 500 (fun i -> fi (i + 1)) in
+  let classes = Svc.Latency.of_samples [ ("get", samples) ] in
+  let all = Svc.Latency.all_of classes in
+  Alcotest.(check bool) "small sample flagged" true all.Svc.Latency.p999_approx;
+  Alcotest.(check (float 0.0)) "p999 = max" all.Svc.Latency.max_ns
+    all.Svc.Latency.p999_ns;
+  let get =
+    List.find (fun c -> c.Svc.Latency.cls = "get") classes
+  in
+  Alcotest.(check bool) "per-class flagged too" true
+    get.Svc.Latency.p999_approx;
+  (* At exactly 1000 the interpolated path takes over. *)
+  let big = Array.init 1000 (fun i -> fi (i + 1)) in
+  let all2 = Svc.Latency.all_of (Svc.Latency.of_samples [ ("get", big) ]) in
+  Alcotest.(check bool) "1000 samples exact" false all2.Svc.Latency.p999_approx;
+  Alcotest.(check bool) "interpolated p999 below max" true
+    (all2.Svc.Latency.p999_ns < all2.Svc.Latency.max_ns)
+
+let test_latency_empty_run () =
+  (* Zero samples anywhere must yield a well-formed all-zero "all"
+     digest — no nan, no Not_found — so empty-run reporting works. *)
+  let classes = Svc.Latency.of_samples [] in
+  Alcotest.(check int) "all digest present" 1 (List.length classes);
+  let all = Svc.Latency.all_of classes in
+  Alcotest.(check int) "zero requests" 0 all.Svc.Latency.requests;
+  Alcotest.(check bool) "approx on empty" true all.Svc.Latency.p999_approx;
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "finite zero" true (v = 0.0 && not (Float.is_nan v)))
+    [
+      all.Svc.Latency.p50_ns; all.Svc.Latency.p99_ns; all.Svc.Latency.p999_ns;
+      all.Svc.Latency.mean_ns; all.Svc.Latency.max_ns;
+    ]
 
 (* ---------- snapshot extra fields ---------- *)
 
@@ -492,9 +606,19 @@ let () =
           Alcotest.test_case "sim smoke point" `Quick test_sim_driver_smoke;
           Alcotest.test_case "runtime tiny point" `Quick test_rt_driver_tiny;
         ] );
+      ( "reqtrace",
+        [
+          Alcotest.test_case "runtime span conservation, all modes" `Quick
+            test_rt_driver_trace_conservation;
+          Alcotest.test_case "sim span conservation, deterministic" `Quick
+            test_sim_driver_trace_conservation;
+        ] );
       ( "plumbing",
         [
           Alcotest.test_case "latency digests exact" `Quick test_latency_digest;
+          Alcotest.test_case "p999 small-sample semantics" `Quick
+            test_latency_p999_small_sample;
+          Alcotest.test_case "empty run digest" `Quick test_latency_empty_run;
           Alcotest.test_case "snapshot extra fields" `Quick
             test_snapshot_extra_fields;
           Alcotest.test_case "report merge preserves" `Quick
