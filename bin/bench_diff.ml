@@ -82,11 +82,28 @@ let metric_keys =
     ("offered_req_s", true);
     ("knee_req_s", true);
     ("knee_mult", true);
+    (* Bool, never diffed numerically — a (mode, K) whose every swept
+       multiplier failed to keep up emits an explicit absent-knee row;
+       listed so the verdict stays out of the row signature.
+       --gate-knee treats a new absent knee as a trip. *)
+    ("knee_absent", false);
     ("share_queue", false);
     ("share_sched", false);
     ("share_pending", false);
     ("share_exec", true);
     ("share_ovf", false);
+    (* Causal what-if rows (CAUSAL): per-(phase, speedup) virtual-
+       speedup deltas — d_* are fractional improvements (higher is
+       better), bound_ns is the cell's Theorem-1 service budget,
+       share_predicted/divergence are the shares-vs-sensitivity
+       comparison (attribution, direction informational). *)
+    ("bound_ns", false);
+    ("d_mean", true);
+    ("d_p99", true);
+    ("d_goodput", true);
+    ("d_bound", true);
+    ("share_predicted", false);
+    ("divergence", false);
   ]
 
 let is_metric k = List.mem_assoc k metric_keys
@@ -164,6 +181,20 @@ let diff_rows id old_rows new_rows =
       | Some orow ->
           incr matched;
           Hashtbl.remove old_tbl sg;
+          (* A knee that vanished outright: every swept multiplier of
+             this (mode, K) fell short. knee_req_s is 0 on both sides
+             once the old run was also saturated (delta nan), so the
+             numeric gate alone would let a persistently saturated
+             configuration through silently. *)
+          (match !gate_knee with
+          | Some _
+            when Obs.Json.member "knee_absent" nr
+                 = Some (Obs.Json.Bool true) ->
+              knee_breaches :=
+                Printf.sprintf
+                  "%s | %s: no swept rate kept up (knee absent)" id sg
+                :: !knee_breaches
+          | _ -> ());
           let om = metrics orow and nm = metrics nr in
           List.iter
             (fun (k, new_v) ->

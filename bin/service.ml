@@ -30,6 +30,10 @@ let usage () =
     \                   (pending_array | worker_id | par_combine |\n\
     \                   atomic_list; all = head-to-head sweep over every\n\
     \                   mode; default pending_array)\n\
+    \  --causal         instead of the normal legs: run the causal\n\
+    \                   what-if grid (virtual speedups per phase) on\n\
+    \                   the selected executions and merge CAUSAL rows;\n\
+    \                   bin/causal.exe is the full-featured front end\n\
     \  --load-sweep     instead of the normal legs: sweep the runtime\n\
     \                   leg over offered-load multipliers (x0.25..x4 of\n\
     \                   rt_rate) per selected mode, find the throughput\n\
@@ -40,8 +44,8 @@ let usage () =
     \                   (default 0.25,0.5,1,2,4)\n\
     \  --quiet          print only failures and the final summary\n\
      Exit status: 0 ok, 1 a sim point escaped the Theorem-1 wait\n\
-     budget or a load-sweep point breached span conservation, 2 usage\n\
-     error."
+     budget or a load-sweep/causal point breached span conservation\n\
+     or bound evaluation, 2 usage error."
 
 let die fmt =
   Printf.ksprintf
@@ -75,6 +79,7 @@ let () =
   let out = ref "BENCH_results.json" in
   let snapshot = ref None in
   let modes = ref [ Runtime.Batcher_rt.Faa_array ] in
+  let causal = ref false in
   let load_sweep = ref false in
   let mults = ref None in
   let quiet = ref false in
@@ -126,6 +131,9 @@ let () =
            | Some m -> modes := [ m ]
            | None -> die "--mode expects a batch-path mode or all, got %S" v);
         go rest
+    | "--causal" :: rest ->
+        causal := true;
+        go rest
     | "--load-sweep" :: rest ->
         load_sweep := true;
         go rest
@@ -167,6 +175,38 @@ let () =
     | None -> sc
     | Some s -> { sc with Svc.Scenario.seed = s }
   in
+  if !causal then begin
+    (* The causal what-if grid rides on the same scenario/report
+       plumbing as the normal legs; bin/causal.exe is the
+       full-featured front end (per-leg factors, --p, --shards). *)
+    let rows = ref [] in
+    let errors = ref [] in
+    let leg r =
+      print_string (Obs.Causal.render r.Svc.Causal.profile);
+      rows := !rows @ r.Svc.Causal.rows;
+      errors := !errors @ r.Svc.Causal.errors
+    in
+    if !exec = "sim" || !exec = "both" then begin
+      if not !quiet then
+        Printf.printf "[svc] causal sim leg: %s\n%!" sc.Svc.Scenario.name;
+      leg (Svc.Causal.run_sim sc)
+    end;
+    if !exec = "runtime" || !exec = "both" then begin
+      if not !quiet then
+        Printf.printf "[svc] causal runtime leg: %s\n%!" sc.Svc.Scenario.name;
+      leg
+        (Svc.Causal.run_rt ?workers:!workers ?duration_s:!duration
+           ~mode:(List.hd !modes) sc)
+    end;
+    Svc.Report.merge_causal ~path:!out ~scenario:sc.Svc.Scenario.name !rows;
+    Printf.printf "[svc] merged %d CAUSAL rows for %s into %s\n%!"
+      (List.length !rows) sc.Svc.Scenario.name !out;
+    match !errors with
+    | [] -> exit 0
+    | fails ->
+        List.iter (fun f -> Printf.printf "[svc] FAIL causal: %s\n" f) fails;
+        exit 1
+  end;
   if !load_sweep then begin
     if not !quiet then
       Printf.printf "[svc] load sweep: %s, modes %s, base rate %.0f req/s\n%!"

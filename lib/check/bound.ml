@@ -62,7 +62,9 @@ let check ?(factor = 16.0) ~workload ~metrics () =
    it). An additive maxᵢ sᵢ covers a wait straddling a single batch.
    Same in-expectation caveat as [check]: the factor is a regression
    tripwire, not a theorem. *)
-let service_budget ~p ~total_work ~per_shard_ops ~per_shard_span ~m =
+type service_terms = { work_term : int; serial_term : int; slack : int }
+
+let service_terms ~p ~total_work ~per_shard_ops ~per_shard_span ~m =
   if Array.length per_shard_ops <> Array.length per_shard_span then
     invalid_arg "service_budget: per-shard arrays must align";
   let ns_sum = ref 0 and s_max = ref 0 in
@@ -72,7 +74,15 @@ let service_budget ~p ~total_work ~per_shard_ops ~per_shard_span ~m =
       ns_sum := !ns_sum + (n_i * s_i);
       if s_i > !s_max then s_max := s_i)
     per_shard_ops;
-  max 1 (((total_work + !ns_sum) / p) + (m * !s_max) + !s_max)
+  {
+    work_term = (total_work + !ns_sum) / p;
+    serial_term = m * !s_max;
+    slack = !s_max;
+  }
+
+let service_budget ~p ~total_work ~per_shard_ops ~per_shard_span ~m =
+  let t = service_terms ~p ~total_work ~per_shard_ops ~per_shard_span ~m in
+  max 1 (t.work_term + t.serial_term + t.slack)
 
 let service_check ?(factor = 4.0) ~p ~wait_max ~total_work ~per_shard_ops
     ~per_shard_span ~m () =

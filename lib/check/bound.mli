@@ -44,6 +44,25 @@ val check :
 (** [Error] when makespan exceeds [factor] (default 16.0) times
     {!theorem1}, with a description naming both sides. *)
 
+type service_terms = {
+  work_term : int;  (** (W + Σᵢ nᵢ·sᵢ)/P — the throughput-bound term *)
+  serial_term : int;  (** m·maxᵢ sᵢ — the serialization-bound term *)
+  slack : int;  (** the additive maxᵢ sᵢ straddling-batch allowance *)
+}
+
+val service_terms :
+  p:int ->
+  total_work:int ->
+  per_shard_ops:int array ->
+  per_shard_span:int array ->
+  m:int ->
+  service_terms
+(** The {!service_budget} expression split into its terms, for
+    dominant-term analysis (the causal profiler compares which term
+    dominates against which phase measurably matters: work-family
+    phases move [work_term], span-family phases move both
+    span-carrying terms). *)
+
 val service_budget :
   p:int ->
   total_work:int ->

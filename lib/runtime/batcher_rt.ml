@@ -101,6 +101,45 @@ let mode_code = function
 
 let all_modes = [ Faa_array; Worker_id; Par_combine; Atomic_list ]
 
+(* Calibrated delay injection for causal profiling (DESIGN.md §15).
+   A virtual speedup of phase X by factor f is produced by slowing
+   every *other* phase by f and renormalizing (the Coz construction);
+   these are therefore slow-down factors, each >= 1. Injection is
+   self-calibrating: at each site the segment's own duration dt is
+   measured on the monotonic clock and the site then busy-waits
+   (f - 1)·dt, so no per-machine pre-calibration pass is needed and
+   the delay automatically tracks batch size, store, and mode.
+
+   Sites: [slow_submit] stretches the publication path inside
+   [batchify]'s suspension callback (record reachable -> launch
+   attempt); [slow_setup] stretches LAUNCHBATCH overhead — working-set
+   assembly before the launch stamp and the stamp/resume epilogue
+   before the flag release (the paper's setup + cleanup stages);
+   [slow_bop] stretches the BOP body itself, inside the exec phase.
+   All stamps the Reqtrace/health layers take are real clock readings
+   around the injected spins, so span conservation
+   ([Obs.Reqtrace.check]) holds on injected runs by construction. *)
+type inject = {
+  slow_submit : float;
+  slow_setup : float;
+  slow_bop : float;
+}
+
+let no_inject = { slow_submit = 1.0; slow_setup = 1.0; slow_bop = 1.0 }
+
+let spin_until_ns deadline =
+  while Obs.Clock.now_ns () < deadline do
+    Domain.cpu_relax ()
+  done
+
+(* Busy-wait (factor - 1) times the elapsed ns since [t0]. *)
+let[@inline never] inject_tail factor t0 =
+  if factor > 1.0 then begin
+    let now = Obs.Clock.now_ns () in
+    let extra = int_of_float ((factor -. 1.0) *. float_of_int (now - t0)) in
+    if extra > 0 then spin_until_ns (now + extra)
+  end
+
 (* Submission state (DESIGN.md §8 for the FAA array, §13 for the rest).
 
    The array modes share a slot array — [batch_cap] slots claimed by
@@ -149,6 +188,10 @@ type ('s, 'op) t = {
   hl : Obs.Health.t;  (* the pool's health instance (null when off) *)
   inv : Obs.Invariants.t;  (* online invariant checkers (null when off) *)
   rt : Obs.Reqtrace.t;  (* request-scoped span capture (null when off) *)
+  inj : inject;  (* causal-profiling delay factors ([no_inject] = off) *)
+  (* One predictable branch on the hot paths: false compiles the
+     injection sites down to the pre-causal zero-cost path. *)
+  injecting : bool;
   (* Whether op/batch records carry time stamps: true when any of the
      recorder, health, or invariant layers consume them. Stamps use the
      recorder's relative clock when it is enabled, raw monotonic ns
@@ -206,7 +249,8 @@ type stats = {
 }
 
 let create ?batch_cap ?(mode = Faa_array) ?(sid = 0) ?invariants
-    ?(reqtrace = Obs.Reqtrace.null) ~pool ~state ~run_batch () =
+    ?(reqtrace = Obs.Reqtrace.null) ?(inject = no_inject) ~pool ~state
+    ~run_batch () =
   let cap =
     match batch_cap with
     | Some c ->
@@ -214,6 +258,17 @@ let create ?batch_cap ?(mode = Faa_array) ?(sid = 0) ?invariants
         c
     | None -> Pool.num_workers pool
   in
+  List.iter
+    (fun (name, f) ->
+      if Float.is_nan f || f < 1.0 then
+        invalid_arg
+          (Printf.sprintf "Batcher_rt.create: inject %s must be >= 1, got %g"
+             name f))
+    [
+      ("slow_submit", inject.slow_submit);
+      ("slow_setup", inject.slow_setup);
+      ("slow_bop", inject.slow_bop);
+    ];
   let rc = Pool.recorder pool in
   let hl = Pool.health pool in
   let inv =
@@ -238,6 +293,8 @@ let create ?batch_cap ?(mode = Faa_array) ?(sid = 0) ?invariants
     hl;
     inv;
     rt = reqtrace;
+    inj = inject;
+    injecting = inject <> no_inject;
     timed =
       Obs.Recorder.enabled rc || Obs.Health.enabled hl
       || Obs.Invariants.active inv
@@ -293,7 +350,9 @@ let run_launched t ~len ~get ~relaunch () =
      assembly and record resumption are LAUNCHBATCH overhead (n·s(n)),
      the BOP body itself is batch work (W(n)). *)
   if observed then Pool.set_work_class t.pool Obs.Recorder.Wsetup;
+  let t0_setup = if t.injecting then Obs.Clock.now_ns () else 0 in
   let arr = Array.init len (fun i -> (get i).op) in
+  if t.injecting then inject_tail t.inj.slow_setup t0_setup;
   Atomic.incr t.launches;
   let me = match Pool.worker_index () with Some w -> w | None -> 0 in
   let t_start = if t.timed then stamp t else 0 in
@@ -304,8 +363,11 @@ let run_launched t ~len ~get ~relaunch () =
     ~size:len ~cap:t.batch_cap;
   Obs.Health.batch_collected t.hl ~sid:t.sid ~size:len;
   if observed then Pool.set_work_class t.pool Obs.Recorder.Wbatch;
+  let t0_bop = if t.injecting then Obs.Clock.now_ns () else 0 in
   t.run_batch t.pool t.st arr;
+  if t.injecting then inject_tail t.inj.slow_bop t0_bop;
   if observed then Pool.set_work_class t.pool Obs.Recorder.Wsetup;
+  let t0_cleanup = if t.injecting then Obs.Clock.now_ns () else 0 in
   let done_time = if t.timed then stamp t else 0 in
   if t.timed then begin
     let done_launches = Atomic.get t.launches in
@@ -340,6 +402,10 @@ let run_launched t ~len ~get ~relaunch () =
   for i = 0 to len - 1 do
     (get i).resume ()
   done;
+  (* Cleanup half of the setup injection: stretching the stamp/resume
+     epilogue extends flag occupancy, which is exactly what a slower
+     LAUNCHBATCH cleanup stage would cost the next batch. *)
+  if t.injecting then inject_tail t.inj.slow_setup t0_cleanup;
   Atomic.set t.flag false;
   relaunch t
 
@@ -591,7 +657,9 @@ and run_combined t =
   let observed = Obs.Recorder.enabled t.rc in
   if observed then Pool.set_work_class t.pool Obs.Recorder.Wsetup;
   let buf = t.batch_buf in
+  let t0_setup = if t.injecting then Obs.Clock.now_ns () else 0 in
   let arr = Array.init len (fun i -> buf.(i).op) in
+  if t.injecting then inject_tail t.inj.slow_setup t0_setup;
   Atomic.incr t.launches;
   let me = match Pool.worker_index () with Some w -> w | None -> 0 in
   let t_start = if t.timed then stamp t else 0 in
@@ -607,7 +675,12 @@ and run_combined t =
      handler parks the rest of this function as a continuation and the
      submitter's callback returns — the flag stays held until the
      continuation finishes, exactly as with an async batch task. *)
+  let t0_bop = if t.injecting then Obs.Clock.now_ns () else 0 in
   t.run_batch t.pool t.st arr;
+  (* Par_combine injects assembly + BOP; the epilogue is fanned out
+     across recruited helpers, so its cleanup half is not stretched
+     here (run_sub stays injection-free). *)
+  if t.injecting then inject_tail t.inj.slow_bop t0_bop;
   if observed then Pool.set_work_class t.pool Obs.Recorder.Wsetup;
   c.c_start <- t_start;
   c.c_done <- (if t.timed then stamp t else 0);
@@ -689,6 +762,7 @@ let batchify ?(token = -1) t op =
   Obs.Health.op_issued t.hl ~sid:t.sid;
   Pool.suspend t.pool (fun resume ->
       r.resume <- resume;
+      let t0_submit = if t.injecting then Obs.Clock.now_ns () else 0 in
       (match t.mode with
       | Faa_array -> submit_array t r
       | Worker_id | Par_combine -> submit_worker t r
@@ -696,6 +770,10 @@ let batchify ?(token = -1) t op =
           atomic_push t r;
           (* the cons stack is the pending set: publication is the push *)
           Obs.Reqtrace.on_publish t.rt ~token:r.token);
+      (* Submit-path injection: stretch the publication segment before
+         the launch attempt — the record is already reachable, so the
+         delay models a slower submission protocol, not a lost op. *)
+      if t.injecting then inject_tail t.inj.slow_submit t0_submit;
       try_launch t);
   (* Control is back: the batch containing the op has completed. The
      continuation may run on a different worker than the issuer — emit

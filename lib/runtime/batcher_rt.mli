@@ -71,12 +71,36 @@ val mode_code : mode -> int
 val all_modes : mode list
 (** All four, in [mode_code] order. *)
 
+type inject = {
+  slow_submit : float;
+      (** stretch the publication segment of {!batchify} (record
+          reachable → launch attempt) by this factor *)
+  slow_setup : float;
+      (** stretch LAUNCHBATCH overhead: working-set assembly before
+          the launch stamp, and (pool-executed modes) the stamp/resume
+          epilogue before the flag release *)
+  slow_bop : float;  (** stretch the BOP body itself *)
+}
+(** Calibrated delay injection for causal profiling (DESIGN.md §15):
+    a virtual speedup of phase X by f = every {e other} phase slowed
+    by f, then measurements renormalized by the driver. Each factor is
+    a slow-down, ≥ 1. Injection is self-calibrating — each site
+    measures its own segment's duration dt on the monotonic clock and
+    busy-waits (f−1)·dt — so the delay tracks batch size, store, and
+    mode with no pre-calibration pass. {!Obs.Reqtrace} span
+    conservation holds on injected runs: every stamp is a real clock
+    reading taken around the spins. *)
+
+val no_inject : inject
+(** All factors 1.0 — compiled to the zero-cost path. *)
+
 val create :
   ?batch_cap:int ->
   ?mode:mode ->
   ?sid:int ->
   ?invariants:Obs.Invariants.t ->
   ?reqtrace:Obs.Reqtrace.t ->
+  ?inject:inject ->
   pool:Pool.t ->
   state:'s ->
   run_batch:(Pool.t -> 's -> 'op array -> unit) ->
@@ -84,6 +108,11 @@ val create :
   ('s, 'op) t
 (** [batch_cap] defaults to the pool's worker count (Invariant 2);
     [mode] defaults to {!Faa_array}.
+
+    [inject] (default {!no_inject}) attaches causal-profiling delay
+    factors; factors must be ≥ 1 ([Invalid_argument] otherwise). With
+    the default the hot paths compile to the pre-causal zero-cost
+    shape — one always-false branch per site.
 
     [invariants] attaches online checkers ({!Obs.Invariants}): every
     submit/launch/completion of this structure feeds the Invariant

@@ -13,15 +13,15 @@ type ('s, 'op) t = {
   batchers : ('s, 'op) Batcher_rt.t array;
 }
 
-let create ?batch_cap ?mode ?(sid_base = 0) ?invariants ?reqtrace ~pool
-    ~shards ~state ~run_batch () =
+let create ?batch_cap ?mode ?(sid_base = 0) ?invariants ?reqtrace ?inject
+    ~pool ~shards ~state ~run_batch () =
   if shards < 1 then invalid_arg "Shard_rt.create: shards >= 1";
   {
     pool;
     batchers =
       Array.init shards (fun i ->
           Batcher_rt.create ?batch_cap ?mode ~sid:(sid_base + i) ?invariants
-            ?reqtrace ~pool ~state:(state i) ~run_batch ());
+            ?reqtrace ?inject ~pool ~state:(state i) ~run_batch ());
   }
 
 let shards t = Array.length t.batchers

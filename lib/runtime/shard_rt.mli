@@ -26,6 +26,7 @@ val create :
   ?sid_base:int ->
   ?invariants:Obs.Invariants.t ->
   ?reqtrace:Obs.Reqtrace.t ->
+  ?inject:Batcher_rt.inject ->
   pool:Pool.t ->
   shards:int ->
   state:(int -> 's) ->
@@ -42,7 +43,9 @@ val create :
     (default base 0). When the pool carries a health instance or
     recorder, it must cover [sid_base + shards] structures.
     [reqtrace] (default {!Obs.Reqtrace.null}) attaches request-scoped
-    span capture to every shard; see {!Batcher_rt.create}. *)
+    span capture to every shard; see {!Batcher_rt.create}.
+    [inject] (default {!Batcher_rt.no_inject}) applies causal-profiling
+    delay factors to every shard's batch path. *)
 
 val shards : ('s, 'op) t -> int
 val pool : ('s, 'op) t -> Pool.t

@@ -158,3 +158,10 @@ let merge_svc_load ~path ~scenario new_rows =
       "SVC_LOAD — latency vs offered load: rate-multiplier sweep with \
        per-phase attribution and the throughput knee"
     ~scenario new_rows
+
+let merge_causal ~path ~scenario new_rows =
+  merge_experiment ~path ~id:"CAUSAL"
+    ~title:
+      "CAUSAL — what-if profile: virtual speedups per phase, measured \
+       sensitivity vs phase share vs Theorem-1 bound"
+    ~scenario new_rows

@@ -24,6 +24,11 @@ val merge_svc_load : path:string -> scenario:string -> Obs.Json.t list -> unit
 (** Same merge discipline for the ["SVC_LOAD"] experiment (the
     offered-load knee sweep, {!Sweep}). *)
 
+val merge_causal : path:string -> scenario:string -> Obs.Json.t list -> unit
+(** Same merge discipline for the ["CAUSAL"] experiment (the what-if
+    profile, {!Causal}). Rows of both legs for one scenario should be
+    merged in a single call — the merge replaces the whole scenario. *)
+
 val merge_experiment :
   path:string ->
   id:string ->

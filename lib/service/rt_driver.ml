@@ -39,8 +39,8 @@ let dispatch_loop ~t0 ~schedule ~release =
   done
 
 let run_point ?workers ?snapshot_path ?duration_s
-    ?(mode = Runtime.Batcher_rt.Faa_array) ?(trace = false) (sc : Scenario.t)
-    ~shards =
+    ?(mode = Runtime.Batcher_rt.Faa_array) ?(trace = false) ?inject
+    (sc : Scenario.t) ~shards =
   let (module S : Store.STORE) = sc.Scenario.store in
   (* The dispatcher owns worker 0 for the whole run, so serving needs
      at least one more worker. *)
@@ -79,7 +79,7 @@ let run_point ?workers ?snapshot_path ?duration_s
     (fun i st -> S.prepopulate st ~shards ~shard:i ~n_keys)
     stores;
   let srt =
-    Runtime.Shard_rt.create ~mode ~reqtrace:rtr ~pool ~shards
+    Runtime.Shard_rt.create ~mode ~reqtrace:rtr ?inject ~pool ~shards
       ~state:(fun i -> stores.(i))
       ~run_batch:S.run_batch ()
   in
@@ -212,8 +212,9 @@ let run_point ?workers ?snapshot_path ?duration_s
     trace = rtr;
   }
 
-let run ?workers ?snapshot_path ?duration_s ?mode ?trace sc =
+let run ?workers ?snapshot_path ?duration_s ?mode ?trace ?inject sc =
   List.map
     (fun shards ->
-      run_point ?workers ?snapshot_path ?duration_s ?mode ?trace sc ~shards)
+      run_point ?workers ?snapshot_path ?duration_s ?mode ?trace ?inject sc
+        ~shards)
     sc.Scenario.rt_shards

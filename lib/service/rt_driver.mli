@@ -34,6 +34,7 @@ val run_point :
   ?duration_s:float ->
   ?mode:Runtime.Batcher_rt.mode ->
   ?trace:bool ->
+  ?inject:Runtime.Batcher_rt.inject ->
   Scenario.t ->
   shards:int ->
   point
@@ -49,11 +50,17 @@ val run_point :
     {!Obs.Reqtrace} instance (token = schedule index), returned in the
     point's [trace] field: release/start/submit milestones, the
     batcher's publication-or-overflow and wait/exec deltas, and the
-    slowest-K reservoir per op class. *)
+    slowest-K reservoir per op class.
+
+    [inject] (default off) applies {!Runtime.Batcher_rt.inject}
+    causal-profiling delay factors to every shard's batch path; the
+    causal driver ([Svc.Causal]) uses it for the runtime leg's virtual
+    speedups. *)
 
 val run :
   ?workers:int -> ?snapshot_path:string -> ?duration_s:float ->
   ?mode:Runtime.Batcher_rt.mode -> ?trace:bool ->
+  ?inject:Runtime.Batcher_rt.inject ->
   Scenario.t -> point list
 (** The full K-sweep, [Scenario.rt_shards] in order. The snapshot file
     (when given) is truncated per point — last point wins. *)

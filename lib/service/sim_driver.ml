@@ -10,12 +10,15 @@ type point = {
   max_batches_seen : int;
   max_in_system : int;
   bound : (unit, string) result;
+  bound_budget_ns : float;
+  bound_terms : Check.Bound.service_terms;
   trace : Obs.Reqtrace.t;
 }
 
 let class_of_index = [| Gen.Get; Gen.Put; Gen.Delete; Gen.Range |]
 
-let run_point ?(trace = false) (sc : Scenario.t) ~p =
+let run_point ?(trace = false) ?(costs = Sim.Costs.identity) (sc : Scenario.t)
+    ~p =
   let (module S : Store.STORE) = sc.Scenario.store in
   let shards = sc.Scenario.sim_shards in
   let unit_ns = sc.Scenario.sim_ns_per_unit in
@@ -38,7 +41,7 @@ let run_point ?(trace = false) (sc : Scenario.t) ~p =
     Array.init shards (fun i -> S.model ~n_keys:sc.Scenario.n_keys ~shards i)
   in
   let cfg = Sim.Openloop.config ~p ~shards () in
-  let res = Sim.Openloop.run cfg ~models olreqs in
+  let res = Sim.Openloop.run ~costs cfg ~models olreqs in
   let n = Array.length res.Sim.Openloop.waits in
   let per_class = Array.make Gen.n_classes [] in
   let wait_max = ref 0 in
@@ -84,6 +87,24 @@ let run_point ?(trace = false) (sc : Scenario.t) ~p =
       ~per_shard_span:res.Sim.Openloop.per_shard_span_max
       ~m:res.Sim.Openloop.max_batches_seen ()
   in
+  (* The same bound terms the check uses, exposed for the causal
+     profiler: each what-if cell re-evaluates the budget on its own
+     measured quantities, so measured-vs-bound sensitivity can be
+     compared cell by cell. *)
+  let bound_terms =
+    Check.Bound.service_terms ~p ~total_work:res.Sim.Openloop.total_work
+      ~per_shard_ops:res.Sim.Openloop.per_shard_ops
+      ~per_shard_span:res.Sim.Openloop.per_shard_span_max
+      ~m:res.Sim.Openloop.max_batches_seen
+  in
+  let bound_budget_ns =
+    float_of_int
+      (Check.Bound.service_budget ~p ~total_work:res.Sim.Openloop.total_work
+         ~per_shard_ops:res.Sim.Openloop.per_shard_ops
+         ~per_shard_span:res.Sim.Openloop.per_shard_span_max
+         ~m:res.Sim.Openloop.max_batches_seen
+      * unit_ns)
+  in
   {
     p;
     shards;
@@ -96,6 +117,8 @@ let run_point ?(trace = false) (sc : Scenario.t) ~p =
     max_batches_seen = res.Sim.Openloop.max_batches_seen;
     max_in_system = res.Sim.Openloop.max_in_system;
     bound;
+    bound_budget_ns;
+    bound_terms;
     trace = rtr;
   }
 

@@ -19,6 +19,13 @@ type point = {
   max_batches_seen : int;  (** the open-loop Lemma-2 figure *)
   max_in_system : int;
   bound : (unit, string) result;  (** the Theorem-1 wait cross-check *)
+  bound_budget_ns : float;
+      (** {!Check.Bound.service_budget} on this run's own measured
+          terms, in virtual-clock ns — the analytic per-request wait
+          budget the causal profiler diffs cell by cell *)
+  bound_terms : Check.Bound.service_terms;
+      (** the budget split into work / serialization / slack terms,
+          for dominant-term analysis *)
   trace : Obs.Reqtrace.t;
       (** per-request spans on the virtual clock —
           {!Obs.Reqtrace.null} unless run with [~trace:true]. Queue and
@@ -27,11 +34,15 @@ type point = {
           anatomy, and [batches_seen] is per-request exact. *)
 }
 
-val run_point : ?trace:bool -> Scenario.t -> p:int -> point
+val run_point :
+  ?trace:bool -> ?costs:Sim.Costs.t -> Scenario.t -> p:int -> point
 (** One sweep point: generate the scenario's request stream (fresh and
     identical for every point), route keys to shards, simulate, and
     digest. [trace] (default false) fills the point's [trace] field
-    deterministically. *)
+    deterministically. [costs] (default identity) applies what-if
+    per-phase cost scaling ({!Sim.Costs}) — the causal profiler's sim
+    leg; the request array is untouched, so two runs with equal costs
+    are byte-identical. *)
 
 val run : ?trace:bool -> Scenario.t -> point list
 (** The full sweep, [Scenario.sim_p] in order. *)

@@ -30,6 +30,7 @@ type knee = {
   k_shards : int;
   knee_req_s : float;  (* 0.0 when no swept point kept up *)
   knee_mult : float;
+  k_absent : bool;  (* no swept multiplier kept up at all *)
 }
 
 type t = {
@@ -43,6 +44,53 @@ let default_mults = [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
 
 let scale (sc : Scenario.t) mult =
   { sc with Scenario.rt_rate = sc.Scenario.rt_rate *. mult }
+
+(* Knee extraction is pure over the measured points so the absent-knee
+   contract (a (mode, K) whose every swept multiplier failed to keep
+   up yields an explicit [k_absent] knee, never a silent omission) is
+   unit-testable without timed runs. *)
+let knees_of_points ~modes ~shards points =
+  List.concat_map
+    (fun mode ->
+      List.map
+        (fun k ->
+          let mine =
+            List.filter (fun p -> p.mode = mode && p.shards = k) points
+          in
+          let keeping =
+            List.filter
+              (fun p ->
+                p.offered_req_s > 0.0
+                && p.pt.Rt_driver.goodput /. p.offered_req_s >= knee_threshold)
+              mine
+          in
+          let best =
+            List.fold_left
+              (fun acc p ->
+                match acc with
+                | Some b when b.offered_req_s >= p.offered_req_s -> acc
+                | _ -> Some p)
+              None keeping
+          in
+          match best with
+          | Some p ->
+              {
+                k_mode = mode;
+                k_shards = k;
+                knee_req_s = p.offered_req_s;
+                knee_mult = p.mult;
+                k_absent = false;
+              }
+          | None ->
+              {
+                k_mode = mode;
+                k_shards = k;
+                knee_req_s = 0.0;
+                knee_mult = 0.0;
+                k_absent = true;
+              })
+        shards)
+    modes
 
 let run ?(mults = default_mults) ?(modes = [ Runtime.Batcher_rt.Faa_array ])
     ?shards ?workers ?duration_s (sc : Scenario.t) =
@@ -87,43 +135,7 @@ let run ?(mults = default_mults) ?(modes = [ Runtime.Batcher_rt.Faa_array ])
           shards)
       modes
   in
-  let knees =
-    List.concat_map
-      (fun mode ->
-        List.map
-          (fun k ->
-            let mine =
-              List.filter (fun p -> p.mode = mode && p.shards = k) points
-            in
-            let keeping =
-              List.filter
-                (fun p ->
-                  p.offered_req_s > 0.0
-                  && p.pt.Rt_driver.goodput /. p.offered_req_s
-                     >= knee_threshold)
-                mine
-            in
-            let best =
-              List.fold_left
-                (fun acc p ->
-                  match acc with
-                  | Some b when b.offered_req_s >= p.offered_req_s -> acc
-                  | _ -> Some p)
-                None keeping
-            in
-            match best with
-            | Some p ->
-                {
-                  k_mode = mode;
-                  k_shards = k;
-                  knee_req_s = p.offered_req_s;
-                  knee_mult = p.mult;
-                }
-            | None ->
-                { k_mode = mode; k_shards = k; knee_req_s = 0.0; knee_mult = 0.0 })
-          shards)
-      modes
-  in
+  let knees = knees_of_points ~modes ~shards points in
   { scenario = sc; points; knees }
 
 (* SVC_LOAD rows. Identity fields: exec/scenario/store/p/shards/mode/
@@ -178,6 +190,7 @@ let rows t =
           [
             ("knee_req_s", Obs.Json.Float kn.knee_req_s);
             ("knee_mult", Obs.Json.Float kn.knee_mult);
+            ("knee_absent", Obs.Json.Bool kn.k_absent);
           ])
       t.knees
   in

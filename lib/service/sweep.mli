@@ -28,6 +28,12 @@ type knee = {
           {!knee_threshold} of offered; 0.0 when even the lowest point
           fell short *)
   knee_mult : float;  (** the multiplier of that point (0.0 likewise) *)
+  k_absent : bool;
+      (** true when {e no} swept multiplier kept up — the knee row is
+          still emitted (with [knee_absent] true) so a saturated
+          configuration shows up as an explicit verdict rather than a
+          silently missing row, and [--gate-knee] in
+          [bin/bench_diff.exe] treats it as a trip *)
 }
 
 type t = {
@@ -41,6 +47,21 @@ val knee_threshold : float
     knee the ratio sits at ~1 (open-loop, the dispatcher releases on
     schedule); past saturation it falls off sharply, so the exact
     threshold barely moves the knee. *)
+
+val scale : Scenario.t -> float -> Scenario.t
+(** [scale sc mult] is [sc] with its open-loop arrival rate multiplied
+    by [mult] — the per-point transform of the sweep grid, exported
+    for other rate-stretching experiments ([Svc.Causal]'s runtime leg
+    dilates arrivals by 1/f). *)
+
+val knees_of_points :
+  modes:Runtime.Batcher_rt.mode list ->
+  shards:int list ->
+  point list ->
+  knee list
+(** Pure knee extraction over measured points, one knee per
+    (mode, K) in the given order — including an explicit [k_absent]
+    knee for a pair whose every point failed {!knee_threshold}. *)
 
 val default_mults : float list
 (** [0.25; 0.5; 1.0; 2.0; 4.0] — spans comfortable to past-saturation
@@ -63,6 +84,7 @@ val rows : t -> Obs.Json.t list
 (** [SVC_LOAD] rows for BENCH_results.json: one ["all"] row per grid
     point (identity: scenario/store/mode/shards/mult; metrics:
     offered_req_s, goodput, latency digest, share_* phase shares) and
-    one ["knee"] row per (mode, K) carrying [knee_req_s] — the
-    [--gate-knee] handle in [bin/bench_diff.exe]. Merge with
+    one ["knee"] row per (mode, K) carrying [knee_req_s] and
+    [knee_absent] — the [--gate-knee] handles in
+    [bin/bench_diff.exe]. Merge with
     {!Report.merge_svc_load}. *)

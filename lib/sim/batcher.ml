@@ -84,6 +84,7 @@ type batch = {
 
 type state = {
   cfg : config;
+  costs : Costs.t;  (* what-if cost scaling; Costs.identity = off *)
   workload : Workload.t;
   core_inst : inst;
   workers : worker array;
@@ -311,6 +312,10 @@ let launch st w =
   in
   let bop = st.workload.Workload.models.(sid).Batched.Model.batch_cost ops in
   let bop = if cfg.sequential_batches then Par.leaf (Par.work bop) else bop in
+  (* What-if scaling (Costs): in the DAG world work and span are
+     coupled, so scaling the BOP's leaf costs scales both together;
+     the identity factor returns the tree unchanged. *)
+  let bop = Par.scale_costs ~factor:st.costs.Costs.bop_work bop in
   st.batch_details <-
     {
       Metrics.bd_sid = sid;
@@ -320,8 +325,9 @@ let launch st w =
     }
     :: st.batch_details;
   let overhead () =
-    if cfg.sequential_batches then Par.leaf cfg.p
-    else Par.balanced ~leaf_cost:(fun _ -> 1) cfg.p
+    Par.scale_costs ~factor:st.costs.Costs.setup_work
+      (if cfg.sequential_batches then Par.leaf cfg.p
+       else Par.balanced ~leaf_cost:(fun _ -> 1) cfg.p)
   in
   let b = Dag.Build.create () in
   let pre =
@@ -501,9 +507,10 @@ let step_worker st w =
   | Some _ -> exec_unit st w
   | None -> if w.status = Free then acquire_free st w else acquire_trapped st w
 
-let run_internal ~tracing ~recorder ~invariants cfg workload =
+let run_internal ~tracing ~costs ~recorder ~invariants cfg workload =
   if cfg.p < 1 then invalid_arg "Batcher.run: p >= 1";
   if cfg.batch_cap < 1 then invalid_arg "Batcher.run: batch_cap >= 1";
+  Costs.check costs;
   if
     Obs.Recorder.enabled recorder
     && (Obs.Recorder.clock recorder <> Obs.Recorder.Timesteps
@@ -536,6 +543,7 @@ let run_internal ~tracing ~recorder ~invariants cfg workload =
   let st =
     {
       cfg;
+      costs;
       workload;
       core_inst;
       workers;
@@ -604,10 +612,10 @@ let run_internal ~tracing ~recorder ~invariants cfg workload =
   },
   List.rev st.trace
 
-let run ?(recorder = Obs.Recorder.null) ?(invariants = Obs.Invariants.null) cfg
-    workload =
-  fst (run_internal ~tracing:false ~recorder ~invariants cfg workload)
-
-let run_traced ?(recorder = Obs.Recorder.null)
+let run ?(costs = Costs.identity) ?(recorder = Obs.Recorder.null)
     ?(invariants = Obs.Invariants.null) cfg workload =
-  run_internal ~tracing:true ~recorder ~invariants cfg workload
+  fst (run_internal ~tracing:false ~costs ~recorder ~invariants cfg workload)
+
+let run_traced ?(costs = Costs.identity) ?(recorder = Obs.Recorder.null)
+    ?(invariants = Obs.Invariants.null) cfg workload =
+  run_internal ~tracing:true ~costs ~recorder ~invariants cfg workload

@@ -58,6 +58,7 @@ val default : p:int -> config
     batches, invariant checks on, seed 1. *)
 
 val run :
+  ?costs:Costs.t ->
   ?recorder:Obs.Recorder.t ->
   ?invariants:Obs.Invariants.t ->
   config ->
@@ -66,6 +67,14 @@ val run :
 (** Simulate the workload to completion. The workload's models are
     [reset] before the run. Raises [Failure] on invariant violation or
     if [max_steps] is exceeded.
+
+    [costs] (default {!Costs.identity}) applies what-if cost scaling
+    for causal profiling: [bop_work] scales the leaf costs of every
+    BOP [Par] tree and [setup_work] those of the LAUNCHBATCH overhead
+    stages (work and span scale together — they are coupled in a real
+    DAG; the span-only/sched/p_share knobs act in {!Openloop}, where
+    the Brent terms are separable). Identity reproduces the unscaled
+    run byte-for-byte.
 
     [recorder] (default {!Obs.Recorder.null}, i.e. off) captures the
     observability event stream — worker status transitions, steal
@@ -86,6 +95,7 @@ val run :
     [lemma2_bound] accordingly. *)
 
 val run_traced :
+  ?costs:Costs.t ->
   ?recorder:Obs.Recorder.t ->
   ?invariants:Obs.Invariants.t ->
   config ->

@@ -36,10 +36,16 @@ type config = {
   p : int;  (** workers *)
   shards : int;
   batch_cap : int;  (** records per launch; the paper's cap is [p] *)
+  sched_delay : int;
+      (** cost units between a launch decision and the first setup
+          node — the sim-side stand-in for the runtime's sched phase.
+          Default 0 (the engine's admission is immediate); nonzero
+          only for ablations and what-if runs ({!Costs}). *)
 }
 
-val config : ?batch_cap:int -> p:int -> shards:int -> unit -> config
-(** [batch_cap] defaults to [p] (Invariant 2). *)
+val config :
+  ?batch_cap:int -> ?sched_delay:int -> p:int -> shards:int -> unit -> config
+(** [batch_cap] defaults to [p] (Invariant 2); [sched_delay] to 0. *)
 
 type result = {
   waits : int array;
@@ -72,10 +78,19 @@ type result = {
   max_in_system : int;  (** peak arrived-but-not-completed count *)
 }
 
-val run : config -> models:Batched.Model.t array -> req array -> result
+val run :
+  ?costs:Costs.t -> config -> models:Batched.Model.t array -> req array ->
+  result
 (** Simulate to completion (the arrival process is finite; every
     request is eventually served). [models.(i)] is shard [i]'s cost
     model ([Array.length models = shards]); models are [reset] before
     the run. The request array need not be sorted; it is processed in
     arrival order. Raises [Invalid_argument] on a request with a shard
-    out of range or a negative arrival time. *)
+    out of range or a negative arrival time.
+
+    [costs] (default {!Costs.identity}) applies per-phase what-if
+    scale factors — BOP work/span, LAUNCHBATCH setup work/span, the
+    dispatch delay, and the per-shard worker share — for causal
+    profiling; under the identity record the run is byte-identical to
+    one without the plumbing. Raises [Invalid_argument] on
+    non-positive factors. *)

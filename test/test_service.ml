@@ -243,6 +243,50 @@ let test_openloop_sanity () =
   Alcotest.(check bool) "P=64 makespan <= P=4" true
     (r64.Sim.Openloop.makespan <= r.Sim.Openloop.makespan)
 
+(* The what-if cost knobs that only Openloop honors: sched delay and
+   its multiplier, and the per-shard worker share. Every assertion is
+   exact — same request array, virtual clock. *)
+let test_openloop_costs () =
+  let olreqs, models = openloop_fixture () in
+  let run ?costs ?sched_delay ~p () =
+    Sim.Openloop.run ?costs
+      (Sim.Openloop.config ?sched_delay ~p ~shards:2 ())
+      ~models olreqs
+  in
+  let total r = Array.fold_left ( + ) 0 r.Sim.Openloop.waits in
+  let base = run ~p:8 () in
+  (* A virtual BOP speedup strictly helps a loaded system... *)
+  let fast =
+    run ~costs:{ Sim.Costs.identity with Sim.Costs.bop_work = 0.5 } ~p:8 ()
+  in
+  Alcotest.(check bool) "bop /2 cuts total wait" true (total fast < total base);
+  (* ...and a span-only speedup never hurts. *)
+  let fast_span =
+    run ~costs:{ Sim.Costs.identity with Sim.Costs.bop_span = 0.5 } ~p:8 ()
+  in
+  Alcotest.(check bool) "span /2 never hurts" true
+    (total fast_span <= total base);
+  (* Dispatch delay charges every batch; the sched knob multiplies it. *)
+  let delayed = run ~sched_delay:50 ~p:8 () in
+  Alcotest.(check bool) "sched_delay adds wait" true
+    (total delayed > total base);
+  let delayed2 =
+    run ~sched_delay:50
+      ~costs:{ Sim.Costs.identity with Sim.Costs.sched = 2.0 }
+      ~p:8 ()
+  in
+  Alcotest.(check bool) "sched x2 adds more" true
+    (total delayed2 > total delayed);
+  (* The share knob is expressible even at P = 1, where the pre-scale
+     clamp already sits at its floor: granting a shard 4x the worker
+     share must strictly cut waits on this loaded fixture. *)
+  let p1 = run ~p:1 () in
+  let p1_boost =
+    run ~costs:{ Sim.Costs.identity with Sim.Costs.p_share = 4.0 } ~p:1 ()
+  in
+  Alcotest.(check bool) "share x4 at P=1 cuts wait" true
+    (total p1_boost < total p1)
+
 (* An idle system (arrivals far apart) must show the paper's Lemma-2
    figure: at most own batch + one in flight. *)
 let test_openloop_lemma2_when_underloaded () =
@@ -526,6 +570,149 @@ let test_report_merge_preserves () =
             (List.length exps)
       | _ -> Alcotest.fail "experiments missing")
 
+(* ---------- identity costs reproduce the pre-causal engine ---------- *)
+
+(* Golden digests captured on the standard scenario BEFORE Sim.Costs
+   was threaded through Sim.Openloop (commit 36b5f90, bin of the
+   then-current tree): the causal-profiling cost knobs at their
+   identity values must reproduce the old engine to the byte —
+   Costs.scale with factor 1.0 returns its input unchanged, so not
+   one wait, launch-wait or batches-seen figure may move. *)
+let golden_standard =
+  [
+    (1, (241060, 20000, 1, 420000, 1038, 1874, 3101757911089112640));
+    (8, (197787, 8945, 8, 795690, 3, 38, 535926878363528104));
+    (64, (197758, 9628, 10, 4059384, 2, 28, 512954716549816802));
+  ]
+
+let openloop_digest (r : Sim.Openloop.result) =
+  let h = ref 17 in
+  let mix v = h := (!h * 1000003) lxor v land 0x3FFFFFFFFFFFFFFF in
+  Array.iter mix r.Sim.Openloop.waits;
+  Array.iter mix r.Sim.Openloop.launch_waits;
+  Array.iter mix r.Sim.Openloop.batches_seen;
+  !h
+
+let test_identity_costs_golden () =
+  let sc =
+    match Svc.Scenario.find "standard" with
+    | Some sc -> sc
+    | None -> Alcotest.fail "standard scenario missing"
+  in
+  let (module S : Svc.Store.STORE) = sc.Svc.Scenario.store in
+  let shards = sc.Svc.Scenario.sim_shards in
+  let unit_ns = sc.Svc.Scenario.sim_ns_per_unit in
+  let reqs =
+    Gen.generate_n (Svc.Scenario.gen_sim sc) ~n:sc.Svc.Scenario.sim_requests
+  in
+  let olreqs =
+    Array.map
+      (fun (r : Gen.request) ->
+        {
+          Sim.Openloop.at = r.Gen.arrive_ns / unit_ns;
+          shard = Batched.Shard.route ~shards r.Gen.key;
+          cls = Gen.class_index r.Gen.cls;
+        })
+      reqs
+  in
+  List.iter
+    (fun (p, (makespan, batches, max_batch, total_work, m, in_sys, dg)) ->
+      let run costs =
+        let models =
+          Array.init shards (fun i ->
+              S.model ~n_keys:sc.Svc.Scenario.n_keys ~shards i)
+        in
+        Sim.Openloop.run ?costs (Sim.Openloop.config ~p ~shards ()) ~models
+          olreqs
+      in
+      (* Both the default path and an explicit identity Costs.t. *)
+      List.iter
+        (fun (label, costs) ->
+          let r = run costs in
+          Alcotest.(check int) (label ^ ": makespan") makespan
+            r.Sim.Openloop.makespan;
+          Alcotest.(check int) (label ^ ": batches") batches
+            r.Sim.Openloop.batches;
+          Alcotest.(check int) (label ^ ": max_batch") max_batch
+            r.Sim.Openloop.max_batch;
+          Alcotest.(check int) (label ^ ": total_work") total_work
+            r.Sim.Openloop.total_work;
+          Alcotest.(check int) (label ^ ": m") m
+            r.Sim.Openloop.max_batches_seen;
+          Alcotest.(check int) (label ^ ": max_in_system") in_sys
+            r.Sim.Openloop.max_in_system;
+          Alcotest.(check int) (label ^ ": per-request digest") dg
+            (openloop_digest r))
+        [
+          (Printf.sprintf "P=%d default" p, None);
+          (Printf.sprintf "P=%d identity" p, Some Sim.Costs.identity);
+        ])
+    golden_standard
+
+(* ---------- causal what-if profile, sim leg ---------- *)
+
+let test_causal_sim_profile () =
+  let sc = smoke () in
+  let r = Svc.Causal.run_sim ~factors:[ 2.0; 4.0 ] sc in
+  Alcotest.(check (list string)) "no conservation/bound errors" []
+    r.Svc.Causal.errors;
+  let p = r.Svc.Causal.profile in
+  Alcotest.(check int) "full grid" (6 * 2)
+    (List.length p.Obs.Causal.cells);
+  (* Every sim cell carries the Theorem-1 comparison... *)
+  List.iter
+    (fun (c : Obs.Causal.cell) ->
+      Alcotest.(check bool)
+        (c.Obs.Causal.phase ^ ": cell bound evaluated")
+        true
+        (not (Float.is_nan c.Obs.Causal.m.Obs.Causal.bound_ns));
+      Alcotest.(check bool)
+        (c.Obs.Causal.phase ^ ": d_bound evaluated")
+        true
+        (not (Float.is_nan c.Obs.Causal.d_bound)))
+    p.Obs.Causal.cells;
+  (* ...and both winner verdicts resolve. *)
+  Alcotest.(check bool) "measured winner" true
+    (p.Obs.Causal.winner_measured <> None);
+  Alcotest.(check bool) "bound winner" true
+    (p.Obs.Causal.winner_bound <> None);
+  Alcotest.(check bool) "agreement verdict present" true
+    (p.Obs.Causal.agree <> None);
+  (* The smoke scenario at its overloaded P demonstrates the point of
+     causal profiling: at least one phase's measured sensitivity
+     diverges from its Reqtrace latency share. *)
+  Alcotest.(check bool) "shares != sensitivity somewhere" true
+    (p.Obs.Causal.divergent <> []);
+  (* Exact determinism: the whole profile, rows included, replays. *)
+  let r2 = Svc.Causal.run_sim ~factors:[ 2.0; 4.0 ] sc in
+  (* Structural compare, not (=): the share knob's share_predicted/
+     divergence are NaN by design, and NaN = NaN is false while
+     compare treats them equal. *)
+  Alcotest.(check int) "profile deterministic" 0
+    (compare r.Svc.Causal.profile r2.Svc.Causal.profile);
+  Alcotest.(check int) "rows deterministic" 0
+    (compare r.Svc.Causal.rows r2.Svc.Causal.rows)
+
+(* The runtime leg's delay injection must keep every Reqtrace stamp a
+   real clock reading: span conservation holds on an injected run. *)
+let test_rt_inject_conservation () =
+  let sc = smoke () in
+  let pt =
+    Svc.Rt_driver.run_point ~workers:2 ~duration_s:0.2 ~trace:true
+      ~inject:
+        {
+          Runtime.Batcher_rt.slow_submit = 2.0;
+          slow_setup = 1.5;
+          slow_bop = 2.0;
+        }
+      sc ~shards:2
+  in
+  Alcotest.(check bool) "served some requests" true
+    (pt.Svc.Rt_driver.requests > 100);
+  match Obs.Reqtrace.check pt.Svc.Rt_driver.trace with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "injected span conservation: %s" e
+
 (* ---------- stores ---------- *)
 
 let test_store_registry () =
@@ -569,6 +756,99 @@ let qcheck_replay =
       let g = Gen.make ~seed ~n_keys:10_000 ~rate:25_000.0 () in
       Gen.generate_n g ~n:200 = Gen.generate_n g ~n:200)
 
+(* merge_experiment is the report files' only writer, so its two
+   contracts get property coverage: re-merging the same rows is
+   idempotent (CI re-runs must not churn the file), and merging
+   scenario A neither drops nor reorders scenario B's rows (nor any
+   foreign experiment). Rows are synthesized with varying counts and
+   metric values; the file is round-tripped through disk each time,
+   like the real thing. *)
+
+let synth_rows ~scenario ~salt n =
+  List.init n (fun i ->
+      Obs.Json.Obj
+        [
+          ("exec", Obs.Json.Str "sim");
+          ("scenario", Obs.Json.Str scenario);
+          ("cls", Obs.Json.Str (Printf.sprintf "c%d" i));
+          (* +0.5 keeps the float non-integral: an integral Float
+             serializes as "17", which parses back as Int — a
+             representation change the properties' structural
+             comparisons would false-positive on. *)
+          ("p99_ns", Obs.Json.Float (fi ((salt * 31) + i) +. 0.5));
+        ])
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_temp_report f =
+  let path = Filename.temp_file "svc_merge" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let qcheck_merge_idempotent =
+  QCheck.Test.make ~name:"merge_experiment re-merge is idempotent" ~count:30
+    QCheck.(pair (0 -- 6) (0 -- 10_000))
+    (fun (n, salt) ->
+      with_temp_report (fun path ->
+          let rows = synth_rows ~scenario:"a" ~salt n in
+          Svc.Report.merge_svc ~path ~scenario:"a" rows;
+          let once = slurp path in
+          Svc.Report.merge_svc ~path ~scenario:"a" rows;
+          once = slurp path))
+
+let qcheck_merge_preserves_others =
+  QCheck.Test.make
+    ~name:"merging A never drops or reorders B's rows" ~count:30
+    QCheck.(triple (1 -- 6) (0 -- 6) (0 -- 10_000))
+    (fun (nb, na, salt) ->
+      with_temp_report (fun path ->
+          let b_rows = synth_rows ~scenario:"b" ~salt nb in
+          (* A foreign experiment must survive the SVC merges too. *)
+          Batcher_core.Report_json.write_file ~path
+            (Obs.Json.Obj
+               [
+                 ("schema_version", Obs.Json.Int 1);
+                 ( "experiments",
+                   Obs.Json.List
+                     [
+                       Obs.Json.Obj
+                         [
+                           ("id", Obs.Json.Str "E1");
+                           ( "rows",
+                             Obs.Json.List
+                               (synth_rows ~scenario:"x" ~salt 2) );
+                         ];
+                     ] );
+               ]);
+          Svc.Report.merge_svc ~path ~scenario:"b" b_rows;
+          Svc.Report.merge_svc ~path ~scenario:"a"
+            (synth_rows ~scenario:"a" ~salt:(salt + 1) na);
+          match Obs.Json.parse (slurp path) with
+          | Error _ -> false
+          | Ok j ->
+              let b_after =
+                List.filter
+                  (fun r ->
+                    Obs.Json.member "scenario" r = Some (Obs.Json.Str "b"))
+                  (svc_rows j)
+              in
+              let e1_intact =
+                match Obs.Json.member "experiments" j with
+                | Some (Obs.Json.List exps) ->
+                    List.exists
+                      (fun e ->
+                        Obs.Json.member "id" e = Some (Obs.Json.Str "E1")
+                        && Obs.Json.member "rows" e
+                           = Some
+                               (Obs.Json.List (synth_rows ~scenario:"x" ~salt 2)))
+                      exps
+                | _ -> false
+              in
+              b_after = b_rows && e1_intact))
+
 let () =
   Alcotest.run "service"
     [
@@ -600,6 +880,7 @@ let () =
           Alcotest.test_case "sanity + wait bound" `Quick test_openloop_sanity;
           Alcotest.test_case "lemma-2 when underloaded" `Quick
             test_openloop_lemma2_when_underloaded;
+          Alcotest.test_case "what-if cost knobs" `Quick test_openloop_costs;
         ] );
       ( "drivers",
         [
@@ -612,6 +893,15 @@ let () =
             test_rt_driver_trace_conservation;
           Alcotest.test_case "sim span conservation, deterministic" `Quick
             test_sim_driver_trace_conservation;
+          Alcotest.test_case "injected run conserves spans" `Quick
+            test_rt_inject_conservation;
+        ] );
+      ( "causal",
+        [
+          Alcotest.test_case "identity costs reproduce pre-causal goldens"
+            `Quick test_identity_costs_golden;
+          Alcotest.test_case "sim what-if profile" `Quick
+            test_causal_sim_profile;
         ] );
       ( "plumbing",
         [
@@ -627,6 +917,11 @@ let () =
           Alcotest.test_case "mix folding" `Quick test_mix_folding;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ qcheck_zipf_in_range; qcheck_replay ]
-      );
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_zipf_in_range;
+            qcheck_replay;
+            qcheck_merge_idempotent;
+            qcheck_merge_preserves_others;
+          ] );
     ]
